@@ -1,0 +1,202 @@
+package unmasque_test
+
+// One benchmark per paper table/figure (experiments E1–E11 of
+// DESIGN.md). Benchmarks run the quick-scale variants so that
+// `go test -bench=. -benchmem` finishes in minutes; the full
+// paper-scale runs are produced by cmd/benchrunner. Each benchmark
+// reports the domain metric (extraction time per query) alongside the
+// usual ns/op.
+
+import (
+	"io"
+	"testing"
+
+	"unmasque/internal/bench"
+)
+
+func quickOpts() bench.Options {
+	opt := bench.DefaultOptions()
+	opt.Quick = true
+	return opt
+}
+
+// BenchmarkFig8QREComparison regenerates Figure 8 (UNMASQUE vs the
+// REGAL baseline on RQ1–RQ11).
+func BenchmarkFig8QREComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig8(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var uTotal, rTotal float64
+		for _, r := range rows {
+			uTotal += r.Unmasque.Seconds()
+			rTotal += r.Regal.Seconds()
+		}
+		b.ReportMetric(uTotal/float64(len(rows))*1000, "unmasque-ms/query")
+		b.ReportMetric(rTotal/float64(len(rows))*1000, "regal-ms/query")
+	}
+}
+
+// BenchmarkFig9TPCHExtraction regenerates Figure 9 (12 TPC-H hidden
+// queries with the module breakdown).
+func BenchmarkFig9TPCHExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig9(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total, minimizer float64
+		for _, r := range rows {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Name, r.Err)
+			}
+			total += r.Total.Seconds()
+			minimizer += (r.Sampling + r.Partitioning).Seconds()
+		}
+		b.ReportMetric(total/float64(len(rows))*1000, "ms/query")
+		b.ReportMetric(minimizer/total*100, "minimizer-%")
+	}
+}
+
+// BenchmarkFig10JOBExtraction regenerates Figure 10 (11 JOB queries,
+// 7–12 joins each).
+func BenchmarkFig10JOBExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig10(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total float64
+		for _, r := range rows {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Name, r.Err)
+			}
+			total += r.Total.Seconds()
+		}
+		b.ReportMetric(total/float64(len(rows))*1000, "ms/query")
+	}
+}
+
+// BenchmarkFig11ScalingProfile regenerates Figure 11 (Q5 extraction
+// vs native execution across scales).
+func BenchmarkFig11ScalingProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.Fig11(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(last.Extraction.Seconds()*1000, "extract-ms@top")
+		b.ReportMetric(last.Native.Seconds()*1000, "native-ms@top")
+	}
+}
+
+// BenchmarkSchemaScaling regenerates the Section 6.2 wide-catalog
+// from-clause experiment (E5).
+func BenchmarkSchemaScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.SchemaScale(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Elapsed.Seconds()*1000, "fromclause-ms")
+	}
+}
+
+// BenchmarkEnkiConversion regenerates the Figure 12 experiment (E6).
+func BenchmarkEnkiConversion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Enki(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportImperative(b, rows)
+	}
+}
+
+// BenchmarkWilosConversion regenerates Table 3 (E7).
+func BenchmarkWilosConversion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Wilos(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportImperative(b, rows)
+	}
+}
+
+// BenchmarkRubisConversion regenerates the RUBiS experiment (E8).
+func BenchmarkRubisConversion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Rubis(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportImperative(b, rows)
+	}
+}
+
+func reportImperative(b *testing.B, rows []bench.QueryTiming) {
+	b.Helper()
+	var total float64
+	for _, r := range rows {
+		if r.Err != nil {
+			b.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		total += r.Total.Seconds()
+	}
+	b.ReportMetric(total/float64(len(rows))*1000, "ms/function")
+}
+
+// BenchmarkTPCDSExtraction regenerates the TPC-DS experiment (E9).
+func BenchmarkTPCDSExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TPCDS(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportImperative(b, rows)
+	}
+}
+
+// BenchmarkAblationMinimizer regenerates the minimizer design-choice
+// study (E10).
+func BenchmarkAblationMinimizer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Ablation(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var largest, smallest float64
+		var nL, nS int
+		for _, r := range rows {
+			if !r.Sampling {
+				continue
+			}
+			switch r.Policy {
+			case "largest":
+				largest += r.Minimizer.Seconds()
+				nL++
+			case "smallest":
+				smallest += r.Minimizer.Seconds()
+				nS++
+			}
+		}
+		if nL > 0 && nS > 0 {
+			b.ReportMetric(largest/float64(nL)*1000, "largest-ms")
+			b.ReportMetric(smallest/float64(nS)*1000, "smallest-ms")
+		}
+	}
+}
+
+// BenchmarkHavingExtraction regenerates the Section 7 exercise (E11).
+func BenchmarkHavingExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Having(io.Discard, quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportImperative(b, rows)
+	}
+}

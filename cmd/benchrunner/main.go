@@ -1,0 +1,69 @@
+// Command benchrunner regenerates the paper's tables and figures
+// (the per-experiment index is in DESIGN.md; measured outputs are
+// recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchrunner -exp all            # every experiment, paper scales
+//	benchrunner -exp fig9 -quick    # one experiment, reduced scale
+//
+// Experiments: fig8, fig9, fig10, fig11, schemascale, enki, wilos,
+// rubis, tpcds, ablation, having, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unmasque/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run (fig8|fig9|fig10|fig11|schemascale|enki|wilos|rubis|tpcds|ablation|having|all)")
+		quick = flag.Bool("quick", false, "reduced scales and budgets (~1 minute total)")
+		seed  = flag.Int64("seed", 1, "generation and extraction seed")
+	)
+	flag.Parse()
+
+	opt := bench.DefaultOptions()
+	opt.Quick = *quick
+	opt.Seed = *seed
+
+	runners := map[string]func() error{
+		"fig8":        func() error { _, err := bench.Fig8(os.Stdout, opt); return err },
+		"fig9":        func() error { _, err := bench.Fig9(os.Stdout, opt); return err },
+		"fig10":       func() error { _, err := bench.Fig10(os.Stdout, opt); return err },
+		"fig11":       func() error { _, err := bench.Fig11(os.Stdout, opt); return err },
+		"schemascale": func() error { _, err := bench.SchemaScale(os.Stdout, opt); return err },
+		"enki":        func() error { _, err := bench.Enki(os.Stdout, opt); return err },
+		"wilos":       func() error { _, err := bench.Wilos(os.Stdout, opt); return err },
+		"rubis":       func() error { _, err := bench.Rubis(os.Stdout, opt); return err },
+		"tpcds":       func() error { _, err := bench.TPCDS(os.Stdout, opt); return err },
+		"ablation":    func() error { _, err := bench.Ablation(os.Stdout, opt); return err },
+		"having":      func() error { _, err := bench.Having(os.Stdout, opt); return err },
+	}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "schemascale", "enki", "wilos", "rubis", "tpcds", "ablation", "having"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s, all\n", name, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+	for _, name := range selected {
+		if err := runners[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Command unmasque extracts the hidden query of a registered opaque
+// application and prints the recovered SQL.
+//
+// The repository's workloads act as the application registry: each
+// hosts black-box executables (obfuscated SQL or imperative code)
+// over its own database.
+//
+// Usage:
+//
+//	unmasque -list                          # list all applications
+//	unmasque -app tpch/Q3                   # unmask one application
+//	unmasque -app enki/posts_by_tag -stats  # with the timing profile
+//	unmasque -app tpch/H1 -having           # Section 7 pipeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/sqldb"
+	"unmasque/internal/workloads/enki"
+	"unmasque/internal/workloads/job"
+	"unmasque/internal/workloads/rubis"
+	"unmasque/internal/workloads/tpcds"
+	"unmasque/internal/workloads/tpch"
+	"unmasque/internal/workloads/wilos"
+)
+
+// runAdhoc hides an arbitrary user query inside an executable over
+// the chosen workload database and unmasks it — a self-demo of the
+// full loop on any EQC query the user types.
+func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool) error {
+	var db *sqldb.Database
+	var plant func(map[string]string) error
+	switch workload {
+	case "tpch":
+		db = tpch.NewDatabase(tpch.ScaleTiny*8, seed)
+		plant = func(q map[string]string) error { return tpch.PlantWitnesses(db, q) }
+	case "tpcds":
+		db = tpcds.NewDatabase(tpcds.ScaleTiny, seed)
+		plant = func(q map[string]string) error { return tpcds.PlantWitnesses(db, q) }
+	case "job":
+		db = job.NewDatabase(job.ScaleTiny, seed)
+		plant = func(q map[string]string) error { return job.PlantWitnesses(db, q) }
+	case "enki":
+		db = enki.NewDatabase(seed)
+		plant = func(map[string]string) error { return nil }
+	case "wilos":
+		db = wilos.NewDatabase(seed)
+		plant = func(map[string]string) error { return nil }
+	case "rubis":
+		db = rubis.NewDatabase(seed)
+		plant = func(map[string]string) error { return nil }
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	if err := plant(map[string]string{"adhoc": sql}); err != nil {
+		return fmt.Errorf("witness planting: %w (does the query have satisfiable predicates?)", err)
+	}
+	exe, err := app.NewSQLExecutable("adhoc", sql)
+	if err != nil {
+		return fmt.Errorf("hidden query does not parse: %w", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.ExtractHaving = having
+	cfg.SkipChecker = noChecker
+	ext, err := core.Extract(exe, db, cfg)
+	if err != nil {
+		return fmt.Errorf("extraction failed: %w", err)
+	}
+	fmt.Printf("-- unmasked (%s)\n%s\n", ext.Summary(), ext.SQL)
+	if stats {
+		fmt.Printf("-- profile: %s\n", ext.Stats.String())
+	}
+	return nil
+}
+
+// registryEntry lazily builds the database and executable of one
+// registered application.
+type registryEntry struct {
+	build func(seed int64) (app.Executable, *sqldb.Database, error)
+}
+
+func registry() map[string]registryEntry {
+	reg := map[string]registryEntry{}
+
+	addSQL := func(prefix string, queries map[string]string, mkDB func(seed int64, q map[string]string) (*sqldb.Database, error)) {
+		for name, sql := range queries {
+			name, sql := name, sql
+			reg[prefix+"/"+name] = registryEntry{build: func(seed int64) (app.Executable, *sqldb.Database, error) {
+				db, err := mkDB(seed, map[string]string{name: sql})
+				if err != nil {
+					return nil, nil, err
+				}
+				exe, err := app.NewSQLExecutable(prefix+"/"+name, sql)
+				return exe, db, err
+			}}
+		}
+	}
+	addSQL("tpch", tpch.HiddenQueries(), func(seed int64, q map[string]string) (*sqldb.Database, error) {
+		db := tpch.NewDatabase(tpch.ScaleTiny*8, seed)
+		return db, tpch.PlantWitnesses(db, q)
+	})
+	addSQL("tpch", tpch.HavingQueries(), func(seed int64, q map[string]string) (*sqldb.Database, error) {
+		db := tpch.NewDatabase(tpch.ScaleTiny*8, seed)
+		return db, tpch.PlantWitnesses(db, q)
+	})
+	addSQL("tpcds", tpcds.HiddenQueries(), func(seed int64, q map[string]string) (*sqldb.Database, error) {
+		db := tpcds.NewDatabase(tpcds.ScaleTiny, seed)
+		return db, tpcds.PlantWitnesses(db, q)
+	})
+	addSQL("job", job.HiddenQueries(), func(seed int64, q map[string]string) (*sqldb.Database, error) {
+		db := job.NewDatabase(job.ScaleTiny, seed)
+		return db, job.PlantWitnesses(db, q)
+	})
+
+	for _, c := range enki.Commands() {
+		c := c
+		reg["enki/"+c.Name] = registryEntry{build: func(seed int64) (app.Executable, *sqldb.Database, error) {
+			return c.Exe, enki.NewDatabase(seed), nil
+		}}
+	}
+	for _, f := range wilos.Functions() {
+		f := f
+		reg["wilos/"+f.Name] = registryEntry{build: func(seed int64) (app.Executable, *sqldb.Database, error) {
+			return f.Exe, wilos.NewDatabase(seed), nil
+		}}
+	}
+	for _, s := range rubis.Servlets() {
+		s := s
+		reg["rubis/"+s.Name] = registryEntry{build: func(seed int64) (app.Executable, *sqldb.Database, error) {
+			return s.Exe, rubis.NewDatabase(seed), nil
+		}}
+	}
+	return reg
+}
+
+func main() {
+	var (
+		appName   = flag.String("app", "", "registered application to unmask, e.g. tpch/Q3")
+		adhocSQL  = flag.String("sql", "", "ad-hoc hidden query to extract against -workload")
+		workload  = flag.String("workload", "tpch", "database for -sql (tpch|tpcds|job|enki|wilos|rubis)")
+		list      = flag.Bool("list", false, "list registered applications")
+		stats     = flag.Bool("stats", false, "print the per-module timing profile")
+		having    = flag.Bool("having", false, "use the Section 7 pipeline (having extraction)")
+		seed      = flag.Int64("seed", 1, "data generation / extraction seed")
+		noChecker = flag.Bool("no-checker", false, "skip the final verification module")
+	)
+	flag.Parse()
+
+	reg := registry()
+	if *adhocSQL != "" {
+		if err := runAdhoc(*workload, *adhocSQL, *seed, *having, *noChecker, *stats); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *list || *appName == "" {
+		names := make([]string, 0, len(reg))
+		for n := range reg {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("registered opaque applications:")
+		for _, n := range names {
+			fmt.Println("  " + n)
+		}
+		if *appName == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nusage: unmasque -app <name> [-stats] [-having]")
+			os.Exit(2)
+		}
+		return
+	}
+
+	entry, ok := reg[*appName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown application %q (try -list)\n", *appName)
+		os.Exit(2)
+	}
+	exe, db, err := entry.build(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "setup: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.ExtractHaving = *having || strings.Contains(*appName, "/H")
+	cfg.SkipChecker = *noChecker
+
+	ext, err := core.Extract(exe, db, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "extraction failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("-- unmasked query of %s (%s)\n%s\n", *appName, ext.Summary(), ext.SQL)
+	if ext.CheckerVerified {
+		fmt.Println("-- extraction verified by randomized and targeted instance checks")
+	}
+	if *stats {
+		fmt.Printf("-- profile: %s\n", ext.Stats.String())
+	}
+}

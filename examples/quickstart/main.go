@@ -1,0 +1,89 @@
+// Quickstart: hide a warehouse query inside a black-box executable,
+// then unmask it with the UNMASQUE pipeline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"unmasque"
+)
+
+func main() {
+	// 1. A small warehouse: customers and their orders.
+	db := unmasque.NewDatabase()
+	must(db.CreateTable(unmasque.TableSchema{
+		Name: "customer",
+		Columns: []unmasque.Column{
+			{Name: "c_custkey", Type: unmasque.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "c_name", Type: unmasque.TText, MaxLen: 25},
+			{Name: "c_mktsegment", Type: unmasque.TText, MaxLen: 10},
+		},
+		PrimaryKey: []string{"c_custkey"},
+	}))
+	must(db.CreateTable(unmasque.TableSchema{
+		Name: "orders",
+		Columns: []unmasque.Column{
+			{Name: "o_orderkey", Type: unmasque.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "o_custkey", Type: unmasque.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "o_totalprice", Type: unmasque.TFloat, Precision: 2, MinInt: 0, MaxInt: 100000},
+			{Name: "o_orderdate", Type: unmasque.TDate,
+				MinInt: unmasque.MustDate("1992-01-01").I, MaxInt: unmasque.MustDate("1998-12-31").I},
+		},
+		PrimaryKey:  []string{"o_orderkey"},
+		ForeignKeys: []unmasque.ForeignKey{{Column: "o_custkey", RefTable: "customer", RefColumn: "c_custkey"}},
+	}))
+	seedData(db)
+
+	// 2. The opaque application: the SQL text lives only in
+	// obfuscated form inside the executable.
+	exe := unmasque.MustSQLExecutable("billing-report", `
+		select c_name, sum(o_totalprice) as total_spent
+		from customer, orders
+		where c_custkey = o_custkey
+		  and c_mktsegment = 'BUILDING'
+		  and o_orderdate >= date '1995-01-01'
+		group by c_name
+		order by total_spent desc
+		limit 10`)
+
+	// 3. Unmask it.
+	ext, err := unmasque.Extract(exe, db, unmasque.DefaultConfig())
+	if err != nil {
+		log.Fatalf("extraction failed: %v", err)
+	}
+	fmt.Println("-- recovered query:")
+	fmt.Println(ext.SQL)
+	fmt.Println()
+	fmt.Println("-- structure:", ext.Summary())
+	fmt.Println("-- verified: ", ext.CheckerVerified)
+	fmt.Println("-- profile:  ", ext.Stats.String())
+}
+
+func seedData(db *unmasque.Database) {
+	rng := rand.New(rand.NewSource(7))
+	segs := []string{"BUILDING", "AUTOMOBILE", "MACHINERY"}
+	for c := 1; c <= 60; c++ {
+		must(db.Insert("customer",
+			unmasque.NewInt(int64(c)),
+			unmasque.NewText(fmt.Sprintf("Customer#%03d", c)),
+			unmasque.NewText(segs[rng.Intn(len(segs))])))
+	}
+	base := unmasque.MustDate("1992-01-01").I
+	for o := 1; o <= 600; o++ {
+		must(db.Insert("orders",
+			unmasque.NewInt(int64(o)),
+			unmasque.NewInt(int64(1+rng.Intn(60))),
+			unmasque.NewFloat(float64(rng.Intn(1000000))/100),
+			unmasque.NewDate(base+int64(rng.Intn(2500)))))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

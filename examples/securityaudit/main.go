@@ -1,0 +1,81 @@
+// Security audit (Section 2.1, "Enhancing Database Security"): a
+// third-party plugin ships with encoded queries — the classic
+// SQL-obfuscation pattern of injection tooling. Rather than
+// platform-specific log forensics, the auditor unmasks what the
+// plugin actually reads by running it in a test silo.
+//
+//	go run ./examples/securityaudit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unmasque"
+)
+
+func main() {
+	// The production schema contains a sensitive credentials table.
+	db := unmasque.NewDatabase()
+	must(db.CreateTable(unmasque.TableSchema{
+		Name: "app_users",
+		Columns: []unmasque.Column{
+			{Name: "uid", Type: unmasque.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "login", Type: unmasque.TText, MaxLen: 40},
+			{Name: "password_hash", Type: unmasque.TText, MaxLen: 64},
+			{Name: "is_admin", Type: unmasque.TBool},
+		},
+		PrimaryKey: []string{"uid"},
+	}))
+	must(db.CreateTable(unmasque.TableSchema{
+		Name: "audit_log",
+		Columns: []unmasque.Column{
+			{Name: "entry_id", Type: unmasque.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "uid", Type: unmasque.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "action", Type: unmasque.TText, MaxLen: 30},
+		},
+		PrimaryKey:  []string{"entry_id"},
+		ForeignKeys: []unmasque.ForeignKey{{Column: "uid", RefTable: "app_users", RefColumn: "uid"}},
+	}))
+	for u := 1; u <= 40; u++ {
+		must(db.Insert("app_users",
+			unmasque.NewInt(int64(u)), unmasque.NewText(fmt.Sprintf("user%d", u)),
+			unmasque.NewText(fmt.Sprintf("hash-%08x", u*2654435761)), unmasque.NewBool(u%7 == 0)))
+	}
+	for e := 1; e <= 200; e++ {
+		must(db.Insert("audit_log",
+			unmasque.NewInt(int64(e)), unmasque.NewInt(int64(1+e%40)),
+			unmasque.NewText([]string{"login", "logout", "update"}[e%3])))
+	}
+
+	// The suspicious plugin claims to "summarize activity"; its query
+	// ships only in encoded form.
+	plugin := unmasque.MustSQLExecutable("third-party-activity-plugin", `
+		select login, password_hash from app_users where is_admin = true`)
+
+	ext, err := unmasque.Extract(plugin, db, unmasque.DefaultConfig())
+	if err != nil {
+		log.Fatalf("audit extraction failed: %v", err)
+	}
+	fmt.Println("-- the plugin's actual data access:")
+	fmt.Println(ext.SQL)
+	fmt.Println()
+	for _, t := range ext.Tables {
+		if t == "app_users" {
+			fmt.Println("!! FINDING: plugin reads the credentials table (app_users)")
+		}
+	}
+	for _, p := range ext.Projections {
+		for _, d := range p.Deps {
+			if d.Column == "password_hash" {
+				fmt.Println("!! FINDING: plugin exfiltrates password_hash")
+			}
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

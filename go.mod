@@ -1,0 +1,3 @@
+module unmasque
+
+go 1.22

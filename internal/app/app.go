@@ -1,0 +1,194 @@
+// Package app models the opaque application executable E of the
+// paper. An Executable exposes exactly the black-box contract the
+// extractor is allowed to rely on: run it against a database and
+// observe the result rows, an error, or a timeout — nothing else.
+//
+// Two concrete kinds are provided, mirroring the paper's evaluation:
+//
+//   - SQLExecutable holds an obfuscated (XOR-scrambled) SQL byte
+//     string, standing in for the encrypted stored procedures /
+//     compiled C++ binaries of Section 6.2. The query text is
+//     deliberately unreadable at rest and is only decoded inside Run.
+//   - ImperativeExecutable wraps a hand-written imperative function
+//     (loops, manual joins, in-process sorting) like the Enki, Wilos
+//     and RUBiS code of Section 6.3.
+package app
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+)
+
+// Executable is the black-box application E.
+type Executable interface {
+	// Name identifies the application (for reports and tests).
+	Name() string
+	// Run executes the hidden logic against db and returns its
+	// result. Implementations must observe ctx cancellation.
+	Run(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error)
+}
+
+// ErrTimeout is returned by RunWithTimeout when the executable did
+// not finish within the probe deadline.
+var ErrTimeout = errors.New("application execution timed out")
+
+// RunWithTimeout executes e with a deadline. The from-clause probe
+// uses a short timeout: a missing table produces an immediate error,
+// while an unaffected application keeps running and is cut off.
+func RunWithTimeout(e Executable, db *sqldb.Database, timeout time.Duration) (*sqldb.Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	res, err := e.Run(ctx, db)
+	if err != nil && ctx.Err() != nil {
+		return nil, ErrTimeout
+	}
+	return res, err
+}
+
+// obfuscationKey scrambles embedded SQL at rest. The point is not
+// cryptographic strength — it is that the query text cannot be found
+// by string-scanning the binary or the process image, which is the
+// scenario (SQL Shield-style protection) motivating HQE.
+var obfuscationKey = []byte("unmasque-hqe-sigmod21")
+
+// Obfuscate scrambles SQL text into an opaque byte string.
+func Obfuscate(sql string) []byte {
+	out := make([]byte, len(sql))
+	for i := 0; i < len(sql); i++ {
+		k := obfuscationKey[i%len(obfuscationKey)]
+		out[i] = sql[i] ^ k ^ byte(i*131)
+	}
+	return out
+}
+
+// Deobfuscate reverses Obfuscate.
+func Deobfuscate(blob []byte) string {
+	out := make([]byte, len(blob))
+	for i := 0; i < len(blob); i++ {
+		k := obfuscationKey[i%len(obfuscationKey)]
+		out[i] = blob[i] ^ k ^ byte(i*131)
+	}
+	return string(out)
+}
+
+// SQLExecutable is an application embedding a single hidden SQL
+// query in obfuscated form.
+type SQLExecutable struct {
+	name  string
+	blob  []byte
+	runs  atomic.Int64
+	delay time.Duration
+}
+
+// NewSQLExecutable builds an executable hiding the given query. The
+// query is validated eagerly (a malformed hidden query is a
+// programming error in the workload definition, not an extraction
+// scenario).
+func NewSQLExecutable(name, sql string) (*SQLExecutable, error) {
+	if _, err := sqlparser.Parse(sql); err != nil {
+		return nil, err
+	}
+	return &SQLExecutable{name: name, blob: Obfuscate(sql)}, nil
+}
+
+// MustSQLExecutable builds an executable or panics; for statically
+// known workload queries.
+func MustSQLExecutable(name, sql string) *SQLExecutable {
+	e, err := NewSQLExecutable(name, sql)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Name implements Executable.
+func (e *SQLExecutable) Name() string { return e.name }
+
+// Run decodes, parses and executes the hidden query.
+func (e *SQLExecutable) Run(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+	e.runs.Add(1)
+	if e.delay > 0 {
+		select {
+		case <-time.After(e.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	stmt, err := sqlparser.Parse(Deobfuscate(e.blob))
+	if err != nil {
+		return nil, err
+	}
+	return db.Execute(ctx, stmt)
+}
+
+// Invocations reports how many times the application has been run —
+// the E-invocation count of Section 6.2's efficiency discussion.
+func (e *SQLExecutable) Invocations() int64 { return e.runs.Load() }
+
+// SetStartupDelay adds a fixed per-run delay, simulating application
+// startup cost; used by the schema-scaling experiment where probe
+// timeouts must beat slow executions.
+func (e *SQLExecutable) SetStartupDelay(d time.Duration) { e.delay = d }
+
+// HiddenSQL exposes the embedded query text. It exists ONLY for
+// ground-truth verification in tests and experiment reports; the
+// extractor must never call it.
+func (e *SQLExecutable) HiddenSQL() string { return Deobfuscate(e.blob) }
+
+// ImperativeFunc is the signature of a hidden imperative routine.
+type ImperativeFunc func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error)
+
+// ImperativeExecutable wraps imperative application code, optionally
+// carrying the equivalent SQL as ground truth for verification.
+type ImperativeExecutable struct {
+	name      string
+	fn        ImperativeFunc
+	groundSQL string
+	runs      atomic.Int64
+}
+
+// NewImperativeExecutable builds an imperative application.
+// groundTruthSQL may be empty when no reference query is known.
+func NewImperativeExecutable(name string, fn ImperativeFunc, groundTruthSQL string) *ImperativeExecutable {
+	return &ImperativeExecutable{name: name, fn: fn, groundSQL: groundTruthSQL}
+}
+
+// Name implements Executable.
+func (e *ImperativeExecutable) Name() string { return e.name }
+
+// Run implements Executable.
+func (e *ImperativeExecutable) Run(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+	e.runs.Add(1)
+	return e.fn(ctx, db)
+}
+
+// Invocations reports the number of runs.
+func (e *ImperativeExecutable) Invocations() int64 { return e.runs.Load() }
+
+// GroundTruthSQL returns the reference query (may be empty). Tests
+// only.
+func (e *ImperativeExecutable) GroundTruthSQL() string { return e.groundSQL }
+
+// CountingExecutable wraps any executable and counts invocations;
+// the extractor statistics use it for third-party executables.
+type CountingExecutable struct {
+	Inner Executable
+	runs  atomic.Int64
+}
+
+// Name implements Executable.
+func (e *CountingExecutable) Name() string { return e.Inner.Name() }
+
+// Run implements Executable.
+func (e *CountingExecutable) Run(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+	e.runs.Add(1)
+	return e.Inner.Run(ctx, db)
+}
+
+// Invocations reports the number of runs through this wrapper.
+func (e *CountingExecutable) Invocations() int64 { return e.runs.Load() }

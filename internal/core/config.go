@@ -1,0 +1,209 @@
+// Package core implements UNMASQUE, the paper's hidden-query
+// extraction pipeline. Given a black-box application executable and a
+// database instance on which it produces a populated result, the
+// pipeline recovers the hidden query by active learning: it mutates
+// and synthesizes database instances, reruns the application, and
+// observes only the results.
+//
+// The pipeline follows Figure 3 of the paper: from-clause detection,
+// database minimization, equi-join and filter extraction over mutated
+// single-row databases, then projection, group-by, aggregation,
+// order-by and limit extraction over generated databases, concluding
+// with assembly and a correctness checker. The having clause uses the
+// reworked Section 7 pipeline.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Config tunes the extraction pipeline. The zero value is NOT valid;
+// use DefaultConfig.
+type Config struct {
+	// ProbeTimeout bounds each from-clause probe execution (the paper
+	// uses 100 ms in the schema-scaling experiment). Only renames are
+	// probed under this deadline; all other pipeline executions use
+	// ExecTimeout.
+	ProbeTimeout time.Duration
+
+	// ExecTimeout bounds every non-from-clause application execution
+	// (minimizer probes on still-large databases can legitimately
+	// take a while).
+	ExecTimeout time.Duration
+
+	// SampleFraction is the per-pass Bernoulli sampling rate of the
+	// minimizer's preprocessing phase.
+	SampleFraction float64
+
+	// SampleThreshold is the row count below which a table is no
+	// longer sampled (halving takes over).
+	SampleThreshold int
+
+	// DisableSampling turns the minimizer's sampling preprocessing
+	// off (ablation experiment E10).
+	DisableSampling bool
+
+	// HalvingPolicy picks the next table to halve: "largest"
+	// (default, the paper's empirically best policy), "smallest",
+	// "roundrobin" or "random".
+	HalvingPolicy string
+
+	// LimitStart and LimitRatio parameterize the geometric result-
+	// cardinality progression of limit extraction (paper: a = max(4,
+	// |R_I|), r = 10).
+	LimitStart int
+	LimitRatio int
+
+	// LimitMax caps the largest generated cardinality when probing
+	// for limit; beyond it the query is concluded to have no limit.
+	LimitMax int
+
+	// CheckerRounds is the number of randomized databases the
+	// extraction checker compares E and Q_E on.
+	CheckerRounds int
+
+	// CheckerRows is the per-table row count of those databases.
+	CheckerRows int
+
+	// SkipChecker disables the final verification module.
+	SkipChecker bool
+
+	// ExtractDisjunction enables the Section 9 future-work extension:
+	// after conjunctive filter extraction, every candidate column is
+	// re-probed for disjunctive predicates — unions of numeric/date
+	// intervals (via a grid scan plus boundary binary searches) and
+	// string IN-sets (via enumeration of the source column's distinct
+	// values). Segments narrower than domain/DisjunctionScanPoints
+	// and strings absent from D_I remain invisible; the checker's
+	// initial-instance comparison flags such residuals.
+	ExtractDisjunction bool
+
+	// DisjunctionScanPoints is the grid resolution of the numeric
+	// disjunction scan (default 48).
+	DisjunctionScanPoints int
+
+	// ExtractHaving switches to the Section 7 pipeline that also
+	// extracts having predicates (with the paper's restriction that
+	// filter and having attribute sets are disjoint).
+	ExtractHaving bool
+
+	// Seed drives all randomized choices, making extraction
+	// deterministic for a given input.
+	Seed int64
+}
+
+// DefaultConfig returns the paper-faithful parameterization.
+func DefaultConfig() Config {
+	return Config{
+		ProbeTimeout:    250 * time.Millisecond,
+		ExecTimeout:     5 * time.Minute,
+		SampleFraction:  0.1,
+		SampleThreshold: 64,
+		HalvingPolicy:   "largest",
+		LimitStart:      4,
+		LimitRatio:      10,
+		LimitMax:        4000,
+		CheckerRounds:   3,
+		CheckerRows:     40,
+		Seed:            1,
+	}
+}
+
+// validate normalizes and sanity-checks the configuration.
+func (c *Config) validate() error {
+	if c.ProbeTimeout <= 0 {
+		return fmt.Errorf("ProbeTimeout must be positive")
+	}
+	if c.ExecTimeout <= 0 {
+		c.ExecTimeout = 5 * time.Minute
+	}
+	if c.SampleFraction <= 0 || c.SampleFraction >= 1 {
+		return fmt.Errorf("SampleFraction must be in (0,1)")
+	}
+	if c.SampleThreshold < 2 {
+		return fmt.Errorf("SampleThreshold must be at least 2")
+	}
+	switch strings.ToLower(c.HalvingPolicy) {
+	case "", "largest":
+		c.HalvingPolicy = "largest"
+	case "smallest", "random", "roundrobin":
+		c.HalvingPolicy = strings.ToLower(c.HalvingPolicy)
+	default:
+		return fmt.Errorf("unknown halving policy %q", c.HalvingPolicy)
+	}
+	if c.LimitStart < 4 {
+		c.LimitStart = 4
+	}
+	if c.LimitRatio < 2 {
+		return fmt.Errorf("LimitRatio must be at least 2")
+	}
+	if c.LimitMax < c.LimitStart {
+		return fmt.Errorf("LimitMax must be at least LimitStart")
+	}
+	if c.DisjunctionScanPoints <= 0 {
+		c.DisjunctionScanPoints = 48
+	}
+	return nil
+}
+
+// Stats records per-module wall-clock time and application invocation
+// counts — the breakdown reported in Figures 9-11 of the paper.
+type Stats struct {
+	Total        time.Duration
+	SiloSetup    time.Duration
+	FromClause   time.Duration
+	Sampling     time.Duration
+	Partitioning time.Duration
+	JoinGraph    time.Duration
+	Filters      time.Duration
+	Projection   time.Duration
+	GroupBy      time.Duration
+	Aggregation  time.Duration
+	OrderBy      time.Duration
+	Limit        time.Duration
+	Having       time.Duration
+	Checker      time.Duration
+
+	// AppInvocations counts completed executions of E during
+	// extraction (Section 6.2 reports "typically a few hundred").
+	AppInvocations int64
+
+	// MinimizerRows traces the database size before and after
+	// minimization.
+	RowsInitial       int
+	RowsAfterSampling int
+	RowsFinal         int
+}
+
+// Minimizer is the total database-minimization time (sampling plus
+// iterative partitioning) — the dominant cost in the paper's profile.
+func (s *Stats) Minimizer() time.Duration { return s.Sampling + s.Partitioning }
+
+// Remaining is the collective time of all non-minimizer extraction
+// modules (the paper's "green" bar).
+func (s *Stats) Remaining() time.Duration {
+	return s.Total - s.Minimizer() - s.Checker
+}
+
+// String renders a compact one-line profile.
+func (s *Stats) String() string {
+	return fmt.Sprintf("total=%v minimizer=%v (sampling=%v partitioning=%v) rest=%v checker=%v invocations=%d rows %d->%d",
+		s.Total.Round(time.Millisecond), s.Minimizer().Round(time.Millisecond),
+		s.Sampling.Round(time.Millisecond), s.Partitioning.Round(time.Millisecond),
+		s.Remaining().Round(time.Millisecond), s.Checker.Round(time.Millisecond),
+		s.AppInvocations, s.RowsInitial, s.RowsFinal)
+}
+
+// timed runs fn and adds its duration to *slot.
+func timed(slot *time.Duration, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	*slot += time.Since(start)
+	return err
+}
+
+// newRNG builds the session RNG.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	ok := DefaultConfig()
+	if err := ok.validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero probe timeout", func(c *Config) { c.ProbeTimeout = 0 }},
+		{"negative sample fraction", func(c *Config) { c.SampleFraction = -0.5 }},
+		{"fraction one", func(c *Config) { c.SampleFraction = 1 }},
+		{"tiny threshold", func(c *Config) { c.SampleThreshold = 1 }},
+		{"bad policy", func(c *Config) { c.HalvingPolicy = "fastest" }},
+		{"ratio one", func(c *Config) { c.LimitRatio = 1 }},
+		{"limit max below start", func(c *Config) { c.LimitMax = 2; c.LimitStart = 50 }},
+	}
+	for _, cse := range cases {
+		cfg := DefaultConfig()
+		cse.mutate(&cfg)
+		if err := cfg.validate(); err == nil {
+			t.Errorf("%s: expected validation error", cse.name)
+		}
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HalvingPolicy = ""
+	cfg.LimitStart = 1
+	cfg.ExecTimeout = 0
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HalvingPolicy != "largest" {
+		t.Errorf("policy default: %q", cfg.HalvingPolicy)
+	}
+	if cfg.LimitStart < 4 {
+		t.Errorf("limit start floor: %d", cfg.LimitStart)
+	}
+	if cfg.ExecTimeout <= 0 {
+		t.Error("exec timeout default not applied")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := Stats{
+		Total:        10 * time.Second,
+		Sampling:     3 * time.Second,
+		Partitioning: 2 * time.Second,
+		Checker:      1 * time.Second,
+	}
+	if s.Minimizer() != 5*time.Second {
+		t.Errorf("Minimizer = %v", s.Minimizer())
+	}
+	if s.Remaining() != 4*time.Second {
+		t.Errorf("Remaining = %v", s.Remaining())
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestExtractionErrorWrapping(t *testing.T) {
+	err := moduleErrf("filters", "bad column %s", "x")
+	var extErr *ExtractionError
+	ok := false
+	if e, isExt := err.(*ExtractionError); isExt {
+		extErr, ok = e, true
+	}
+	if !ok || extErr.Module != "filters" {
+		t.Fatalf("module error shape: %v", err)
+	}
+	if moduleErr("m", nil) != nil {
+		t.Error("moduleErr(nil) should be nil")
+	}
+}

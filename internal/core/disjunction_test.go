@@ -1,0 +1,172 @@
+package core_test
+
+// Tests for the Section 9 future-work extension: disjunctive
+// predicate extraction (interval unions and string IN-sets).
+
+import (
+	"context"
+	"testing"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/sqldb"
+)
+
+func disjCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.ExtractDisjunction = true
+	return cfg
+}
+
+func extractDisj(t *testing.T, db *sqldb.Database, sql string) *core.Extraction {
+	t.Helper()
+	exe := app.MustSQLExecutable(t.Name(), sql)
+	res, err := exe.Run(context.Background(), db)
+	if err != nil || !res.Populated() {
+		t.Fatalf("fixture unpopulated: %v", err)
+	}
+	ext, err := core.Extract(exe, db, disjCfg())
+	if err != nil {
+		t.Fatalf("extraction failed: %v", err)
+	}
+	want, _ := exe.Run(context.Background(), db)
+	got, err := db.Execute(context.Background(), ext.Query)
+	if err != nil {
+		t.Fatalf("extracted query fails: %v\n%s", err, ext.SQL)
+	}
+	if !want.EqualUnordered(got) {
+		t.Fatalf("results differ on D_I (%d vs %d rows)\nextracted: %s",
+			want.RowCount(), got.RowCount(), ext.SQL)
+	}
+	return ext
+}
+
+func TestDisjunctionNumericTwoIntervals(t *testing.T) {
+	db := warehouseDB(t, 30, 120, 300)
+	ext := extractDisj(t, db,
+		`select o_orderkey, o_totalprice from orders
+		 where o_totalprice <= 100000 or o_totalprice >= 400000`)
+	var f *core.FilterPredicate
+	for i := range ext.Filters {
+		if ext.Filters[i].Col.Column == "o_totalprice" {
+			f = &ext.Filters[i]
+		}
+	}
+	if f == nil || f.Kind != core.FilterDisjRange {
+		t.Fatalf("disjunctive filter not extracted: %+v", ext.Filters)
+	}
+	if len(f.Segments) != 2 {
+		t.Fatalf("segments: %+v", f.Segments)
+	}
+	if f.Segments[0].Hi.AsFloat() != 100000 || f.Segments[1].Lo.AsFloat() != 400000 {
+		t.Errorf("segment bounds: %+v", f.Segments)
+	}
+}
+
+func TestDisjunctionNumericInList(t *testing.T) {
+	db := warehouseDB(t, 30, 120, 400)
+	ext := extractDisj(t, db,
+		`select l_orderkey, l_linenumber from lineitem where l_linenumber in (1, 4, 7)`)
+	var f *core.FilterPredicate
+	for i := range ext.Filters {
+		if ext.Filters[i].Col.Column == "l_linenumber" {
+			f = &ext.Filters[i]
+		}
+	}
+	if f == nil || f.Kind != core.FilterDisjRange {
+		t.Fatalf("disjunctive filter not extracted: %+v", ext.Filters)
+	}
+	if len(f.Segments) != 3 {
+		t.Fatalf("segments: %+v", f.Segments)
+	}
+	for i, want := range []int64{1, 4, 7} {
+		if f.Segments[i].Lo.I != want || f.Segments[i].Hi.I != want {
+			t.Errorf("segment %d: %+v, want point %d", i, f.Segments[i], want)
+		}
+	}
+}
+
+func TestDisjunctionTextInSet(t *testing.T) {
+	db := warehouseDB(t, 40, 80, 200)
+	ext := extractDisj(t, db,
+		`select c_custkey, c_mktsegment from customer
+		 where c_mktsegment in ('BUILDING', 'MACHINERY')`)
+	var f *core.FilterPredicate
+	for i := range ext.Filters {
+		if ext.Filters[i].Col.Column == "c_mktsegment" {
+			f = &ext.Filters[i]
+		}
+	}
+	if f == nil || f.Kind != core.FilterTextIn {
+		t.Fatalf("IN-set not extracted: %+v", ext.Filters)
+	}
+	if len(f.InSet) != 2 || f.InSet[0] != "BUILDING" || f.InSet[1] != "MACHINERY" {
+		t.Errorf("IN-set values: %v", f.InSet)
+	}
+}
+
+// TestDisjunctionKeepsConjunctiveResults: the refinement pass must
+// leave ordinary conjunctive extractions untouched.
+func TestDisjunctionKeepsConjunctiveResults(t *testing.T) {
+	db := warehouseDB(t, 30, 80, 200)
+	ext := extractDisj(t, db,
+		`select o_orderkey from orders where o_totalprice between 50000 and 300000`)
+	if len(ext.Filters) != 1 {
+		t.Fatalf("filters: %+v", ext.Filters)
+	}
+	f := ext.Filters[0]
+	if f.Kind != core.FilterRange || f.Lo.AsFloat() != 50000 || f.Hi.AsFloat() != 300000 {
+		t.Errorf("conjunctive filter disturbed: %+v", f)
+	}
+}
+
+// TestDisjunctionKeepsLike: LIKE predicates admit many values and must
+// not degrade into IN-sets.
+func TestDisjunctionKeepsLike(t *testing.T) {
+	db := warehouseDB(t, 30, 80, 300)
+	ext := extractDisj(t, db,
+		`select l_orderkey from lineitem where l_comment like '%special%'`)
+	if len(ext.Filters) != 1 || ext.Filters[0].Kind != core.FilterLike {
+		t.Fatalf("like filter disturbed: %+v", ext.Filters)
+	}
+}
+
+// TestDisjunctionWithDownstreamClauses: grouping/aggregation/order
+// still extract over a disjunctively filtered column.
+func TestDisjunctionWithDownstreamClauses(t *testing.T) {
+	db := warehouseDB(t, 30, 120, 400)
+	ext := extractDisj(t, db, `
+		select l_linenumber, count(*) as cnt, sum(l_extendedprice) as total
+		from lineitem
+		where l_linenumber in (2, 5)
+		group by l_linenumber
+		order by l_linenumber`)
+	if len(ext.GroupBy) != 1 || ext.GroupBy[0].Column != "l_linenumber" {
+		t.Errorf("group by: %v", ext.GroupBy)
+	}
+	if len(ext.OrderBy) != 1 || ext.OrderBy[0].Desc {
+		t.Errorf("order by: %v", ext.OrderBy)
+	}
+	var f *core.FilterPredicate
+	for i := range ext.Filters {
+		if ext.Filters[i].Col.Column == "l_linenumber" {
+			f = &ext.Filters[i]
+		}
+	}
+	if f == nil || f.Kind != core.FilterDisjRange || len(f.Segments) != 2 {
+		t.Errorf("disjunctive filter: %+v", ext.Filters)
+	}
+}
+
+// TestDisjunctionOffByDefault: with the flag off, a disjunctive
+// hidden query must fail extraction (checker rejection), never be
+// silently flattened into its convex hull.
+func TestDisjunctionOffByDefault(t *testing.T) {
+	db := warehouseDB(t, 30, 120, 300)
+	exe := app.MustSQLExecutable("disj-off",
+		`select o_orderkey from orders where o_totalprice <= 100000 or o_totalprice >= 400000`)
+	_, err := core.Extract(exe, db, core.DefaultConfig())
+	if err == nil {
+		t.Fatal("disjunctive query must be rejected when the extension is off")
+	}
+}

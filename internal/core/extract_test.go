@@ -1,0 +1,512 @@
+package core_test
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+)
+
+// warehouseDB builds a deterministic three-table warehouse instance
+// with enough rows to exercise the minimizer.
+func warehouseDB(t testing.TB, customers, orders, lines int) *sqldb.Database {
+	t.Helper()
+	db := sqldb.NewDatabase()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.CreateTable(sqldb.TableSchema{
+		Name: "customer",
+		Columns: []sqldb.Column{
+			{Name: "c_custkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "c_name", Type: sqldb.TText, MaxLen: 25},
+			{Name: "c_mktsegment", Type: sqldb.TText, MaxLen: 10},
+			{Name: "c_acctbal", Type: sqldb.TFloat, Precision: 2, MinInt: -1000, MaxInt: 10000},
+		},
+		PrimaryKey: []string{"c_custkey"},
+	}))
+	must(db.CreateTable(sqldb.TableSchema{
+		Name: "orders",
+		Columns: []sqldb.Column{
+			{Name: "o_orderkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "o_custkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "o_orderdate", Type: sqldb.TDate, MinInt: dateDays("1992-01-01"), MaxInt: dateDays("1998-12-31")},
+			{Name: "o_totalprice", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 500000},
+			{Name: "o_shippriority", Type: sqldb.TInt, MinInt: 0, MaxInt: 5},
+		},
+		PrimaryKey:  []string{"o_orderkey"},
+		ForeignKeys: []sqldb.ForeignKey{{Column: "o_custkey", RefTable: "customer", RefColumn: "c_custkey"}},
+	}))
+	must(db.CreateTable(sqldb.TableSchema{
+		Name: "lineitem",
+		Columns: []sqldb.Column{
+			{Name: "l_orderkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "l_linenumber", Type: sqldb.TInt, MinInt: 1, MaxInt: 7},
+			{Name: "l_extendedprice", Type: sqldb.TFloat, Precision: 2, MinInt: 1, MaxInt: 100000},
+			{Name: "l_discount", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 1},
+			{Name: "l_shipdate", Type: sqldb.TDate, MinInt: dateDays("1992-01-01"), MaxInt: dateDays("1998-12-31")},
+			{Name: "l_comment", Type: sqldb.TText, MaxLen: 44},
+		},
+		ForeignKeys: []sqldb.ForeignKey{{Column: "l_orderkey", RefTable: "orders", RefColumn: "o_orderkey"}},
+	}))
+
+	rng := rand.New(rand.NewSource(42))
+	segments := []string{"BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"}
+	i, f, s := sqldb.NewInt, sqldb.NewFloat, sqldb.NewText
+	d := func(base string, offset int) sqldb.Value {
+		v := sqldb.MustDate(base)
+		return sqldb.NewDate(v.I + int64(offset))
+	}
+	for c := 1; c <= customers; c++ {
+		must(db.Insert("customer",
+			i(int64(c)), s("customer#"+strings.Repeat("0", 3)+itoa(c)),
+			s(segments[rng.Intn(len(segments))]),
+			f(float64(rng.Intn(1000000))/100-1000)))
+	}
+	for o := 1; o <= orders; o++ {
+		must(db.Insert("orders",
+			i(int64(o)), i(int64(1+rng.Intn(customers))),
+			d("1992-01-01", rng.Intn(2500)),
+			f(float64(rng.Intn(50000000))/100),
+			i(int64(rng.Intn(3)))))
+	}
+	comments := []string{"quick fox", "special requests", "carefully packed", "express deposits", "pending accounts"}
+	for l := 1; l <= lines; l++ {
+		must(db.Insert("lineitem",
+			i(int64(1+rng.Intn(orders))), i(int64(1+l%7)),
+			f(float64(100+rng.Intn(9000000))/100),
+			f(float64(rng.Intn(11))/100),
+			d("1992-01-01", rng.Intn(2500)),
+			s(comments[rng.Intn(len(comments))])))
+	}
+	return db
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func dateDays(s string) int64 { return sqldb.MustDate(s).I }
+
+// extractHidden runs the full pipeline on a hidden SQL query and
+// verifies semantic equivalence of the extraction on randomized
+// instances (the checker does that internally; a checker pass plus a
+// direct comparison on the original database is the test criterion).
+func extractHidden(t *testing.T, db *sqldb.Database, sql string, cfg core.Config) *core.Extraction {
+	t.Helper()
+	exe := app.MustSQLExecutable(t.Name(), sql)
+
+	// Sanity: populated result on the initial instance.
+	res, err := exe.Run(context.Background(), db)
+	if err != nil {
+		t.Fatalf("hidden query does not run: %v", err)
+	}
+	if !res.Populated() {
+		t.Fatalf("hidden query yields an empty result on the test instance; fixture bug")
+	}
+
+	ext, err := core.Extract(exe, db, cfg)
+	if err != nil {
+		t.Fatalf("extraction failed: %v\nhidden: %s", err, sql)
+	}
+
+	// Cross-check on the original database.
+	want, err := exe.Run(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Execute(context.Background(), ext.Query)
+	if err != nil {
+		t.Fatalf("extracted query fails on D_I: %v\nextracted: %s", err, ext.SQL)
+	}
+	if len(ext.OrderBy) > 0 {
+		if !core.OrderedEquivalent(want, got, ext.OrderBy) {
+			t.Fatalf("extracted query differs on D_I (ordered)\nhidden: %s\nextracted: %s\nwant %d rows, got %d",
+				sql, ext.SQL, want.RowCount(), got.RowCount())
+		}
+	} else if !want.EqualUnordered(got) {
+		t.Fatalf("extracted query differs on D_I\nhidden: %s\nextracted: %s\nwant %d rows, got %d",
+			sql, ext.SQL, want.RowCount(), got.RowCount())
+	}
+	return ext
+}
+
+func defaultCfg() core.Config {
+	return core.DefaultConfig()
+}
+
+func TestExtractSimpleProjection(t *testing.T) {
+	db := warehouseDB(t, 30, 60, 200)
+	ext := extractHidden(t, db, "select c_name, c_acctbal from customer", defaultCfg())
+	if len(ext.Tables) != 1 || ext.Tables[0] != "customer" {
+		t.Errorf("tables: %v", ext.Tables)
+	}
+	if len(ext.Filters) != 0 || len(ext.GroupBy) != 0 || ext.Limit != 0 {
+		t.Errorf("unexpected extras: %+v", ext)
+	}
+}
+
+func TestExtractNumericFilters(t *testing.T) {
+	db := warehouseDB(t, 30, 60, 200)
+	ext := extractHidden(t, db,
+		"select o_orderkey, o_totalprice from orders where o_totalprice >= 1000.50 and o_shippriority = 1",
+		defaultCfg())
+	if len(ext.Filters) != 2 {
+		t.Fatalf("filters: %v", ext.Filters)
+	}
+	byCol := map[string]core.FilterPredicate{}
+	for _, f := range ext.Filters {
+		byCol[f.Col.Column] = f
+	}
+	tp := byCol["o_totalprice"]
+	if !tp.HasLo || tp.Lo.AsFloat() != 1000.50 || tp.HasHi {
+		t.Errorf("o_totalprice filter: %+v", tp)
+	}
+	sp := byCol["o_shippriority"]
+	if !sp.IsEquality() || sp.Lo.I != 1 {
+		t.Errorf("o_shippriority filter: %+v", sp)
+	}
+}
+
+func TestExtractDateFilter(t *testing.T) {
+	db := warehouseDB(t, 30, 60, 200)
+	ext := extractHidden(t, db,
+		"select o_orderkey from orders where o_orderdate <= date '1995-03-14'",
+		defaultCfg())
+	if len(ext.Filters) != 1 {
+		t.Fatalf("filters: %v", ext.Filters)
+	}
+	f := ext.Filters[0]
+	if !f.HasHi || f.Hi.String() != "1995-03-14" || f.HasLo {
+		t.Errorf("date filter: %+v (hi=%v)", f, f.Hi)
+	}
+}
+
+func TestExtractBetweenFilter(t *testing.T) {
+	db := warehouseDB(t, 30, 60, 200)
+	ext := extractHidden(t, db,
+		"select l_orderkey from lineitem where l_extendedprice between 5000 and 60000",
+		defaultCfg())
+	f := ext.Filters[0]
+	if !f.HasLo || !f.HasHi || f.Lo.AsFloat() != 5000 || f.Hi.AsFloat() != 60000 {
+		t.Errorf("between filter: %+v", f)
+	}
+}
+
+func TestExtractTextEquality(t *testing.T) {
+	db := warehouseDB(t, 30, 60, 200)
+	ext := extractHidden(t, db,
+		"select c_custkey from customer where c_mktsegment = 'BUILDING'",
+		defaultCfg())
+	f := ext.Filters[0]
+	if f.Kind != core.FilterTextEq || f.Pattern != "BUILDING" {
+		t.Errorf("text filter: %+v", f)
+	}
+}
+
+func TestExtractLikePattern(t *testing.T) {
+	db := warehouseDB(t, 30, 60, 300)
+	ext := extractHidden(t, db,
+		"select l_orderkey from lineitem where l_comment like '%special%'",
+		defaultCfg())
+	f := ext.Filters[0]
+	if f.Kind != core.FilterLike || f.Pattern != "%special%" {
+		t.Errorf("like filter: %+v", f)
+	}
+}
+
+func TestExtractJoin(t *testing.T) {
+	db := warehouseDB(t, 30, 60, 200)
+	ext := extractHidden(t, db,
+		"select c_name, o_totalprice from customer, orders where c_custkey = o_custkey",
+		defaultCfg())
+	if len(ext.JoinPredicates) != 1 {
+		t.Fatalf("join predicates: %v", ext.JoinPredicates)
+	}
+	if ext.JoinPredicates[0].String() != "customer.c_custkey=orders.o_custkey" {
+		t.Errorf("join edge: %s", ext.JoinPredicates[0])
+	}
+}
+
+func TestExtractThreeWayJoinGroupAgg(t *testing.T) {
+	db := warehouseDB(t, 25, 50, 150)
+	ext := extractHidden(t, db, `
+		select o_custkey, count(*) as cnt, sum(o_totalprice) as total
+		from orders group by o_custkey`, defaultCfg())
+	if len(ext.GroupBy) != 1 || ext.GroupBy[0].Column != "o_custkey" {
+		t.Errorf("group by: %v", ext.GroupBy)
+	}
+	var sawCount, sawSum bool
+	for _, p := range ext.Projections {
+		if p.CountStar {
+			sawCount = true
+		}
+		if p.Agg == sqldb.AggSum {
+			sawSum = true
+		}
+	}
+	if !sawCount || !sawSum {
+		t.Errorf("aggregates: %+v", ext.Projections)
+	}
+}
+
+func TestExtractComputedColumnFunction(t *testing.T) {
+	db := warehouseDB(t, 25, 50, 150)
+	ext := extractHidden(t, db, `
+		select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue
+		from lineitem group by l_orderkey`, defaultCfg())
+	var rev *core.Projection
+	for i := range ext.Projections {
+		if ext.Projections[i].OutputName == "revenue" {
+			rev = &ext.Projections[i]
+		}
+	}
+	if rev == nil {
+		t.Fatalf("no revenue projection: %+v", ext.Projections)
+	}
+	if rev.Agg != sqldb.AggSum {
+		t.Errorf("revenue aggregate: %v", rev.Agg)
+	}
+	if len(rev.Deps) != 2 {
+		t.Errorf("revenue deps: %v", rev.Deps)
+	}
+	if got := rev.FuncExpr().String(); got != "lineitem.l_extendedprice * (1 - lineitem.l_discount)" {
+		t.Errorf("revenue function rendered as %q", got)
+	}
+}
+
+func TestExtractTPCHQ3(t *testing.T) {
+	db := warehouseDB(t, 40, 120, 500)
+	hidden := `
+		select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue,
+		       o_orderdate, o_shippriority
+		from customer, orders, lineitem
+		where c_mktsegment = 'BUILDING'
+		  and c_custkey = o_custkey
+		  and l_orderkey = o_orderkey
+		  and o_orderdate < date '1995-03-15'
+		  and l_shipdate > date '1995-03-15'
+		group by l_orderkey, o_orderdate, o_shippriority
+		order by revenue desc, o_orderdate
+		limit 10`
+	ext := extractHidden(t, db, hidden, defaultCfg())
+
+	if len(ext.Tables) != 3 {
+		t.Errorf("tables: %v", ext.Tables)
+	}
+	if len(ext.JoinPredicates) != 2 {
+		t.Errorf("joins: %v", ext.JoinPredicates)
+	}
+	if len(ext.Filters) != 3 {
+		t.Errorf("filters: %v", ext.Filters)
+	}
+	if len(ext.GroupBy) != 3 {
+		t.Errorf("group by: %v", ext.GroupBy)
+	}
+	if ext.Limit != 10 {
+		t.Errorf("limit: %d", ext.Limit)
+	}
+	if len(ext.OrderBy) != 2 || !ext.OrderBy[0].Desc || ext.OrderBy[0].OutputName != "revenue" ||
+		ext.OrderBy[1].Desc || ext.OrderBy[1].OutputName != "o_orderdate" {
+		t.Errorf("order by: %v", ext.OrderBy)
+	}
+	if !ext.CheckerVerified {
+		t.Error("checker did not verify")
+	}
+	if ext.Stats.AppInvocations == 0 || ext.Stats.Total == 0 {
+		t.Errorf("stats not recorded: %+v", ext.Stats)
+	}
+}
+
+func TestExtractUngroupedAggregate(t *testing.T) {
+	db := warehouseDB(t, 25, 50, 150)
+	ext := extractHidden(t, db,
+		"select count(*) as n, avg(o_totalprice) as a, min(o_orderdate) as d from orders",
+		defaultCfg())
+	if !ext.UngroupedAgg {
+		t.Error("ungrouped aggregation not detected")
+	}
+	if !ext.Projections[0].CountStar {
+		t.Errorf("first output should be count(*): %+v", ext.Projections[0])
+	}
+	if ext.Projections[1].Agg != sqldb.AggAvg {
+		t.Errorf("second output should be avg: %+v", ext.Projections[1])
+	}
+	if ext.Projections[2].Agg != sqldb.AggMin {
+		t.Errorf("third output should be min: %+v", ext.Projections[2])
+	}
+}
+
+func TestExtractMinMaxAggregates(t *testing.T) {
+	db := warehouseDB(t, 25, 50, 150)
+	ext := extractHidden(t, db, `
+		select o_custkey, min(o_totalprice) as lo, max(o_totalprice) as hi
+		from orders group by o_custkey`, defaultCfg())
+	if ext.Projections[1].Agg != sqldb.AggMin || ext.Projections[2].Agg != sqldb.AggMax {
+		t.Errorf("aggregates: %v %v", ext.Projections[1].Agg, ext.Projections[2].Agg)
+	}
+}
+
+func TestExtractOrderByAscending(t *testing.T) {
+	db := warehouseDB(t, 25, 50, 150)
+	ext := extractHidden(t, db,
+		"select o_orderkey, o_totalprice from orders order by o_totalprice asc limit 5",
+		defaultCfg())
+	if len(ext.OrderBy) != 1 || ext.OrderBy[0].Desc || ext.OrderBy[0].OutputName != "o_totalprice" {
+		t.Errorf("order by: %v", ext.OrderBy)
+	}
+	if ext.Limit != 5 {
+		t.Errorf("limit: %d", ext.Limit)
+	}
+}
+
+func TestExtractProjectionRenaming(t *testing.T) {
+	db := warehouseDB(t, 25, 50, 150)
+	ext := extractHidden(t, db,
+		"select c_name as customer_name, c_acctbal as balance from customer",
+		defaultCfg())
+	if ext.Projections[0].OutputName != "customer_name" {
+		t.Errorf("renamed output: %+v", ext.Projections[0])
+	}
+	// The assembled SQL must alias the column to the observed name.
+	if !strings.Contains(ext.SQL, "customer_name") {
+		t.Errorf("assembled SQL lost the rename: %s", ext.SQL)
+	}
+}
+
+func TestExtractScalarFunctionSingleColumn(t *testing.T) {
+	db := warehouseDB(t, 25, 50, 150)
+	ext := extractHidden(t, db,
+		"select o_orderkey, o_totalprice * 2 + 10 as adjusted from orders",
+		defaultCfg())
+	p := ext.Projections[1]
+	if len(p.Deps) != 1 || p.Deps[0].Column != "o_totalprice" {
+		t.Fatalf("deps: %v", p.Deps)
+	}
+	if len(p.Coeffs) != 2 || p.Coeffs[0] != 10 || p.Coeffs[1] != 2 {
+		t.Errorf("coefficients: %v", p.Coeffs)
+	}
+}
+
+func TestExtractStatsProfileShape(t *testing.T) {
+	db := warehouseDB(t, 40, 120, 800)
+	ext := extractHidden(t, db,
+		"select c_custkey from customer, orders where c_custkey = o_custkey and o_totalprice >= 100",
+		defaultCfg())
+	st := ext.Stats
+	if st.RowsInitial <= st.RowsFinal {
+		t.Errorf("minimizer did not shrink: %d -> %d", st.RowsInitial, st.RowsFinal)
+	}
+	if st.RowsFinal > len(ext.Tables)+2 {
+		t.Errorf("final database too large: %d rows", st.RowsFinal)
+	}
+	if st.Minimizer() <= 0 {
+		t.Error("minimizer time not recorded")
+	}
+}
+
+// TestExtractImperativeApp checks the imperative path end to end.
+func TestExtractImperativeApp(t *testing.T) {
+	db := warehouseDB(t, 30, 60, 200)
+	fn := func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+		// Imperative equivalent of:
+		//   select c_name from customer where c_acctbal >= 0
+		tbl, err := db.Table("customer")
+		if err != nil {
+			return nil, err
+		}
+		res := &sqldb.Result{Columns: []string{"c_name"}}
+		bal := tbl.Schema.ColumnIndex("c_acctbal")
+		name := tbl.Schema.ColumnIndex("c_name")
+		for _, r := range tbl.Rows {
+			if r[bal].Null {
+				continue
+			}
+			if r[bal].AsFloat() >= 0 {
+				res.Rows = append(res.Rows, sqldb.Row{r[name]})
+			}
+		}
+		return res, nil
+	}
+	exe := app.NewImperativeExecutable("get-positive-customers", fn, "")
+	ext, err := core.Extract(exe, db, defaultCfg())
+	if err != nil {
+		t.Fatalf("imperative extraction failed: %v", err)
+	}
+	want := sqlparser.MustParse("select c_name from customer where c_acctbal >= 0")
+	gotRes, err := db.Execute(context.Background(), ext.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := db.Execute(context.Background(), want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotRes.EqualUnordered(wantRes) {
+		t.Errorf("imperative extraction wrong:\n%s", ext.SQL)
+	}
+}
+
+func TestExtractCountDistinct(t *testing.T) {
+	db := warehouseDB(t, 25, 50, 200)
+	ext := extractHidden(t, db, `
+		select l_orderkey, count(distinct l_linenumber) as distinct_lines
+		from lineitem group by l_orderkey`, defaultCfg())
+	p := ext.Projections[1]
+	if p.Agg != sqldb.AggCount || !p.Distinct {
+		t.Errorf("count(distinct) not identified: %+v", p)
+	}
+}
+
+func TestExtractOrderByCount(t *testing.T) {
+	db := warehouseDB(t, 30, 80, 250)
+	ext := extractHidden(t, db, `
+		select c_mktsegment, count(*) as n
+		from customer
+		group by c_mktsegment
+		order by n desc
+		limit 3`, defaultCfg())
+	if len(ext.OrderBy) != 1 || !ext.OrderBy[0].Desc || ext.OrderBy[0].OutputName != "n" {
+		t.Errorf("count order key: %v", ext.OrderBy)
+	}
+	if ext.Limit != 3 {
+		t.Errorf("limit: %d", ext.Limit)
+	}
+}
+
+func TestExtractOrderByCountSecondary(t *testing.T) {
+	db := warehouseDB(t, 30, 120, 300)
+	ext := extractHidden(t, db, `
+		select o_shippriority, count(*) as cnt
+		from orders
+		group by o_shippriority
+		order by o_shippriority asc, cnt desc`, defaultCfg())
+	if len(ext.OrderBy) < 1 || ext.OrderBy[0].OutputName != "o_shippriority" || ext.OrderBy[0].Desc {
+		t.Fatalf("primary key: %v", ext.OrderBy)
+	}
+	// The secondary count key is only observable when the primary
+	// does not functionally determine the groups; with a single
+	// grouping column it does, so stopping after the primary is
+	// acceptable — assert we did not extract something WRONG.
+	for _, k := range ext.OrderBy[1:] {
+		if k.OutputName != "cnt" {
+			t.Errorf("unexpected secondary key: %v", k)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"unmasque/internal/app"
+	"unmasque/internal/sqldb"
+)
+
+// extractFromClause identifies T_E, the set of tables referenced by
+// the hidden query (Section 4.1): each candidate table is temporarily
+// renamed; if the application immediately errors with a missing-table
+// fault, the table is part of the query. Applications untouched by
+// the rename either complete or are cut off by the probe timeout.
+//
+// Probing runs against the provided instance directly (each rename is
+// reverted before the next probe), and the working silo is built
+// afterwards carrying only the contents of T_E — copying the full
+// instance first would double peak memory for nothing, since the
+// query never reads the other tables.
+func (s *Session) extractFromClause() error {
+	const tempName = "unmasque_probe_tmp"
+	for _, t := range s.source.TableNames() {
+		if err := s.source.RenameTable(t, tempName); err != nil {
+			return err
+		}
+		// Short probe deadline: a missing-table fault is immediate,
+		// while an unaffected application would otherwise run to
+		// completion on the full instance for every negative probe.
+		_, err := app.RunWithTimeout(s.exe, s.source, s.cfg.ProbeTimeout)
+		switch {
+		case errors.Is(err, sqldb.ErrNoSuchTable):
+			s.tables = append(s.tables, t)
+		case errors.Is(err, app.ErrTimeout):
+			// Execution unaffected by the rename but slow: t is not
+			// in the query.
+		case err != nil:
+			// Any other failure is unexpected at this stage — the
+			// application ran on an intact (modulo rename) instance.
+			if restoreErr := s.source.RenameTable(tempName, t); restoreErr != nil {
+				return restoreErr
+			}
+			return fmt.Errorf("probing table %s: %w", t, err)
+		}
+		if err := s.source.RenameTable(tempName, t); err != nil {
+			return err
+		}
+	}
+	if len(s.tables) == 0 {
+		return fmt.Errorf("no query tables detected; does the application read this database?")
+	}
+	// Build the silo: every table's schema, but rows only for T_E
+	// (referential constraints are irrelevant — the engine does not
+	// enforce them, matching the paper's dropped-RI silo).
+	return timed(&s.stats.SiloSetup, func() error {
+		relevant := map[string]bool{}
+		for _, t := range s.tables {
+			relevant[t] = true
+		}
+		s.silo = s.source.CloneTables(relevant)
+		for _, t := range s.tables {
+			tbl, err := s.silo.Table(t)
+			if err != nil {
+				return err
+			}
+			s.schemas[t] = tbl.Schema.Clone()
+		}
+		return nil
+	})
+}

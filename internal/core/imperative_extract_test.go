@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+	"unmasque/internal/workloads/enki"
+	"unmasque/internal/workloads/rubis"
+	"unmasque/internal/workloads/wilos"
+)
+
+// verifyImperative extracts an imperative executable and checks the
+// result against its ground-truth SQL on the original instance.
+func verifyImperative(t *testing.T, db *sqldb.Database, exe *app.ImperativeExecutable) {
+	t.Helper()
+	ext, err := core.Extract(exe, db, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("extraction failed: %v", err)
+	}
+	truth := exe.GroundTruthSQL()
+	if truth == "" {
+		return
+	}
+	want, err := db.Execute(context.Background(), sqlparser.MustParse(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Execute(context.Background(), ext.Query)
+	if err != nil {
+		t.Fatalf("extracted query fails: %v\n%s", err, ext.SQL)
+	}
+	if !normalizeRows(want).EqualUnordered(normalizeRows(got)) {
+		t.Fatalf("extraction diverges from ground truth\ntruth: %s\nextracted: %s\nwant %d rows got %d",
+			truth, ext.SQL, want.RowCount(), got.RowCount())
+	}
+	if len(ext.OrderBy) > 0 && !core.OrderedEquivalent(want, got, ext.OrderBy) {
+		t.Fatalf("order-key sequences diverge\nextracted: %s", ext.SQL)
+	}
+}
+
+func normalizeRows(r *sqldb.Result) *sqldb.Result {
+	if r.Populated() {
+		return r
+	}
+	return &sqldb.Result{Columns: r.Columns}
+}
+
+// TestExtractEnkiSuite converts every in-scope Enki command
+// (experiment E6 / Figure 12).
+func TestExtractEnkiSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite extraction is not short")
+	}
+	db := enki.NewDatabase(31)
+	for _, cmd := range enki.Commands() {
+		cmd := cmd
+		t.Run(cmd.Name, func(t *testing.T) { verifyImperative(t, db, cmd.Exe) })
+	}
+}
+
+// TestExtractWilosSuite converts every in-scope Wilos function
+// (experiment E7 / Table 3).
+func TestExtractWilosSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite extraction is not short")
+	}
+	db := wilos.NewDatabase(37)
+	for _, fn := range wilos.Functions() {
+		fn := fn
+		t.Run(fn.Name, func(t *testing.T) { verifyImperative(t, db, fn.Exe) })
+	}
+}
+
+// TestExtractRubisSuite converts every RUBiS servlet (experiment E8).
+func TestExtractRubisSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite extraction is not short")
+	}
+	db := rubis.NewDatabase(41)
+	for _, sv := range rubis.Servlets() {
+		sv := sv
+		t.Run(sv.Name, func(t *testing.T) { verifyImperative(t, db, sv.Exe) })
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"unmasque/internal/sqldb"
+)
+
+// cycle is a candidate join cycle: an ordered ring of column vertices
+// (Section 4.3). A two-vertex ring represents the single-edge case.
+type cycle struct {
+	verts []sqldb.ColRef
+}
+
+func (c cycle) size() int { return len(c.verts) }
+
+// edges enumerates the ring's edges. For a two-vertex ring there is a
+// single edge, not two parallel ones.
+func (c cycle) edges() []sqldb.SchemaEdge {
+	if len(c.verts) < 2 {
+		return nil
+	}
+	if len(c.verts) == 2 {
+		return []sqldb.SchemaEdge{{A: c.verts[0], B: c.verts[1]}}
+	}
+	out := make([]sqldb.SchemaEdge, 0, len(c.verts))
+	for i := range c.verts {
+		out = append(out, sqldb.SchemaEdge{A: c.verts[i], B: c.verts[(i+1)%len(c.verts)]})
+	}
+	return out
+}
+
+// extractJoinGraph recovers J_E (Section 4.3 / Algorithm 1). The
+// schema graph restricted to T_E's key columns is closed into
+// cliques, each clique is reduced to an elementary cycle, and each
+// candidate cycle is tested by cutting edge pairs and negating the
+// key values of one side in D_1: an empty result proves at least one
+// cut edge is in the query.
+func (s *Session) extractJoinGraph() error {
+	cjg := s.candidateCycles()
+	var accepted []cycle
+
+	for len(cjg) > 0 {
+		cyc := cjg[0]
+		cjg = cjg[1:]
+
+		if cyc.size() < 2 {
+			continue // isolated vertex: no join possible
+		}
+		if cyc.size() == 2 {
+			// Limiting case: a single edge, checked by negating one
+			// endpoint.
+			empty, err := s.negateProbe([]sqldb.ColRef{cyc.verts[0]})
+			if err != nil {
+				return err
+			}
+			if empty {
+				accepted = append(accepted, cyc)
+			}
+			continue
+		}
+
+		// Try every pair of edges; if some cut yields a populated
+		// result, the cycle splits and both parts are re-queued.
+		split := false
+		pairs := cutPairs(cyc)
+		for _, p := range pairs {
+			c1, c2 := cut(cyc, p[0], p[1])
+			empty, err := s.negateProbe(c1.verts)
+			if err != nil {
+				return err
+			}
+			if !empty {
+				cjg = append(cjg, c1, c2)
+				split = true
+				break
+			}
+		}
+		if !split {
+			accepted = append(accepted, cyc)
+		}
+	}
+
+	// Convert accepted cycles into join predicates and components.
+	for _, cyc := range accepted {
+		s.joinEdges = append(s.joinEdges, canonicalEdges(cyc)...)
+		comp := joinComponent{cols: sortedColRefs(cyc.verts)}
+		s.components = append(s.components, comp)
+		for _, v := range comp.cols {
+			s.compOf[v] = len(s.components) - 1
+		}
+	}
+	sort.Slice(s.joinEdges, func(i, j int) bool {
+		return s.joinEdges[i].String() < s.joinEdges[j].String()
+	})
+	return nil
+}
+
+// candidateCycles builds CJG_E: the schema graph induced on T_E's key
+// columns, transitively closed into connected components, each
+// rendered as one elementary cycle.
+func (s *Session) candidateCycles() []cycle {
+	inTE := map[string]bool{}
+	for _, t := range s.tables {
+		inTE[t] = true
+	}
+	schemas := make([]sqldb.TableSchema, 0, len(s.tables))
+	for _, t := range s.tables {
+		schemas = append(schemas, s.schemas[t])
+	}
+	// The schema graph must span the whole database (FK-FK linkages
+	// may pass through tables outside T_E only in exotic schemas; the
+	// paper's scope keeps the join graph a subgraph of edges within
+	// T_E).
+	graph := sqldb.BuildSchemaGraph(s.source.Schemas())
+	edges := graph.EdgesWithin(inTE)
+
+	// Union-find over the edge endpoints.
+	parent := map[sqldb.ColRef]sqldb.ColRef{}
+	var find func(x sqldb.ColRef) sqldb.ColRef
+	find = func(x sqldb.ColRef) sqldb.ColRef {
+		if parent[x] == x {
+			return x
+		}
+		root := find(parent[x])
+		parent[x] = root
+		return root
+	}
+	union := func(a, b sqldb.ColRef) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range edges {
+		if _, ok := parent[e.A]; !ok {
+			parent[e.A] = e.A
+		}
+		if _, ok := parent[e.B]; !ok {
+			parent[e.B] = e.B
+		}
+		union(e.A, e.B)
+	}
+	comps := map[sqldb.ColRef][]sqldb.ColRef{}
+	for v := range parent {
+		root := find(v)
+		comps[root] = append(comps[root], v)
+	}
+	var cycles []cycle
+	for _, verts := range comps {
+		cycles = append(cycles, cycle{verts: sortedColRefs(verts)})
+	}
+	sort.Slice(cycles, func(i, j int) bool {
+		return cycles[i].verts[0].Less(cycles[j].verts[0])
+	})
+	return cycles
+}
+
+// cutPairs enumerates the index pairs of edges to cut; for an n-ring
+// the edges are (i, i+1 mod n).
+func cutPairs(c cycle) [][2]int {
+	n := c.size()
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// cut removes ring edges i and j, splitting the ring into two paths,
+// and closes each path back into a cycle (Section 4.3's Cut
+// subroutine). Edge k connects vertex k and k+1 mod n, so removing
+// edges i < j leaves paths (i+1..j) and (j+1..i mod n).
+func cut(c cycle, i, j int) (cycle, cycle) {
+	n := c.size()
+	var p1, p2 []sqldb.ColRef
+	for k := i + 1; k <= j; k++ {
+		p1 = append(p1, c.verts[k%n])
+	}
+	for k := j + 1; k <= i+n; k++ {
+		p2 = append(p2, c.verts[k%n])
+	}
+	return cycle{verts: p1}, cycle{verts: p2}
+}
+
+// negateProbe clones D_1, flips the sign of the given key columns
+// (zero values are replaced by -1, preserving the "breaks equality"
+// property for the positive-key assumption), runs the application and
+// reports whether the result went empty.
+func (s *Session) negateProbe(cols []sqldb.ColRef) (bool, error) {
+	db := s.cloneD1()
+	for _, c := range cols {
+		tbl, err := db.Table(c.Table)
+		if err != nil {
+			return false, err
+		}
+		ci := tbl.Schema.ColumnIndex(c.Column)
+		if ci < 0 {
+			return false, fmt.Errorf("negate: table %s has no column %s", c.Table, c.Column)
+		}
+		for r := range tbl.Rows {
+			v := tbl.Rows[r][ci]
+			if v.Null {
+				continue
+			}
+			if v.IsZero() {
+				tbl.Rows[r][ci] = sqldb.NewInt(-1)
+				continue
+			}
+			n, err := sqldb.Neg(v)
+			if err != nil {
+				return false, fmt.Errorf("negate %s: %w", c, err)
+			}
+			tbl.Rows[r][ci] = n
+		}
+	}
+	ok, err := s.populated(db)
+	return !ok, err
+}
+
+// canonicalEdges returns the ring's edges with deterministic endpoint
+// order.
+func canonicalEdges(c cycle) []sqldb.SchemaEdge {
+	out := c.edges()
+	for i := range out {
+		out[i] = out[i].Canonical()
+	}
+	return out
+}

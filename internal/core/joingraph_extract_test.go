@@ -1,0 +1,152 @@
+package core_test
+
+// Focused tests of equi-join graph extraction (Section 4.3 /
+// Algorithm 1): cliques induced by FK-FK edges must be cut down to
+// exactly the joins the hidden query uses.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"unmasque/internal/sqldb"
+)
+
+// cliqueDB builds a schema whose key graph is a 3-column clique:
+// orders.customer_id and invoices.customer_id both reference
+// customers.id, inducing FK-FK edges among all three.
+func cliqueDB(t *testing.T) *sqldb.Database {
+	t.Helper()
+	db := sqldb.NewDatabase()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.CreateTable(sqldb.TableSchema{
+		Name: "customers",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "name", Type: sqldb.TText, MaxLen: 20},
+		},
+		PrimaryKey: []string{"id"},
+	}))
+	must(db.CreateTable(sqldb.TableSchema{
+		Name: "orders",
+		Columns: []sqldb.Column{
+			{Name: "order_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "customer_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "total", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 10000},
+		},
+		PrimaryKey:  []string{"order_id"},
+		ForeignKeys: []sqldb.ForeignKey{{Column: "customer_id", RefTable: "customers", RefColumn: "id"}},
+	}))
+	must(db.CreateTable(sqldb.TableSchema{
+		Name: "invoices",
+		Columns: []sqldb.Column{
+			{Name: "invoice_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "customer_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "amount", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 10000},
+		},
+		PrimaryKey:  []string{"invoice_id"},
+		ForeignKeys: []sqldb.ForeignKey{{Column: "customer_id", RefTable: "customers", RefColumn: "id"}},
+	}))
+	rng := rand.New(rand.NewSource(5))
+	for c := 1; c <= 30; c++ {
+		must(db.Insert("customers", sqldb.NewInt(int64(c)), sqldb.NewText(fmt.Sprintf("c%d", c))))
+	}
+	for o := 1; o <= 120; o++ {
+		must(db.Insert("orders", sqldb.NewInt(int64(o)), sqldb.NewInt(int64(1+rng.Intn(30))),
+			sqldb.NewFloat(float64(rng.Intn(100000))/100)))
+	}
+	for i := 1; i <= 120; i++ {
+		must(db.Insert("invoices", sqldb.NewInt(int64(i)), sqldb.NewInt(int64(1+rng.Intn(30))),
+			sqldb.NewFloat(float64(rng.Intn(100000))/100)))
+	}
+	return db
+}
+
+func joinStrings(ext []sqldb.SchemaEdge) []string {
+	out := make([]string, len(ext))
+	for i, e := range ext {
+		out[i] = e.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestJoinGraphFullClique: a query joining all three tables on the
+// shared customer key must recover the full component (as a cycle
+// whose edges imply the clique transitively).
+func TestJoinGraphFullClique(t *testing.T) {
+	db := cliqueDB(t)
+	ext := extractHidden(t, db, `
+		select name, total, amount
+		from customers, orders, invoices
+		where customers.id = orders.customer_id
+		  and orders.customer_id = invoices.customer_id`, defaultCfg())
+	if len(ext.JoinPredicates) < 2 {
+		t.Fatalf("clique lost: %v", ext.JoinPredicates)
+	}
+	// The three columns must all be connected (2 or 3 edges both
+	// induce the clique transitively).
+	cols := map[string]bool{}
+	for _, e := range ext.JoinPredicates {
+		cols[e.A.String()] = true
+		cols[e.B.String()] = true
+	}
+	for _, want := range []string{"customers.id", "orders.customer_id", "invoices.customer_id"} {
+		if !cols[want] {
+			t.Errorf("column %s missing from join graph %v", want, joinStrings(ext.JoinPredicates))
+		}
+	}
+}
+
+// TestJoinGraphPartialClique: a two-table query must NOT drag the
+// third clique member in — Algorithm 1's cut must shrink the
+// candidate cycle.
+func TestJoinGraphPartialClique(t *testing.T) {
+	db := cliqueDB(t)
+	ext := extractHidden(t, db, `
+		select name, total from customers, orders
+		where customers.id = orders.customer_id`, defaultCfg())
+	if len(ext.Tables) != 2 {
+		t.Fatalf("tables: %v", ext.Tables)
+	}
+	if len(ext.JoinPredicates) != 1 {
+		t.Fatalf("join predicates: %v", joinStrings(ext.JoinPredicates))
+	}
+	if got := ext.JoinPredicates[0].String(); got != "customers.id=orders.customer_id" {
+		t.Errorf("edge: %s", got)
+	}
+}
+
+// TestJoinGraphFKFKOnly: joining the two fact tables directly (no
+// dimension) uses the FK-FK edge alone.
+func TestJoinGraphFKFKOnly(t *testing.T) {
+	db := cliqueDB(t)
+	ext := extractHidden(t, db, `
+		select total, amount from orders, invoices
+		where orders.customer_id = invoices.customer_id`, defaultCfg())
+	if len(ext.JoinPredicates) != 1 {
+		t.Fatalf("join predicates: %v", joinStrings(ext.JoinPredicates))
+	}
+	if got := ext.JoinPredicates[0].String(); got != "invoices.customer_id=orders.customer_id" {
+		t.Errorf("edge: %s", got)
+	}
+}
+
+// TestJoinGraphCrossProductRejected: a query with NO join between two
+// tables (cross product) is outside EQC's join-graph scope; the join
+// module must simply find no edges and the checker decides overall
+// equivalence.
+func TestJoinGraphNoJoin(t *testing.T) {
+	db := cliqueDB(t)
+	ext := extractHidden(t, db, `
+		select name from customers, orders`, defaultCfg())
+	if len(ext.JoinPredicates) != 0 {
+		t.Errorf("spurious join predicates: %v", joinStrings(ext.JoinPredicates))
+	}
+}

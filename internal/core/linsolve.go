@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// solveLinearSystem solves A·x = b by Gaussian elimination with
+// partial pivoting. It returns an error for singular (or numerically
+// near-singular) systems, which in the extraction context means the
+// probe vectors were not linearly independent.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("linsolve: bad system shape %dx? vs %d", n, len(b))
+	}
+	// Working copies.
+	m := make([][]float64, n)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linsolve: row %d has %d entries, want %d", i, len(a[i]), n)
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	rhs := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("linsolve: singular system at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := rhs[r]
+		for c := r + 1; c < n; c++ {
+			sum -= m[r][c] * x[c]
+		}
+		x[r] = sum / m[r][r]
+	}
+	return x, nil
+}
+
+// snapCoefficients rounds coefficients that are within tolerance of
+// an integer or a short decimal, removing float noise from the solve.
+func snapCoefficients(x []float64) {
+	for i, v := range x {
+		r := math.Round(v)
+		if math.Abs(v-r) < 1e-6*math.Max(1, math.Abs(v)) {
+			x[i] = r
+			continue
+		}
+		// Snap to two decimal places when very close (matching the
+		// engine's fixed-precision floats).
+		r2 := math.Round(v*100) / 100
+		if math.Abs(v-r2) < 1e-9*math.Max(1, math.Abs(v)) {
+			x[i] = r2
+		}
+	}
+}

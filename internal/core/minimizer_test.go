@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/sqldb"
+)
+
+// TestMinimizerPoliciesAllReachSingleRow: every halving policy must
+// reach a single-row D_1 and a correct extraction.
+func TestMinimizerPoliciesAllReachSingleRow(t *testing.T) {
+	for _, policy := range []string{"largest", "smallest", "random", "roundrobin"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			db := warehouseDB(t, 30, 80, 300)
+			cfg := defaultCfg()
+			cfg.HalvingPolicy = policy
+			ext := extractHidden(t, db,
+				"select c_name from customer, orders where c_custkey = o_custkey and o_totalprice >= 100",
+				cfg)
+			if ext.Stats.RowsFinal > 5 {
+				t.Errorf("policy %s left %d rows", policy, ext.Stats.RowsFinal)
+			}
+		})
+	}
+}
+
+// TestMinimizerSamplingDisabled still converges, just without the
+// preprocessing phase.
+func TestMinimizerSamplingDisabled(t *testing.T) {
+	db := warehouseDB(t, 30, 80, 300)
+	cfg := defaultCfg()
+	cfg.DisableSampling = true
+	ext := extractHidden(t, db, "select o_orderkey from orders where o_shippriority >= 1", cfg)
+	if ext.Stats.Sampling != 0 {
+		t.Errorf("sampling ran despite being disabled: %v", ext.Stats.Sampling)
+	}
+	if ext.Stats.Partitioning == 0 {
+		t.Error("partitioning did not run")
+	}
+}
+
+// TestMinimizerPreservesSelectiveWitness: with a highly selective
+// filter (one qualifying row), minimization must keep exactly that
+// witness.
+func TestMinimizerPreservesSelectiveWitness(t *testing.T) {
+	db := warehouseDB(t, 30, 60, 200)
+	// Pin one order to a unique extreme price.
+	orders, err := db.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orders.Set(17, "o_totalprice", sqldb.NewFloat(499999.99)); err != nil {
+		t.Fatal(err)
+	}
+	ext := extractHidden(t, db,
+		"select o_orderkey, o_totalprice from orders where o_totalprice >= 499999",
+		defaultCfg())
+	f := ext.Filters[0]
+	if !f.HasLo || f.Lo.AsFloat() != 499999 {
+		t.Errorf("selective filter bound: %+v", f)
+	}
+}
+
+// TestEmptyResultRejected: the framework requires a populated result
+// on D_I; extraction must fail cleanly otherwise.
+func TestEmptyResultRejected(t *testing.T) {
+	db := warehouseDB(t, 10, 20, 50)
+	exe := app.MustSQLExecutable("empty", "select o_orderkey from orders where o_totalprice >= 99999999")
+	if _, err := core.Extract(exe, db, defaultCfg()); err == nil {
+		t.Fatal("extraction over an empty result must fail")
+	}
+}
+
+// TestApplicationTouchingNoTables is rejected with a useful error.
+func TestApplicationTouchingNoTables(t *testing.T) {
+	db := warehouseDB(t, 5, 10, 20)
+	exe := app.NewImperativeExecutable("notables",
+		func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+			return &sqldb.Result{Columns: []string{"x"}, Rows: []sqldb.Row{{sqldb.NewInt(1)}}}, nil
+		}, "")
+	_, err := core.Extract(exe, db, defaultCfg())
+	if err == nil {
+		t.Fatal("application that reads no tables must be rejected")
+	}
+}
+
+// TestInvocationCountBounded: the paper reports "typically a few
+// hundred" executions; guard against regressions blowing that up.
+func TestInvocationCountBounded(t *testing.T) {
+	db := warehouseDB(t, 40, 120, 500)
+	ext := extractHidden(t, db, `
+		select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue,
+		       o_orderdate, o_shippriority
+		from customer, orders, lineitem
+		where c_mktsegment = 'BUILDING'
+		  and c_custkey = o_custkey
+		  and l_orderkey = o_orderkey
+		  and o_orderdate < date '1995-03-15'
+		  and l_shipdate > date '1995-03-15'
+		group by l_orderkey, o_orderdate, o_shippriority
+		order by revenue desc, o_orderdate
+		limit 10`, defaultCfg())
+	if n := ext.Stats.AppInvocations; n > 1000 {
+		t.Errorf("extraction used %d application invocations; expected a few hundred", n)
+	}
+}

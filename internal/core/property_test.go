@@ -1,0 +1,301 @@
+package core_test
+
+// Property-based end-to-end test: random EQC queries are generated
+// over the warehouse schema, hidden inside executables, extracted,
+// and verified semantically equivalent. This exercises arbitrary
+// combinations of joins, filter shapes, projected functions,
+// grouping, aggregation, ordering and limits in one sweep.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+	"unmasque/internal/xdata"
+)
+
+// qgen builds a random EQC-compliant query over the warehouse fixture
+// (customer/orders/lineitem as defined in extract_test.go).
+type qgen struct {
+	rng *rand.Rand
+}
+
+// tableCols lists the filterable/projectable non-key columns per
+// table, with their type class.
+var genCols = map[string][]struct {
+	name string
+	kind string // "int", "float", "date", "text"
+}{
+	"customer": {
+		{"c_mktsegment", "text"},
+		{"c_acctbal", "float"},
+	},
+	"orders": {
+		{"o_orderdate", "date"},
+		{"o_totalprice", "float"},
+		{"o_shippriority", "int"},
+	},
+	"lineitem": {
+		{"l_linenumber", "int"},
+		{"l_extendedprice", "float"},
+		{"l_discount", "float"},
+		{"l_shipdate", "date"},
+	},
+}
+
+func (g *qgen) pick(ss []string) string { return ss[g.rng.Intn(len(ss))] }
+
+// generate returns a random query and the table set it uses.
+func (g *qgen) generate() string {
+	// Tables: one of the three connected subsets.
+	tableSets := [][]string{
+		{"customer"}, {"orders"}, {"lineitem"},
+		{"customer", "orders"}, {"orders", "lineitem"},
+		{"customer", "orders", "lineitem"},
+	}
+	tables := tableSets[g.rng.Intn(len(tableSets))]
+	inSet := map[string]bool{}
+	for _, t := range tables {
+		inSet[t] = true
+	}
+
+	var conjuncts []string
+	if inSet["customer"] && inSet["orders"] {
+		conjuncts = append(conjuncts, "c_custkey = o_custkey")
+	}
+	if inSet["orders"] && inSet["lineitem"] {
+		conjuncts = append(conjuncts, "o_orderkey = l_orderkey")
+	}
+
+	// Filters: up to two, on columns of used tables.
+	used := map[string]bool{}
+	var candidates []struct{ table, name, kind string }
+	for _, t := range tables {
+		for _, c := range genCols[t] {
+			candidates = append(candidates, struct{ table, name, kind string }{t, c.name, c.kind})
+		}
+	}
+	nf := g.rng.Intn(3)
+	for i := 0; i < nf && len(candidates) > 0; i++ {
+		c := candidates[g.rng.Intn(len(candidates))]
+		if used[c.name] {
+			continue
+		}
+		used[c.name] = true
+		switch c.kind {
+		case "text":
+			conjuncts = append(conjuncts, g.pick([]string{
+				c.name + " = 'BUILDING'",
+				c.name + " like 'AUTO%'",
+				c.name + " like '%CHI%'",
+			}))
+		case "int":
+			conjuncts = append(conjuncts, g.pick([]string{
+				c.name + " >= 1",
+				c.name + " <= 4",
+				c.name + " between 1 and 3",
+			}))
+		case "float":
+			// Literal pools respect each column's declared domain (the
+			// paper's value-spread assumption: query constants lie
+			// within the column domain).
+			if c.name == "l_discount" {
+				conjuncts = append(conjuncts, g.pick([]string{
+					c.name + " >= 0.02",
+					c.name + " <= 0.08",
+					c.name + " between 0.01 and 0.09",
+				}))
+			} else {
+				conjuncts = append(conjuncts, g.pick([]string{
+					c.name + " >= 10.50",
+					c.name + " <= 40000",
+					c.name + " between 5 and 50000",
+				}))
+			}
+		case "date":
+			conjuncts = append(conjuncts, g.pick([]string{
+				c.name + " >= date '1993-06-15'",
+				c.name + " <= date '1997-01-01'",
+				c.name + " between date '1993-01-01' and date '1997-12-31'",
+			}))
+		}
+	}
+
+	// Shape: plain SPJ, grouped aggregation, or ungrouped aggregation.
+	shape := g.rng.Intn(3)
+	var items, groupBy, orderBy []string
+	limit := ""
+	switch shape {
+	case 0: // plain projection
+		for _, t := range tables {
+			c := genCols[t][g.rng.Intn(len(genCols[t]))]
+			items = append(items, c.name)
+		}
+		if g.rng.Intn(2) == 0 {
+			items = append(items, "l_extendedprice * (1 - l_discount) as disc_price")
+			if !inSet["lineitem"] {
+				items = items[:len(items)-1]
+			}
+		}
+		if g.rng.Intn(2) == 0 && len(items) > 0 {
+			orderBy = append(orderBy, items[0])
+		}
+		if len(orderBy) > 0 && g.rng.Intn(2) == 0 {
+			limit = fmt.Sprintf("limit %d", 3+g.rng.Intn(8))
+		}
+	case 1: // grouped aggregation
+		gt := tables[g.rng.Intn(len(tables))]
+		gc := genCols[gt][g.rng.Intn(len(genCols[gt]))]
+		if used[gc.name] {
+			// grouping a filtered column is fine unless pinned; keep
+			// simple and group another one
+			gc = genCols[gt][0]
+		}
+		groupBy = append(groupBy, gc.name)
+		items = append(items, gc.name)
+		items = append(items, "count(*) as cnt")
+		aggT := tables[g.rng.Intn(len(tables))]
+		ac := genCols[aggT][g.rng.Intn(len(genCols[aggT]))]
+		if ac.name != gc.name && (ac.kind == "float" || ac.kind == "int") {
+			fn := g.pick([]string{"sum", "avg", "min", "max"})
+			items = append(items, fmt.Sprintf("%s(%s) as agg_val", fn, ac.name))
+		}
+		if g.rng.Intn(2) == 0 {
+			orderBy = append(orderBy, gc.name)
+		}
+	default: // ungrouped aggregation
+		aggT := tables[g.rng.Intn(len(tables))]
+		ac := genCols[aggT][g.rng.Intn(len(genCols[aggT]))]
+		items = append(items, "count(*) as cnt")
+		if ac.kind == "float" || ac.kind == "int" {
+			items = append(items, fmt.Sprintf("%s(%s) as agg_val", g.pick([]string{"sum", "min", "max", "avg"}), ac.name))
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("select " + strings.Join(items, ", "))
+	b.WriteString(" from " + strings.Join(tables, ", "))
+	if len(conjuncts) > 0 {
+		b.WriteString(" where " + strings.Join(conjuncts, " and "))
+	}
+	if len(groupBy) > 0 {
+		b.WriteString(" group by " + strings.Join(groupBy, ", "))
+	}
+	if len(orderBy) > 0 {
+		b.WriteString(" order by " + strings.Join(orderBy, ", "))
+	}
+	if limit != "" {
+		b.WriteString(" " + limit)
+	}
+	return b.String()
+}
+
+func TestExtractRandomEQCQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is not short")
+	}
+	base := warehouseDB(t, 25, 60, 200)
+	schemas := base.Schemas()
+	const trials = 30
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		g := &qgen{rng: rand.New(rand.NewSource(int64(1000 + trial)))}
+		sql := g.generate()
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatalf("trial %d: generator produced invalid SQL %q: %v", trial, sql, err)
+		}
+		db := base.Clone()
+		analysis, err := xdata.Analyze(stmt, schemas)
+		if err != nil {
+			t.Fatalf("trial %d: %v (%s)", trial, err, sql)
+		}
+		for w := 0; w < 3; w++ {
+			if err := analysis.PlantWitness(db, int64(900000+trial*10+w), w, nil); err != nil {
+				t.Fatalf("trial %d: witness: %v (%s)", trial, err, sql)
+			}
+		}
+		exe := app.MustSQLExecutable(fmt.Sprintf("rand-%d", trial), sql)
+		res, err := exe.Run(context.Background(), db)
+		if err != nil || !res.Populated() {
+			t.Fatalf("trial %d: fixture unpopulated (%s)", trial, sql)
+		}
+		ext, err := core.Extract(exe, db, core.DefaultConfig())
+		if err != nil {
+			failures++
+			t.Errorf("trial %d: extraction failed: %v\nquery: %s", trial, err, sql)
+			continue
+		}
+		want, _ := exe.Run(context.Background(), db)
+		got, err := db.Execute(context.Background(), ext.Query)
+		if err != nil {
+			t.Errorf("trial %d: extracted query fails: %v\nquery: %s\nextracted: %s", trial, err, sql, ext.SQL)
+			continue
+		}
+		if !want.EqualUnordered(got) {
+			t.Errorf("trial %d: results differ (%d vs %d rows)\nquery: %s\nextracted: %s",
+				trial, want.RowCount(), got.RowCount(), sql, ext.SQL)
+		}
+		if len(ext.OrderBy) > 0 && !core.OrderedEquivalent(want, got, ext.OrderBy) {
+			t.Errorf("trial %d: order keys differ\nquery: %s\nextracted: %s", trial, sql, ext.SQL)
+		}
+	}
+}
+
+// TestExtractRejectsOutOfScope: hidden logic outside EQC must be
+// rejected (an extraction error — typically the checker or a module
+// detecting the mismatch), never silently mis-extracted as a verified
+// query.
+func TestExtractRejectsOutOfScope(t *testing.T) {
+	db := warehouseDB(t, 20, 40, 120)
+	outOfScope := []string{
+		// Disjunctive filter.
+		"select o_orderkey from orders where o_shippriority = 0 or o_totalprice >= 490000",
+		// NOT LIKE.
+		"select c_custkey from customer where c_mktsegment not like 'B%'",
+	}
+	for _, sql := range outOfScope {
+		exe := app.MustSQLExecutable("oos", sql)
+		res, err := exe.Run(context.Background(), db)
+		if err != nil || !res.Populated() {
+			t.Fatalf("fixture unpopulated for %q", sql)
+		}
+		ext, err := core.Extract(exe, db, core.DefaultConfig())
+		if err == nil {
+			// Acceptable only if genuinely instance-equivalent on the
+			// original database AND checker-verified.
+			want, _ := exe.Run(context.Background(), db)
+			got, execErr := db.Execute(context.Background(), ext.Query)
+			if execErr != nil || !want.EqualUnordered(got) {
+				t.Errorf("out-of-scope query silently mis-extracted: %q -> %q", sql, ext.SQL)
+			}
+			continue
+		}
+		var extErr *core.ExtractionError
+		if !errorsAs(err, &extErr) {
+			t.Errorf("expected ExtractionError for %q, got %v", sql, err)
+		}
+	}
+	_ = sqldb.NewInt
+}
+
+func errorsAs(err error, target **core.ExtractionError) bool {
+	for err != nil {
+		if e, ok := err.(*core.ExtractionError); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

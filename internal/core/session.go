@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"unmasque/internal/app"
+	"unmasque/internal/sqldb"
+)
+
+// Session carries the state of one extraction run. It is created by
+// Extract and threaded through the pipeline modules; it is not safe
+// for concurrent use.
+type Session struct {
+	cfg Config
+	exe *app.CountingExecutable
+	rng *rand.Rand
+
+	// source is the provided D_I; it is only read (plus temporarily
+	// renamed tables during from-clause probing on the silo clone).
+	source *sqldb.Database
+	// silo is the working database; after minimization it holds D_1.
+	silo *sqldb.Database
+
+	stats Stats
+
+	// Pipeline artifacts, in extraction order.
+	tables      []string
+	schemas     map[string]sqldb.TableSchema
+	joinEdges   []sqldb.SchemaEdge
+	components  []joinComponent
+	compOf      map[sqldb.ColRef]int
+	filters     map[sqldb.ColRef]FilterPredicate
+	filterOrder []sqldb.ColRef
+	// filtersKnown flips once the filter module has run; before that
+	// (having-mode group-by) synthetic instances must source values
+	// from D_1 rather than the s-value generator.
+	filtersKnown bool
+	projections  []Projection
+	groupBy      []sqldb.ColRef
+	groupBySet   map[sqldb.ColRef]bool
+	ungroupedAgg bool
+	orderBy      []OrderItem
+	limit        int64
+	having       []HavingPredicate
+
+	// pinned is scratch state for aggregation probes: probe-time
+	// values of non-varied function arguments.
+	pinned map[sqldb.ColRef]sqldb.Value
+
+	// baseline is E(D_1), used as the reference by the mutation
+	// modules.
+	baseline *sqldb.Result
+}
+
+// joinComponent is one clique of join-equal columns (a connected
+// component of the extracted join graph).
+type joinComponent struct {
+	cols []sqldb.ColRef // sorted
+}
+
+// tablesOf lists the tables touched by the component.
+func (c joinComponent) tablesOf() map[string]bool {
+	out := map[string]bool{}
+	for _, col := range c.cols {
+		out[col.Table] = true
+	}
+	return out
+}
+
+// Extract runs the full UNMASQUE pipeline against the black-box
+// executable exe on database instance di, which must yield a
+// populated result. On success the returned Extraction carries the
+// assembled query and per-module statistics.
+func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, moduleErr("config", err)
+	}
+	s := &Session{
+		cfg:        cfg,
+		exe:        &app.CountingExecutable{Inner: exe},
+		rng:        newRNG(cfg.Seed),
+		source:     di,
+		schemas:    map[string]sqldb.TableSchema{},
+		compOf:     map[sqldb.ColRef]int{},
+		filters:    map[sqldb.ColRef]FilterPredicate{},
+		groupBySet: map[sqldb.ColRef]bool{},
+	}
+	start := time.Now()
+	s.stats.RowsInitial = di.TotalRows()
+
+	steps := []struct {
+		name string
+		slot *time.Duration
+		fn   func() error
+	}{
+		{"from-clause", &s.stats.FromClause, s.extractFromClause},
+		{"minimizer", nil, s.minimize}, // times itself (two phases)
+		{"join-graph", &s.stats.JoinGraph, s.extractJoinGraph},
+	}
+	if cfg.ExtractHaving {
+		steps = append(steps,
+			// Section 7 pipeline: group-by immediately after joins,
+			// then unified filter/having extraction.
+			[]struct {
+				name string
+				slot *time.Duration
+				fn   func() error
+			}{
+				{"group-by", &s.stats.GroupBy, s.extractGroupBy},
+				{"filters+having", &s.stats.Having, s.extractFiltersAndHaving},
+				{"disjunctions", &s.stats.Filters, s.refineDisjunctions},
+				{"projection", &s.stats.Projection, s.extractProjections},
+				{"aggregation", &s.stats.Aggregation, s.extractAggregations},
+				{"order-by", &s.stats.OrderBy, s.extractOrderBy},
+				{"limit", &s.stats.Limit, s.extractLimit},
+			}...)
+	} else {
+		steps = append(steps,
+			[]struct {
+				name string
+				slot *time.Duration
+				fn   func() error
+			}{
+				{"filters", &s.stats.Filters, s.extractFilters},
+				{"disjunctions", &s.stats.Filters, s.refineDisjunctions},
+				{"projection", &s.stats.Projection, s.extractProjections},
+				{"group-by", &s.stats.GroupBy, s.extractGroupBy},
+				{"aggregation", &s.stats.Aggregation, s.extractAggregations},
+				{"order-by", &s.stats.OrderBy, s.extractOrderBy},
+				{"limit", &s.stats.Limit, s.extractLimit},
+			}...)
+	}
+
+	for _, step := range steps {
+		var err error
+		if step.slot != nil {
+			err = timed(step.slot, step.fn)
+		} else {
+			err = step.fn()
+		}
+		if err != nil {
+			return nil, moduleErr(step.name, err)
+		}
+	}
+
+	ext, err := s.assemble()
+	if err != nil {
+		return nil, moduleErr("assembler", err)
+	}
+	if !cfg.SkipChecker {
+		if err := timed(&s.stats.Checker, func() error { return s.check(ext) }); err != nil {
+			return nil, moduleErr("checker", err)
+		}
+		ext.CheckerVerified = true
+	}
+	s.stats.Total = time.Since(start)
+	s.stats.AppInvocations = s.exe.Invocations()
+	ext.Stats = s.stats
+	return ext, nil
+}
+
+// run executes E against db with the general execution deadline.
+func (s *Session) run(db *sqldb.Database) (*sqldb.Result, error) {
+	return app.RunWithTimeout(s.exe, db, s.cfg.ExecTimeout)
+}
+
+// populated runs E and reports whether the result is populated.
+// Application-level execution failures are reported as unpopulated —
+// within EQC a probe database can only produce rows, no rows, or (for
+// out-of-scope hidden logic) an error we conservatively treat as "no
+// rows". Missing-table and timeout errors are real faults and are
+// returned.
+func (s *Session) populated(db *sqldb.Database) (bool, error) {
+	res, err := s.run(db)
+	if err != nil {
+		if errors.Is(err, sqldb.ErrNoSuchTable) || errors.Is(err, app.ErrTimeout) {
+			return false, err
+		}
+		return false, nil
+	}
+	return res.Populated(), nil
+}
+
+// mustResult runs E and requires a usable result.
+func (s *Session) mustResult(db *sqldb.Database) (*sqldb.Result, error) {
+	res, err := s.run(db)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// d1Table fetches a table of the minimized working database.
+func (s *Session) d1Table(name string) (*sqldb.Table, error) {
+	return s.silo.Table(name)
+}
+
+// d1Value reads the single-row value of a column in D_1.
+func (s *Session) d1Value(col sqldb.ColRef) (sqldb.Value, error) {
+	t, err := s.silo.Table(col.Table)
+	if err != nil {
+		return sqldb.Value{}, err
+	}
+	if t.RowCount() == 0 {
+		return sqldb.Value{}, fmt.Errorf("table %s is empty in D1", col.Table)
+	}
+	return t.Get(0, col.Column)
+}
+
+// cloneD1 copies the minimized database for one mutation probe. Only
+// the extracted tables carry rows, so the copy is a handful of rows.
+func (s *Session) cloneD1() *sqldb.Database { return s.silo.Clone() }
+
+// isKeyColumn reports whether the column participates in the schema
+// graph's key linkages (such columns carry no filter predicates under
+// EQC).
+func (s *Session) isKeyColumn(col sqldb.ColRef) bool {
+	sch, ok := s.schemas[col.Table]
+	if !ok {
+		return false
+	}
+	return sch.IsKey(col.Column)
+}
+
+// inJoinGraph reports whether the column is part of the extracted
+// join graph J_E.
+func (s *Session) inJoinGraph(col sqldb.ColRef) bool {
+	_, ok := s.compOf[col]
+	return ok
+}
+
+// componentOf returns the join component of a column, or nil.
+func (s *Session) componentOf(col sqldb.ColRef) *joinComponent {
+	if i, ok := s.compOf[col]; ok {
+		return &s.components[i]
+	}
+	return nil
+}
+
+// allColumns lists every column of the extracted tables in
+// deterministic order.
+func (s *Session) allColumns() []sqldb.ColRef {
+	var out []sqldb.ColRef
+	for _, t := range s.tables {
+		for _, c := range s.schemas[t].Columns {
+			out = append(out, sqldb.ColRef{Table: t, Column: c.Name})
+		}
+	}
+	return out
+}
+
+// column returns the schema definition of a column.
+func (s *Session) column(col sqldb.ColRef) (sqldb.Column, error) {
+	sch, ok := s.schemas[col.Table]
+	if !ok {
+		return sqldb.Column{}, fmt.Errorf("table %s not in T_E", col.Table)
+	}
+	return sch.Column(col.Column)
+}
+
+// eqFiltered reports whether the column is pinned by an equality
+// filter (such columns have a single s-value and are skipped by
+// group-by and order-by generation).
+func (s *Session) eqFiltered(col sqldb.ColRef) bool {
+	f, ok := s.filters[col]
+	return ok && f.IsEquality()
+}

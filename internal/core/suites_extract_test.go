@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"testing"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/workloads/job"
+	"unmasque/internal/workloads/tpcds"
+)
+
+// TestExtractTPCDSSuite extracts the seven TPC-DS derivatives
+// (experiment E9).
+func TestExtractTPCDSSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite extraction is not short")
+	}
+	db := tpcds.NewDatabase(tpcds.ScaleTiny, 19)
+	if err := tpcds.PlantWitnesses(db, tpcds.HiddenQueries()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range tpcds.QueryOrder() {
+		name := name
+		sql := tpcds.HiddenQueries()[name]
+		t.Run(name, func(t *testing.T) {
+			exe := app.MustSQLExecutable(name, sql)
+			ext, err := core.Extract(exe, db, core.DefaultConfig())
+			if err != nil {
+				t.Fatalf("extraction failed: %v", err)
+			}
+			verifyEquivalent(t, db, exe, ext)
+		})
+	}
+}
+
+// TestExtractJOBSuite extracts the eleven JOB-style deep-join queries
+// (experiment E3 / Figure 10).
+func TestExtractJOBSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite extraction is not short")
+	}
+	db := job.NewDatabase(job.ScaleTiny, 23)
+	if err := job.PlantWitnesses(db, job.HiddenQueries()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range job.QueryOrder() {
+		name := name
+		sql := job.HiddenQueries()[name]
+		t.Run(name, func(t *testing.T) {
+			exe := app.MustSQLExecutable(name, sql)
+			ext, err := core.Extract(exe, db, core.DefaultConfig())
+			if err != nil {
+				t.Fatalf("extraction failed: %v", err)
+			}
+			if len(ext.JoinPredicates) < 6 {
+				t.Errorf("rich join graph lost: only %d join predicates extracted", len(ext.JoinPredicates))
+			}
+			verifyEquivalent(t, db, exe, ext)
+		})
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"unmasque/internal/sqldb"
+)
+
+// s-values (Section 4.4) are column values that satisfy the extracted
+// join and filter predicates; every synthetic database the generation
+// pipeline builds is populated exclusively with s-values. variant
+// selects deterministic distinct values so callers can request "two
+// different s-values" and reproducible randomness.
+
+// sValue returns the variant-th s-value of col.
+func (s *Session) sValue(col sqldb.ColRef, variant int) (sqldb.Value, error) {
+	def, err := s.column(col)
+	if err != nil {
+		return sqldb.Value{}, err
+	}
+	if s.inJoinGraph(col) {
+		// Keys are positive integers with no filters (EQC).
+		return sqldb.NewInt(int64(1 + variant)), nil
+	}
+	f, filtered := s.filters[col]
+	if filtered && f.Kind == FilterDisjRange {
+		return disjSegmentValue(def, f.Segments, variant)
+	}
+	if filtered && f.Kind == FilterTextIn {
+		// Variants cycle through the admitted values (callers that
+		// need distinctness check equality themselves).
+		return sqldb.NewText(f.InSet[variant%len(f.InSet)]), nil
+	}
+	hLo, hHi, hasHLo, hasHHi := s.havingRowBounds(col)
+	switch def.Type {
+	case sqldb.TInt, sqldb.TDate:
+		lo, hi := def.DomainMin(), def.DomainMax()
+		if filtered {
+			if f.HasLo {
+				lo = f.Lo.I
+			}
+			if f.HasHi {
+				hi = f.Hi.I
+			}
+		}
+		if hasHLo && hLo.I > lo {
+			lo = hLo.I
+		}
+		if hasHHi && hHi.I < hi {
+			hi = hHi.I
+		}
+		return gridValue(def, pickInRange(lo, hi, int64(variant)), 1), nil
+	case sqldb.TFloat:
+		scale := numericScale(def)
+		lo, hi := def.DomainMin()*scale, def.DomainMax()*scale
+		if filtered {
+			if f.HasLo {
+				lo = scaleFloat(f.Lo.F, scale)
+			}
+			if f.HasHi {
+				hi = scaleFloat(f.Hi.F, scale)
+			}
+		}
+		if hasHLo {
+			if g := scaleFloat(hLo.AsFloat(), scale); g > lo {
+				lo = g
+			}
+		}
+		if hasHHi {
+			if g := scaleFloat(hHi.AsFloat(), scale); g < hi {
+				hi = g
+			}
+		}
+		// Prefer integral steps when the range allows, for well-
+		// conditioned function-identification systems.
+		step := scale
+		if hi-lo < scale*8 {
+			step = 1
+		}
+		g := pickInRangeStep(lo, hi, int64(variant), step)
+		return gridValue(def, g, scale), nil
+	case sqldb.TText:
+		if filtered {
+			if f.Kind == FilterTextEq {
+				if variant > 0 {
+					return sqldb.Value{}, fmt.Errorf("column %s is pinned to %q; no second s-value exists", col, f.Pattern)
+				}
+				return sqldb.NewText(f.Pattern), nil
+			}
+			str, err := expandPattern(f.Pattern, variant, def.TextMaxLen())
+			if err != nil {
+				return sqldb.Value{}, fmt.Errorf("column %s: %w", col, err)
+			}
+			return sqldb.NewText(str), nil
+		}
+		return sqldb.NewText(freshString(variant, def.TextMaxLen())), nil
+	case sqldb.TBool:
+		if filtered {
+			if variant > 0 {
+				return sqldb.Value{}, fmt.Errorf("column %s is pinned to a boolean; no second s-value exists", col)
+			}
+			return f.Lo, nil
+		}
+		return sqldb.NewBool(variant%2 == 0), nil
+	default:
+		return sqldb.Value{}, fmt.Errorf("column %s has unsupported type", col)
+	}
+}
+
+// sValuePair returns two distinct s-values, or ok=false when the
+// column is pinned to a single value by an equality predicate.
+func (s *Session) sValuePair(col sqldb.ColRef) (v1, v2 sqldb.Value, ok bool, err error) {
+	if s.eqFiltered(col) {
+		return sqldb.Value{}, sqldb.Value{}, false, nil
+	}
+	v1, err = s.sValue(col, 0)
+	if err != nil {
+		return
+	}
+	v2, err = s.sValue(col, 1)
+	if err != nil {
+		// Pinned in a way eqFiltered could not see (e.g. single-point
+		// like pattern): report as no pair rather than failing.
+		return sqldb.Value{}, sqldb.Value{}, false, nil
+	}
+	if sqldb.Equal(v1, v2) {
+		return sqldb.Value{}, sqldb.Value{}, false, nil
+	}
+	return v1, v2, true, nil
+}
+
+// pickInRange picks a deterministic value lo + k inside [lo, hi],
+// preferring to anchor at 1 when the range includes small positive
+// integers (readable probes), wrapping within the range size.
+func pickInRange(lo, hi, k int64) int64 {
+	return pickInRangeStep(lo, hi, k, 1)
+}
+
+func pickInRangeStep(lo, hi, k, step int64) int64 {
+	if hi < lo {
+		return lo
+	}
+	span := (hi - lo) / step
+	base := lo
+	if lo <= step && hi >= step*9 {
+		base = step // anchor near "1" in grid units
+		span = (hi - base) / step
+	}
+	if span <= 0 {
+		return base
+	}
+	off := k % (span + 1)
+	return base + off*step
+}
+
+func scaleFloat(f float64, scale int64) int64 {
+	return int64(f*float64(scale) + 0.5*sign(f))
+}
+
+func sign(f float64) float64 {
+	if f < 0 {
+		return -1
+	}
+	return 1
+}
+
+// expandPattern renders a concrete string matching a LIKE pattern.
+// '_' becomes a variant-dependent letter; the first '%' expands to a
+// variant marker (empty for variant 0) and later '%'s to nothing.
+// The result is guaranteed to differ across variants whenever the
+// pattern contains any wildcard and the length budget allows.
+func expandPattern(pattern string, variant, maxLen int) (string, error) {
+	var b strings.Builder
+	firstPercent := true
+	wildSeen := false
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '%':
+			if firstPercent && variant > 0 {
+				b.WriteString(variantMarker(variant))
+			}
+			firstPercent = false
+			wildSeen = true
+		case '_':
+			b.WriteByte(byte('a' + (variant+i)%26))
+			wildSeen = true
+		default:
+			b.WriteByte(pattern[i])
+		}
+	}
+	out := b.String()
+	if len(out) > maxLen {
+		return "", fmt.Errorf("pattern expansion %q exceeds column length %d", out, maxLen)
+	}
+	if !wildSeen && variant > 0 {
+		return "", fmt.Errorf("pattern %q admits a single value", pattern)
+	}
+	return out, nil
+}
+
+// disjSegmentValue maps a variant onto the union of intervals:
+// variants cycle across segments, with the residue walking within a
+// segment — every returned value satisfies the predicate and
+// consecutive variants stay pairwise distinct while capacity allows.
+func disjSegmentValue(def sqldb.Column, segments []ValueRange, variant int) (sqldb.Value, error) {
+	if len(segments) == 0 {
+		return sqldb.Value{}, fmt.Errorf("disjunctive filter without segments")
+	}
+	scale := numericScale(def)
+	seg := segments[variant%len(segments)]
+	inner := int64(variant / len(segments))
+	lo := scaleFloat(seg.Lo.AsFloat(), scale)
+	hi := scaleFloat(seg.Hi.AsFloat(), scale)
+	step := scale
+	if hi-lo < scale*8 {
+		step = 1
+	}
+	return gridValue(def, pickInRangeStep(lo, hi, inner, step), scale), nil
+}
+
+// variantMarker is a short string unique per variant.
+func variantMarker(variant int) string {
+	var b []byte
+	v := variant
+	for {
+		b = append(b, byte('a'+v%26))
+		v /= 26
+		if v == 0 {
+			break
+		}
+	}
+	return string(b)
+}
+
+// freshString builds a deterministic string for unfiltered text
+// columns: a base-26 rendering over up to six characters, so strings
+// stay pairwise distinct for every variant below the column's
+// capacity (see freshStringCapacity) even on single-character
+// columns.
+func freshString(variant, maxLen int) string {
+	if maxLen <= 0 {
+		return ""
+	}
+	width := maxLen
+	if width > 6 {
+		width = 6
+	}
+	out := make([]byte, width)
+	v := variant
+	for i := range out {
+		out[i] = byte('a' + v%26)
+		v /= 26
+	}
+	return string(out)
+}
+
+// freshStringCapacity is the number of distinct values freshString
+// can produce within maxLen, capped at cap.
+func freshStringCapacity(maxLen, cap int) int {
+	if maxLen <= 0 {
+		return 1
+	}
+	width := maxLen
+	if width > 6 {
+		width = 6
+	}
+	n := 1
+	for i := 0; i < width; i++ {
+		n *= 26
+		if n >= cap {
+			return cap
+		}
+	}
+	return n
+}

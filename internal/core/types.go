@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"unmasque/internal/sqldb"
+)
+
+// FilterKind distinguishes the extracted filter-predicate families.
+type FilterKind uint8
+
+const (
+	// FilterRange is a numeric/date range l <= A <= r (either bound
+	// may be open at the domain edge).
+	FilterRange FilterKind = iota
+	// FilterTextEq is an exact string equality A = 'value'.
+	FilterTextEq
+	// FilterLike is a pattern predicate A like 'pattern'.
+	FilterLike
+	// FilterDisjRange is a union of disjoint numeric/date intervals —
+	// the Section 9 "disjunctions" extension (Config.ExtractDisjunction).
+	FilterDisjRange
+	// FilterTextIn is a disjunctive string equality set (IN-list) —
+	// same extension for text columns.
+	FilterTextIn
+)
+
+// ValueRange is one closed interval of a disjunctive filter.
+type ValueRange struct {
+	Lo, Hi sqldb.Value
+}
+
+// FilterPredicate is one extracted filter on a non-key column.
+type FilterPredicate struct {
+	Col  sqldb.ColRef
+	Kind FilterKind
+
+	// Range bounds; HasLo/HasHi report whether the bound is tighter
+	// than the column domain.
+	Lo, Hi       sqldb.Value
+	HasLo, HasHi bool
+
+	// Pattern holds the string for FilterTextEq / FilterLike.
+	Pattern string
+
+	// Segments holds the intervals of a FilterDisjRange predicate, in
+	// ascending order.
+	Segments []ValueRange
+
+	// InSet holds the admitted strings of a FilterTextIn predicate.
+	InSet []string
+}
+
+// IsEquality reports whether the predicate pins the column to one
+// value (numeric l=r, or text equality).
+func (f FilterPredicate) IsEquality() bool {
+	switch f.Kind {
+	case FilterTextEq:
+		return true
+	case FilterRange:
+		return f.HasLo && f.HasHi && sqldb.Equal(f.Lo, f.Hi)
+	case FilterTextIn:
+		return len(f.InSet) == 1
+	case FilterDisjRange:
+		return len(f.Segments) == 1 && sqldb.Equal(f.Segments[0].Lo, f.Segments[0].Hi)
+	default:
+		return false
+	}
+}
+
+// Expr renders the predicate as an engine expression in canonical
+// form: =, <=, >=, between, or like.
+func (f FilterPredicate) Expr() sqldb.Expr {
+	col := sqldb.Col(f.Col.Table, f.Col.Column)
+	switch f.Kind {
+	case FilterTextEq:
+		return sqldb.Bin(sqldb.OpEq, col, sqldb.Lit(sqldb.NewText(f.Pattern)))
+	case FilterLike:
+		return &sqldb.LikeExpr{X: col, Pattern: f.Pattern}
+	case FilterTextIn:
+		var parts []sqldb.Expr
+		for _, v := range f.InSet {
+			parts = append(parts, sqldb.Bin(sqldb.OpEq, col, sqldb.Lit(sqldb.NewText(v))))
+		}
+		return orAll(parts)
+	case FilterDisjRange:
+		var parts []sqldb.Expr
+		for _, seg := range f.Segments {
+			if sqldb.Equal(seg.Lo, seg.Hi) {
+				parts = append(parts, sqldb.Bin(sqldb.OpEq, col, sqldb.Lit(seg.Lo)))
+				continue
+			}
+			parts = append(parts, &sqldb.BetweenExpr{X: col, Lo: sqldb.Lit(seg.Lo), Hi: sqldb.Lit(seg.Hi)})
+		}
+		return orAll(parts)
+	default:
+		switch {
+		case f.HasLo && f.HasHi && sqldb.Equal(f.Lo, f.Hi):
+			return sqldb.Bin(sqldb.OpEq, col, sqldb.Lit(f.Lo))
+		case f.HasLo && f.HasHi:
+			return &sqldb.BetweenExpr{X: col, Lo: sqldb.Lit(f.Lo), Hi: sqldb.Lit(f.Hi)}
+		case f.HasLo:
+			return sqldb.Bin(sqldb.OpGe, col, sqldb.Lit(f.Lo))
+		case f.HasHi:
+			return sqldb.Bin(sqldb.OpLe, col, sqldb.Lit(f.Hi))
+		default:
+			// Degenerate: no bound survived; render a tautology.
+			return sqldb.Bin(sqldb.OpGe, col, sqldb.Lit(f.Lo))
+		}
+	}
+}
+
+func (f FilterPredicate) String() string { return f.Expr().String() }
+
+// orAll combines expressions with OR.
+func orAll(es []sqldb.Expr) sqldb.Expr {
+	var out sqldb.Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = sqldb.Bin(sqldb.OpOr, out, e)
+		}
+	}
+	return out
+}
+
+// HavingPredicate is one extracted having constraint agg(A) in
+// [Lo, Hi].
+type HavingPredicate struct {
+	Col          sqldb.ColRef
+	Fn           sqldb.AggFn
+	Lo, Hi       sqldb.Value
+	HasLo, HasHi bool
+}
+
+// Expr renders the predicate.
+func (h HavingPredicate) Expr() sqldb.Expr {
+	agg := &sqldb.AggExpr{Fn: h.Fn, Arg: sqldb.Col(h.Col.Table, h.Col.Column)}
+	switch {
+	case h.HasLo && h.HasHi && sqldb.Equal(h.Lo, h.Hi):
+		return sqldb.Bin(sqldb.OpEq, agg, sqldb.Lit(h.Lo))
+	case h.HasLo && h.HasHi:
+		return sqldb.Bin(sqldb.OpAnd,
+			sqldb.Bin(sqldb.OpGe, agg, sqldb.Lit(h.Lo)),
+			sqldb.Bin(sqldb.OpLe, agg, sqldb.Lit(h.Hi)))
+	case h.HasLo:
+		return sqldb.Bin(sqldb.OpGe, agg, sqldb.Lit(h.Lo))
+	default:
+		return sqldb.Bin(sqldb.OpLe, agg, sqldb.Lit(h.Hi))
+	}
+}
+
+func (h HavingPredicate) String() string { return h.Expr().String() }
+
+// Projection describes one output column of the hidden query as
+// discovered by the pipeline: a multi-linear function of base
+// columns, possibly wrapped in an aggregate.
+type Projection struct {
+	// OutputName is the result column name reported by the
+	// application.
+	OutputName string
+	// Deps are the base columns the output depends on (one
+	// representative per join component), in deterministic order.
+	Deps []sqldb.ColRef
+	// Coeffs maps each subset of Deps (bitmask index) to its
+	// multi-linear coefficient; Coeffs[0] is the constant term.
+	// len(Coeffs) == 1 << len(Deps).
+	Coeffs []float64
+	// Agg is the aggregation wrapped around the function (AggNone
+	// for a plain projection).
+	Agg sqldb.AggFn
+	// Distinct marks a distinct aggregation (count(distinct A)); an
+	// extension beyond the paper's base scope (it defers distinct to
+	// the technical report).
+	Distinct bool
+	// CountStar marks a count(*) output (Deps empty).
+	CountStar bool
+	// Constant marks a constant output (select <literal>).
+	Constant bool
+	ConstVal sqldb.Value
+}
+
+// IsIdentity reports whether the function is exactly one base column.
+func (p Projection) IsIdentity() bool {
+	if len(p.Deps) != 1 || len(p.Coeffs) != 2 {
+		return false
+	}
+	return nearly(p.Coeffs[0], 0) && nearly(p.Coeffs[1], 1)
+}
+
+func nearly(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// FuncExpr renders the scalar function (without aggregation) as an
+// engine expression, with light prettification: the bilinear pattern
+// a*(A - A*B) is printed as the paper's A * (1 - B) form.
+func (p Projection) FuncExpr() sqldb.Expr {
+	if p.Constant {
+		return sqldb.Lit(p.ConstVal)
+	}
+	if p.IsIdentity() {
+		return sqldb.Col(p.Deps[0].Table, p.Deps[0].Column)
+	}
+	// Special-case the ubiquitous discount form: A + c*A*B with
+	// coefficient pattern a=1, c=-1, rest 0 → A * (1 - B).
+	if len(p.Deps) == 2 && len(p.Coeffs) == 4 &&
+		nearly(p.Coeffs[0], 0) && nearly(p.Coeffs[1], 1) &&
+		nearly(p.Coeffs[2], 0) && nearly(p.Coeffs[3], -1) {
+		a := sqldb.Col(p.Deps[0].Table, p.Deps[0].Column)
+		b := sqldb.Col(p.Deps[1].Table, p.Deps[1].Column)
+		return sqldb.Bin(sqldb.OpMul, a,
+			sqldb.Bin(sqldb.OpSub, sqldb.Lit(sqldb.NewInt(1)), b))
+	}
+	// Symmetric variant with the roles swapped.
+	if len(p.Deps) == 2 && len(p.Coeffs) == 4 &&
+		nearly(p.Coeffs[0], 0) && nearly(p.Coeffs[2], 1) &&
+		nearly(p.Coeffs[1], 0) && nearly(p.Coeffs[3], -1) {
+		a := sqldb.Col(p.Deps[1].Table, p.Deps[1].Column)
+		b := sqldb.Col(p.Deps[0].Table, p.Deps[0].Column)
+		return sqldb.Bin(sqldb.OpMul, a,
+			sqldb.Bin(sqldb.OpSub, sqldb.Lit(sqldb.NewInt(1)), b))
+	}
+	// General multi-linear sum.
+	var expr sqldb.Expr
+	addTerm := func(t sqldb.Expr) {
+		if expr == nil {
+			expr = t
+		} else {
+			expr = sqldb.Bin(sqldb.OpAdd, expr, t)
+		}
+	}
+	for mask := 1; mask < len(p.Coeffs); mask++ {
+		c := p.Coeffs[mask]
+		if nearly(c, 0) {
+			continue
+		}
+		var term sqldb.Expr
+		for bit := 0; bit < len(p.Deps); bit++ {
+			if mask&(1<<bit) == 0 {
+				continue
+			}
+			cref := sqldb.Col(p.Deps[bit].Table, p.Deps[bit].Column)
+			if term == nil {
+				term = cref
+			} else {
+				term = sqldb.Bin(sqldb.OpMul, term, cref)
+			}
+		}
+		if !nearly(c, 1) {
+			term = sqldb.Bin(sqldb.OpMul, sqldb.Lit(coeffValue(c)), term)
+		}
+		addTerm(term)
+	}
+	if !nearly(p.Coeffs[0], 0) || expr == nil {
+		addTerm(sqldb.Lit(coeffValue(p.Coeffs[0])))
+	}
+	return expr
+}
+
+// coeffValue renders a coefficient as an int literal when it is one.
+func coeffValue(c float64) sqldb.Value {
+	if c == math.Trunc(c) && math.Abs(c) < 1e15 {
+		return sqldb.NewInt(int64(c))
+	}
+	return sqldb.NewFloat(c)
+}
+
+// ItemExpr renders the full output expression including aggregation.
+func (p Projection) ItemExpr() sqldb.Expr {
+	if p.CountStar {
+		return &sqldb.AggExpr{Fn: sqldb.AggCount, Star: true}
+	}
+	f := p.FuncExpr()
+	if p.Agg == sqldb.AggNone {
+		return f
+	}
+	return &sqldb.AggExpr{Fn: p.Agg, Arg: f, Distinct: p.Distinct}
+}
+
+// OrderItem is one extracted ORDER BY key: the output column index it
+// refers to and the sort direction.
+type OrderItem struct {
+	OutputIndex int
+	OutputName  string
+	Desc        bool
+}
+
+func (o OrderItem) String() string {
+	dir := "asc"
+	if o.Desc {
+		dir = "desc"
+	}
+	return o.OutputName + " " + dir
+}
+
+// Extraction is the full output of an UNMASQUE run: the assembled
+// query plus every intermediate artifact for inspection.
+type Extraction struct {
+	// Query is the assembled Q_E.
+	Query *sqldb.SelectStmt
+	// SQL is the canonical text of Q_E.
+	SQL string
+
+	Tables         []string
+	JoinPredicates []sqldb.SchemaEdge
+	Filters        []FilterPredicate
+	Projections    []Projection
+	GroupBy        []sqldb.ColRef
+	Having         []HavingPredicate
+	OrderBy        []OrderItem
+	Limit          int64
+	UngroupedAgg   bool
+
+	// CheckerVerified reports whether the final verification module
+	// ran and found no discrepancy.
+	CheckerVerified bool
+
+	Stats Stats
+}
+
+// Summary renders a one-paragraph description of the extracted query
+// structure (used by experiment reports, e.g. the Wilos clause table).
+func (e *Extraction) Summary() string {
+	var parts []string
+	hasAgg := false
+	native := 0
+	for _, p := range e.Projections {
+		if p.Agg != sqldb.AggNone || p.CountStar {
+			hasAgg = true
+		} else {
+			native++
+		}
+	}
+	if native > 0 {
+		parts = append(parts, "Project")
+	}
+	if len(e.Filters) > 0 {
+		parts = append(parts, "Filter")
+	}
+	if len(e.JoinPredicates) > 0 {
+		parts = append(parts, "Join")
+	}
+	if len(e.GroupBy) > 0 {
+		parts = append(parts, "Group By")
+	}
+	if hasAgg {
+		parts = append(parts, "Aggregation")
+	}
+	if len(e.Having) > 0 {
+		parts = append(parts, "Having")
+	}
+	if len(e.OrderBy) > 0 {
+		parts = append(parts, "Order By")
+	}
+	if e.Limit > 0 {
+		parts = append(parts, "Limit")
+	}
+	if len(parts) == 0 {
+		return "Project"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// sortedColRefs returns the refs in deterministic order.
+func sortedColRefs(refs []sqldb.ColRef) []sqldb.ColRef {
+	out := append([]sqldb.ColRef(nil), refs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ExtractionError wraps pipeline failures with the module they arose
+// in, so callers can tell scope violations from internal errors.
+type ExtractionError struct {
+	Module string
+	Err    error
+}
+
+func (e *ExtractionError) Error() string {
+	return fmt.Sprintf("unmasque %s: %v", e.Module, e.Err)
+}
+
+func (e *ExtractionError) Unwrap() error { return e.Err }
+
+func moduleErr(module string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ExtractionError{Module: module, Err: err}
+}
+
+func moduleErrf(module, format string, args ...any) error {
+	return &ExtractionError{Module: module, Err: fmt.Errorf(format, args...)}
+}

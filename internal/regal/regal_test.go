@@ -1,0 +1,103 @@
+package regal
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+	"unmasque/internal/workloads/tpch"
+)
+
+func runQuery(t *testing.T, db *sqldb.Database, sql string) *sqldb.Result {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Execute(context.Background(), stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestReverseEngineerSimpleGroupCount(t *testing.T) {
+	db := tpch.NewDatabase(tpch.ScaleTiny, 5)
+	target := runQuery(t, db, "select c_nationkey, count(*) as cnt from customer group by c_nationkey")
+	out := ReverseEngineer(db, target, DefaultConfig())
+	if out.Query == nil {
+		t.Fatalf("no candidate found: %s (dnc=%v)", out.Reason, out.DNC)
+	}
+	got, err := db.Execute(context.Background(), out.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualUnordered(target) {
+		t.Errorf("candidate is not instance-equivalent:\n%s", out.Query)
+	}
+}
+
+func TestReverseEngineerJoin(t *testing.T) {
+	db := tpch.NewDatabase(tpch.ScaleTiny, 5)
+	target := runQuery(t, db, "select n_name, count(*) as cnt from nation, supplier where n_nationkey = s_nationkey group by n_name")
+	out := ReverseEngineer(db, target, DefaultConfig())
+	if out.Query == nil {
+		t.Fatalf("no candidate found: %s", out.Reason)
+	}
+	got, err := db.Execute(context.Background(), out.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualUnordered(target) {
+		t.Errorf("candidate is not instance-equivalent:\n%s", out.Query)
+	}
+}
+
+func TestReverseEngineerProjectionOnly(t *testing.T) {
+	db := tpch.NewDatabase(tpch.ScaleTiny, 5)
+	target := runQuery(t, db, "select r_name from region")
+	out := ReverseEngineer(db, target, DefaultConfig())
+	if out.Query == nil {
+		t.Fatalf("no candidate found: %s", out.Reason)
+	}
+	got, err := db.Execute(context.Background(), out.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualUnordered(target) {
+		t.Errorf("candidate is not instance-equivalent:\n%s", out.Query)
+	}
+}
+
+func TestReverseEngineerTimesOut(t *testing.T) {
+	db := tpch.NewDatabase(tpch.ScaleTiny, 5)
+	target := runQuery(t, db, "select o_custkey, sum(o_totalprice) as total from orders group by o_custkey")
+	cfg := DefaultConfig()
+	cfg.Timeout = time.Nanosecond
+	out := ReverseEngineer(db, target, cfg)
+	if !out.DNC {
+		t.Errorf("expected DNC under a nanosecond budget, got %+v", out)
+	}
+}
+
+func TestReverseEngineerEmptyTarget(t *testing.T) {
+	db := tpch.NewDatabase(tpch.ScaleTiny, 5)
+	out := ReverseEngineer(db, &sqldb.Result{Columns: []string{"x"}}, DefaultConfig())
+	if out.Query != nil || out.Reason == "" {
+		t.Error("empty target should be rejected with a reason")
+	}
+}
+
+func TestReverseEngineerCountsCandidates(t *testing.T) {
+	db := tpch.NewDatabase(tpch.ScaleTiny, 5)
+	target := runQuery(t, db, "select c_mktsegment, count(*) as cnt from customer group by c_mktsegment")
+	out := ReverseEngineer(db, target, DefaultConfig())
+	if out.CandidatesTried == 0 {
+		t.Error("candidate counter not incremented")
+	}
+	if out.Elapsed <= 0 {
+		t.Error("elapsed time not recorded")
+	}
+}

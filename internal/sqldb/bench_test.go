@@ -1,0 +1,111 @@
+package sqldb_test
+
+// Micro-benchmarks of the engine primitives the extraction pipeline
+// leans on: filtered scans, hash equi-joins, hash aggregation and the
+// LIKE matcher. These bound the per-probe cost that Figures 9-11
+// aggregate.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+)
+
+func benchDB(b *testing.B, rows int) *sqldb.Database {
+	b.Helper()
+	db := sqldb.NewDatabase()
+	if err := db.CreateTable(sqldb.TableSchema{
+		Name: "dim",
+		Columns: []sqldb.Column{
+			{Name: "dk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "dname", Type: sqldb.TText, MaxLen: 20},
+		},
+		PrimaryKey: []string{"dk"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateTable(sqldb.TableSchema{
+		Name: "fact",
+		Columns: []sqldb.Column{
+			{Name: "fk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "val", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 10000},
+			{Name: "cat", Type: sqldb.TText, MaxLen: 12},
+		},
+		ForeignKeys: []sqldb.ForeignKey{{Column: "fk", RefTable: "dim", RefColumn: "dk"}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	dim, _ := db.Table("dim")
+	fact, _ := db.Table("fact")
+	nDim := rows / 10
+	if nDim < 1 {
+		nDim = 1
+	}
+	for d := 1; d <= nDim; d++ {
+		dim.MustInsert(sqldb.NewInt(int64(d)), sqldb.NewText(fmt.Sprintf("dim%d", d)))
+	}
+	cats := []string{"alpha", "beta", "gamma", "delta"}
+	for f := 0; f < rows; f++ {
+		fact.MustInsert(
+			sqldb.NewInt(int64(1+rng.Intn(nDim))),
+			sqldb.NewFloat(float64(rng.Intn(1000000))/100),
+			sqldb.NewText(cats[rng.Intn(len(cats))]))
+	}
+	return db
+}
+
+func benchQuery(b *testing.B, rows int, sql string) {
+	b.Helper()
+	db := benchDB(b, rows)
+	stmt := sqlparser.MustParse(sql)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Execute(context.Background(), stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows)/1e3, "krows")
+}
+
+func BenchmarkEngineFilteredScan(b *testing.B) {
+	benchQuery(b, 50000, "select val from fact where val >= 5000")
+}
+
+func BenchmarkEngineHashJoin(b *testing.B) {
+	benchQuery(b, 50000, "select dname, val from dim, fact where dk = fk")
+}
+
+func BenchmarkEngineGroupAggregate(b *testing.B) {
+	benchQuery(b, 50000, "select cat, count(*) as n, sum(val) as s, avg(val) as a from fact group by cat")
+}
+
+func BenchmarkEngineOrderLimit(b *testing.B) {
+	benchQuery(b, 50000, "select val from fact order by val desc limit 10")
+}
+
+func BenchmarkEngineLikeFilter(b *testing.B) {
+	benchQuery(b, 50000, "select cat from fact where cat like '%amm%'")
+}
+
+func BenchmarkLikeMatch(b *testing.B) {
+	pattern, subject := "%spec_al%req%", "these are the special frequent requests"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sqldb.LikeMatch(pattern, subject) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkDatabaseClone(b *testing.B) {
+	db := benchDB(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.Clone()
+	}
+}

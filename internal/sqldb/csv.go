@@ -1,0 +1,170 @@
+package sqldb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV import/export lets adopters load their own instances into the
+// engine (and dump extraction-silo contents for inspection). The
+// format is plain RFC-4180 CSV with a header row naming the columns;
+// values parse according to the table schema, with the empty string
+// reading as NULL for non-text columns and the literal \N as NULL for
+// text columns.
+
+// LoadCSV reads rows into an existing table. The header row must name
+// a subset (or permutation) of the table's columns; unnamed columns
+// are filled with NULL.
+func (db *Database) LoadCSV(table string, r io.Reader) (int, error) {
+	tbl, err := db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("csv %s: reading header: %w", table, err)
+	}
+	cols := make([]int, len(header))
+	for i, h := range header {
+		ci := tbl.Schema.ColumnIndex(strings.TrimSpace(h))
+		if ci < 0 {
+			return 0, fmt.Errorf("csv %s: header names unknown column %q", table, h)
+		}
+		cols[i] = ci
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("csv %s: row %d: %w", table, n+1, err)
+		}
+		if len(rec) != len(cols) {
+			return n, fmt.Errorf("csv %s: row %d has %d fields, want %d", table, n+1, len(rec), len(cols))
+		}
+		row := make(Row, len(tbl.Schema.Columns))
+		for i := range row {
+			row[i] = NewNull(tbl.Schema.Columns[i].Type)
+		}
+		for i, field := range rec {
+			ci := cols[i]
+			v, err := ParseValue(tbl.Schema.Columns[ci].Type, field)
+			if err != nil {
+				return n, fmt.Errorf("csv %s: row %d column %s: %w", table, n+1, tbl.Schema.Columns[ci].Name, err)
+			}
+			row[ci] = v
+		}
+		vals := make([]Value, len(row))
+		copy(vals, row)
+		if err := tbl.Insert(vals...); err != nil {
+			return n, fmt.Errorf("csv %s: row %d: %w", table, n+1, err)
+		}
+		n++
+	}
+}
+
+// ParseValue converts a CSV field into a value of the given type.
+func ParseValue(t Type, field string) (Value, error) {
+	if field == "" && t != TText {
+		return NewNull(t), nil
+	}
+	switch t {
+	case TInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("invalid integer %q", field)
+		}
+		return NewInt(i), nil
+	case TFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("invalid number %q", field)
+		}
+		return NewFloat(f), nil
+	case TDate:
+		return DateFromString(strings.TrimSpace(field))
+	case TBool:
+		switch strings.ToLower(strings.TrimSpace(field)) {
+		case "true", "t", "1", "yes":
+			return NewBool(true), nil
+		case "false", "f", "0", "no":
+			return NewBool(false), nil
+		default:
+			return Value{}, fmt.Errorf("invalid boolean %q", field)
+		}
+	case TText:
+		if field == `\N` {
+			return NewNull(TText), nil
+		}
+		return NewText(field), nil
+	default:
+		return Value{}, fmt.Errorf("unsupported column type")
+	}
+}
+
+// WriteCSV dumps a table (header plus all rows).
+func (db *Database) WriteCSV(table string, w io.Writer) error {
+	tbl, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cw := csv.NewWriter(w)
+	header := make([]string, len(tbl.Schema.Columns))
+	for i, c := range tbl.Schema.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, row := range tbl.Rows {
+		for i, v := range row {
+			rec[i] = formatCSV(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatCSV(v Value) string {
+	if v.Null {
+		if v.Typ == TText {
+			return `\N`
+		}
+		return ""
+	}
+	return v.String()
+}
+
+// WriteResultCSV dumps a query/application result.
+func WriteResultCSV(res *Result, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(res.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(res.Columns))
+	for _, row := range res.Rows {
+		for i, v := range row {
+			rec[i] = formatCSV(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,151 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func csvTable(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	if err := db.CreateTable(TableSchema{
+		Name: "people",
+		Columns: []Column{
+			{Name: "id", Type: TInt},
+			{Name: "name", Type: TText, MaxLen: 30},
+			{Name: "balance", Type: TFloat, Precision: 2},
+			{Name: "joined", Type: TDate},
+			{Name: "active", Type: TBool},
+		},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestLoadCSVAllTypes(t *testing.T) {
+	db := csvTable(t)
+	const data = `id,name,balance,joined,active
+1,alice,10.50,2020-01-15,true
+2,bob,-3.25,2019-06-30,f
+3,\N,,2021-11-02,0
+`
+	n, err := db.LoadCSV("people", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d rows", n)
+	}
+	tbl, _ := db.Table("people")
+	if v, _ := tbl.Get(0, "balance"); v.F != 10.50 {
+		t.Errorf("balance: %v", v)
+	}
+	if v, _ := tbl.Get(1, "active"); v.Bool() {
+		t.Errorf("bob should be inactive")
+	}
+	if v, _ := tbl.Get(2, "name"); !v.Null {
+		t.Errorf(`\N should read as NULL text, got %v`, v)
+	}
+	if v, _ := tbl.Get(2, "balance"); !v.Null {
+		t.Errorf("empty numeric should read as NULL, got %v", v)
+	}
+	if v, _ := tbl.Get(0, "joined"); v.String() != "2020-01-15" {
+		t.Errorf("date: %v", v)
+	}
+}
+
+func TestLoadCSVColumnSubsetAndPermutation(t *testing.T) {
+	db := csvTable(t)
+	const data = `name,id
+carol,7
+`
+	if _, err := db.LoadCSV("people", strings.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("people")
+	if v, _ := tbl.Get(0, "id"); v.I != 7 {
+		t.Errorf("permuted id: %v", v)
+	}
+	if v, _ := tbl.Get(0, "balance"); !v.Null {
+		t.Errorf("unnamed column should be NULL: %v", v)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := csvTable(t)
+	cases := []struct {
+		name, data string
+	}{
+		{"unknown column", "id,nope\n1,2\n"},
+		{"bad int", "id\nxyz\n"},
+		{"bad date", "joined\n2020-13-99\n"},
+		{"bad bool", "active\nmaybe\n"},
+		{"ragged row", "id,name\n1\n"},
+		{"missing table", ""},
+	}
+	for _, c := range cases {
+		var err error
+		if c.name == "missing table" {
+			_, err = db.LoadCSV("ghost", strings.NewReader("x\n1\n"))
+		} else {
+			_, err = db.LoadCSV("people", strings.NewReader(c.data))
+		}
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := csvTable(t)
+	const data = `id,name,balance,joined,active
+1,alice,10.50,2020-01-15,true
+2,"comma, name",-3.25,2019-06-30,false
+`
+	if _, err := db.LoadCSV("people", strings.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := db.WriteCSV("people", &out); err != nil {
+		t.Fatal(err)
+	}
+	// Reload the dump into a fresh table and compare contents.
+	db2 := csvTable(t)
+	if _, err := db2.LoadCSV("people", strings.NewReader(out.String())); err != nil {
+		t.Fatalf("reload: %v\ndump:\n%s", err, out.String())
+	}
+	t1, _ := db.Table("people")
+	t2, _ := db2.Table("people")
+	if t1.RowCount() != t2.RowCount() {
+		t.Fatalf("row counts differ: %d vs %d", t1.RowCount(), t2.RowCount())
+	}
+	for i := range t1.Rows {
+		for j := range t1.Rows[i] {
+			if !ApproxEqual(t1.Rows[i][j], t2.Rows[i][j]) {
+				t.Errorf("cell (%d,%d): %v vs %v", i, j, t1.Rows[i][j], t2.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestWriteResultCSV(t *testing.T) {
+	res := &Result{
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{NewInt(1), NewText("x")},
+			{NewNull(TInt), NewNull(TText)},
+		},
+	}
+	var out strings.Builder
+	if err := WriteResultCSV(res, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"a,b", "1,x", `,\N`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dump missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,1003 @@
+package sqldb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Execute runs a single-block SELECT against the database. The
+// statement AST is not modified, so a parsed statement can be executed
+// repeatedly against different database states (as the extractor
+// does). Execution observes ctx cancellation at row granularity so
+// callers can impose probe timeouts.
+func (db *Database) Execute(ctx context.Context, stmt *SelectStmt) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ex, err := newExecution(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return ex.run(ctx)
+}
+
+// execution holds the per-run state: name resolution, classified
+// predicates and the working row sets.
+type execution struct {
+	db   *Database
+	stmt *SelectStmt
+
+	tables  []string       // from-clause order, lowercased
+	offsets map[string]int // table -> first slot in the wide row
+	schemas map[string]*TableSchema
+	width   int
+
+	colIdx map[*ColumnExpr]int    // resolved wide-row slot per reference
+	colTbl map[*ColumnExpr]string // resolved owning table
+
+	pushdown map[string][]Expr // single-table conjuncts
+	joins    []joinEdge        // equi-join conjuncts between tables
+	residual []Expr            // everything else
+
+	aggs []*AggExpr // every aggregate node in items/having/order
+}
+
+type joinEdge struct {
+	lt, rt string // table names
+	li, ri int    // wide-row slots
+	used   bool
+}
+
+func newExecution(db *Database, stmt *SelectStmt) (*execution, error) {
+	ex := &execution{
+		db:       db,
+		stmt:     stmt,
+		offsets:  map[string]int{},
+		schemas:  map[string]*TableSchema{},
+		colIdx:   map[*ColumnExpr]int{},
+		colTbl:   map[*ColumnExpr]string{},
+		pushdown: map[string][]Expr{},
+	}
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("query has no from clause")
+	}
+	for _, raw := range stmt.From {
+		name := strings.ToLower(raw)
+		if _, dup := ex.offsets[name]; dup {
+			return nil, fmt.Errorf("table %s appears twice in from clause (self-joins unsupported)", name)
+		}
+		t, ok := db.tables[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+		}
+		ex.tables = append(ex.tables, name)
+		ex.offsets[name] = ex.width
+		ex.schemas[name] = &t.Schema
+		ex.width += len(t.Schema.Columns)
+	}
+	// Resolve every expression in the statement.
+	for _, it := range stmt.Items {
+		if err := ex.resolve(it.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if err := ex.resolve(stmt.Where); err != nil {
+		return nil, err
+	}
+	for _, g := range stmt.GroupBy {
+		if err := ex.resolve(g); err != nil {
+			return nil, err
+		}
+	}
+	if err := ex.resolve(stmt.Having); err != nil {
+		return nil, err
+	}
+	for _, k := range stmt.OrderBy {
+		if err := ex.resolveOrderKey(k.Expr); err != nil {
+			return nil, err
+		}
+	}
+	ex.classifyWhere()
+	ex.collectAggs()
+	return ex, nil
+}
+
+// resolve fills colIdx/colTbl for every column reference in e.
+func (ex *execution) resolve(e Expr) error {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ColumnExpr:
+		return ex.resolveColumn(x)
+	case *LiteralExpr:
+		return nil
+	case *BinaryExpr:
+		if err := ex.resolve(x.L); err != nil {
+			return err
+		}
+		return ex.resolve(x.R)
+	case *NegExpr:
+		return ex.resolve(x.X)
+	case *NotExpr:
+		return ex.resolve(x.X)
+	case *BetweenExpr:
+		if err := ex.resolve(x.X); err != nil {
+			return err
+		}
+		if err := ex.resolve(x.Lo); err != nil {
+			return err
+		}
+		return ex.resolve(x.Hi)
+	case *LikeExpr:
+		return ex.resolve(x.X)
+	case *IsNullExpr:
+		return ex.resolve(x.X)
+	case *AggExpr:
+		if x.Arg != nil {
+			return ex.resolve(x.Arg)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unsupported expression node %T", e)
+	}
+}
+
+func (ex *execution) resolveColumn(c *ColumnExpr) error {
+	tbl := strings.ToLower(c.Table)
+	col := strings.ToLower(c.Column)
+	if tbl != "" {
+		s, ok := ex.schemas[tbl]
+		if !ok {
+			return fmt.Errorf("column reference %s.%s: table not in from clause", tbl, col)
+		}
+		ci := s.ColumnIndex(col)
+		if ci < 0 {
+			return fmt.Errorf("table %s has no column %s", tbl, col)
+		}
+		ex.colIdx[c] = ex.offsets[tbl] + ci
+		ex.colTbl[c] = tbl
+		return nil
+	}
+	found := ""
+	idx := -1
+	for _, t := range ex.tables {
+		if ci := ex.schemas[t].ColumnIndex(col); ci >= 0 {
+			if found != "" {
+				return fmt.Errorf("column %s is ambiguous (%s, %s)", col, found, t)
+			}
+			found, idx = t, ex.offsets[t]+ci
+		}
+	}
+	if found == "" {
+		return fmt.Errorf("unknown column %s", col)
+	}
+	ex.colIdx[c] = idx
+	ex.colTbl[c] = found
+	return nil
+}
+
+// resolveOrderKey resolves an ORDER BY expression, tolerating
+// references to output aliases (resolved later against the items).
+func (ex *execution) resolveOrderKey(e Expr) error {
+	if c, ok := e.(*ColumnExpr); ok && c.Table == "" {
+		for _, it := range ex.stmt.Items {
+			if strings.EqualFold(it.OutputName(), c.Column) {
+				return nil // alias reference; resolved against output
+			}
+		}
+	}
+	return ex.resolve(e)
+}
+
+// classifyWhere splits the WHERE conjunction into per-table pushdown
+// filters, equi-join edges and residual predicates.
+func (ex *execution) classifyWhere() {
+	for _, c := range Conjuncts(ex.stmt.Where) {
+		if b, ok := c.(*BinaryExpr); ok && b.Op == OpEq {
+			lc, lok := b.L.(*ColumnExpr)
+			rc, rok := b.R.(*ColumnExpr)
+			if lok && rok && ex.colTbl[lc] != ex.colTbl[rc] {
+				ex.joins = append(ex.joins, joinEdge{
+					lt: ex.colTbl[lc], rt: ex.colTbl[rc],
+					li: ex.colIdx[lc], ri: ex.colIdx[rc],
+				})
+				continue
+			}
+		}
+		tbls := map[string]bool{}
+		for _, col := range ColumnsOf(c) {
+			tbls[ex.colTbl[col]] = true
+		}
+		if len(tbls) == 1 {
+			for t := range tbls {
+				ex.pushdown[t] = append(ex.pushdown[t], c)
+			}
+			continue
+		}
+		ex.residual = append(ex.residual, c)
+	}
+}
+
+func (ex *execution) collectAggs() {
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *AggExpr:
+			ex.aggs = append(ex.aggs, x)
+		case *BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *NegExpr:
+			walk(x.X)
+		case *NotExpr:
+			walk(x.X)
+		case *BetweenExpr:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *LikeExpr:
+			walk(x.X)
+		case *IsNullExpr:
+			walk(x.X)
+		}
+	}
+	for _, it := range ex.stmt.Items {
+		walk(it.Expr)
+	}
+	walk(ex.stmt.Having)
+	for _, k := range ex.stmt.OrderBy {
+		walk(k.Expr)
+	}
+}
+
+const cancelCheckEvery = 4096
+
+func checkCtx(ctx context.Context, n *int) error {
+	*n++
+	if *n%cancelCheckEvery == 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// run executes the compiled plan.
+func (ex *execution) run(ctx context.Context) (*Result, error) {
+	var ticks int
+	// 1. Scan + filter each table into wide-row fragments.
+	filtered := map[string][]Row{}
+	for _, t := range ex.tables {
+		tbl := ex.db.tables[t]
+		preds := ex.pushdown[t]
+		rows := make([]Row, 0, len(tbl.Rows))
+		off := ex.offsets[t]
+		for _, r := range tbl.Rows {
+			if err := checkCtx(ctx, &ticks); err != nil {
+				return nil, err
+			}
+			keep := true
+			if len(preds) > 0 {
+				wide := make(Row, ex.width)
+				copy(wide[off:], r)
+				for _, p := range preds {
+					ok, err := ex.evalBool(p, wide, nil)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						keep = false
+						break
+					}
+				}
+			}
+			if keep {
+				rows = append(rows, r)
+			}
+		}
+		filtered[t] = rows
+	}
+
+	// 2. Join greedily, smallest first, following equi-join edges.
+	current, err := ex.join(ctx, filtered, &ticks)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Residual predicates.
+	if len(ex.residual) > 0 {
+		kept := current[:0]
+		for _, w := range current {
+			if err := checkCtx(ctx, &ticks); err != nil {
+				return nil, err
+			}
+			ok := true
+			for _, p := range ex.residual {
+				b, err := ex.evalBool(p, w, nil)
+				if err != nil {
+					return nil, err
+				}
+				if !b {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, w)
+			}
+		}
+		current = kept
+	}
+
+	// 4. Grouping / aggregation, or plain projection.
+	var out *Result
+	if len(ex.stmt.GroupBy) > 0 || len(ex.aggs) > 0 {
+		out, err = ex.aggregate(ctx, current, &ticks)
+	} else {
+		out, err = ex.project(ctx, current, &ticks)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Order by.
+	if len(ex.stmt.OrderBy) > 0 {
+		if err := ex.orderResult(out, current); err != nil {
+			return nil, err
+		}
+	}
+
+	// 6. Limit.
+	if ex.stmt.Limit > 0 && int64(len(out.Rows)) > ex.stmt.Limit {
+		out.Rows = out.Rows[:ex.stmt.Limit]
+	}
+	return out, nil
+}
+
+// join combines the filtered fragments into wide rows.
+func (ex *execution) join(ctx context.Context, filtered map[string][]Row, ticks *int) ([]Row, error) {
+	remaining := map[string]bool{}
+	for _, t := range ex.tables {
+		remaining[t] = true
+	}
+	// Start from the smallest fragment for a small build side; ties
+	// break on from-clause position to keep row order deterministic.
+	start := ex.tables[0]
+	for _, t := range ex.tables[1:] {
+		if len(filtered[t]) < len(filtered[start]) {
+			start = t
+		}
+	}
+	delete(remaining, start)
+	joined := map[string]bool{start: true}
+	current := make([]Row, 0, len(filtered[start]))
+	off := ex.offsets[start]
+	for _, r := range filtered[start] {
+		wide := make(Row, ex.width)
+		copy(wide[off:], r)
+		current = append(current, wide)
+	}
+
+	for len(remaining) > 0 {
+		// Choose the smallest remaining table reachable via a join
+		// edge; fall back to a cross product if none is connected.
+		// Iteration follows the from-clause order so ties resolve
+		// deterministically (result row order must be reproducible
+		// across runs for the extraction checker's comparisons).
+		next := ""
+		for _, t := range ex.tables {
+			if !remaining[t] {
+				continue
+			}
+			connected := false
+			for _, e := range ex.joins {
+				if (joined[e.lt] && e.rt == t) || (joined[e.rt] && e.lt == t) {
+					connected = true
+					break
+				}
+			}
+			if connected && (next == "" || len(filtered[t]) < len(filtered[next])) {
+				next = t
+			}
+		}
+		cross := false
+		if next == "" {
+			cross = true
+			for _, t := range ex.tables {
+				if !remaining[t] {
+					continue
+				}
+				if next == "" || len(filtered[t]) < len(filtered[next]) {
+					next = t
+				}
+			}
+		}
+		delete(remaining, next)
+
+		nOff := ex.offsets[next]
+		if cross {
+			var out []Row
+			for _, w := range current {
+				for _, r := range filtered[next] {
+					if err := checkCtx(ctx, ticks); err != nil {
+						return nil, err
+					}
+					nw := w.Clone()
+					copy(nw[nOff:], r)
+					out = append(out, nw)
+				}
+			}
+			current = out
+			joined[next] = true
+			continue
+		}
+
+		// Hash join: key on every edge connecting `next` to the
+		// joined set.
+		var probeIdx, buildLocal []int
+		for i := range ex.joins {
+			e := &ex.joins[i]
+			switch {
+			case joined[e.lt] && e.rt == next:
+				probeIdx = append(probeIdx, e.li)
+				buildLocal = append(buildLocal, e.ri-nOff)
+				e.used = true
+			case joined[e.rt] && e.lt == next:
+				probeIdx = append(probeIdx, e.ri)
+				buildLocal = append(buildLocal, e.li-nOff)
+				e.used = true
+			}
+		}
+		build := make(map[string][]Row, len(filtered[next]))
+		for _, r := range filtered[next] {
+			if err := checkCtx(ctx, ticks); err != nil {
+				return nil, err
+			}
+			key, ok := joinKeyLocal(r, buildLocal)
+			if !ok {
+				continue // NULL join key never matches
+			}
+			build[key] = append(build[key], r)
+		}
+		var out []Row
+		for _, w := range current {
+			if err := checkCtx(ctx, ticks); err != nil {
+				return nil, err
+			}
+			key, ok := joinKeyWide(w, probeIdx)
+			if !ok {
+				continue
+			}
+			for _, r := range build[key] {
+				nw := w.Clone()
+				copy(nw[nOff:], r)
+				out = append(out, nw)
+			}
+		}
+		current = out
+		joined[next] = true
+	}
+
+	// Enforce any join edges not used as hash keys (cycle edges).
+	var unused []joinEdge
+	for _, e := range ex.joins {
+		if !e.used {
+			unused = append(unused, e)
+		}
+	}
+	if len(unused) > 0 {
+		kept := current[:0]
+		for _, w := range current {
+			ok := true
+			for _, e := range unused {
+				if !Equal(w[e.li], w[e.ri]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, w)
+			}
+		}
+		current = kept
+	}
+	return current, nil
+}
+
+func joinKeyLocal(r Row, idx []int) (string, bool) {
+	var b strings.Builder
+	for _, i := range idx {
+		if r[i].Null {
+			return "", false
+		}
+		b.WriteString(r[i].GroupKey())
+		b.WriteByte('|')
+	}
+	return b.String(), true
+}
+
+func joinKeyWide(w Row, idx []int) (string, bool) {
+	var b strings.Builder
+	for _, i := range idx {
+		if w[i].Null {
+			return "", false
+		}
+		b.WriteString(w[i].GroupKey())
+		b.WriteByte('|')
+	}
+	return b.String(), true
+}
+
+// project emits one output row per input row (no aggregation).
+func (ex *execution) project(ctx context.Context, rows []Row, ticks *int) (*Result, error) {
+	res := &Result{Columns: ex.outputColumns()}
+	for _, w := range rows {
+		if err := checkCtx(ctx, ticks); err != nil {
+			return nil, err
+		}
+		out := make(Row, len(ex.stmt.Items))
+		for i, it := range ex.stmt.Items {
+			v, err := ex.eval(it.Expr, w, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func (ex *execution) outputColumns() []string {
+	cols := make([]string, len(ex.stmt.Items))
+	for i, it := range ex.stmt.Items {
+		cols[i] = it.OutputName()
+	}
+	return cols
+}
+
+// group accumulates one hash-aggregation bucket.
+type group struct {
+	rep  Row // representative input row
+	accs []aggAcc
+}
+
+type aggAcc struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	isFlt bool
+	minV  Value
+	maxV  Value
+	has   bool
+	seen  map[string]bool // for DISTINCT
+}
+
+func (a *aggAcc) add(v Value, distinct bool) {
+	if v.Null {
+		return
+	}
+	if distinct {
+		if a.seen == nil {
+			a.seen = map[string]bool{}
+		}
+		k := v.GroupKey()
+		if a.seen[k] {
+			return
+		}
+		a.seen[k] = true
+	}
+	a.count++
+	switch v.Typ {
+	case TFloat:
+		a.isFlt = true
+		a.sumF += v.F
+	case TInt:
+		a.sumI += v.I
+	}
+	if !a.has {
+		a.minV, a.maxV, a.has = v, v, true
+		return
+	}
+	if c, err := Compare(v, a.minV); err == nil && c < 0 {
+		a.minV = v
+	}
+	if c, err := Compare(v, a.maxV); err == nil && c > 0 {
+		a.maxV = v
+	}
+}
+
+func (a *aggAcc) final(fn AggFn) Value {
+	switch fn {
+	case AggCount:
+		return NewInt(a.count)
+	case AggMin:
+		if !a.has {
+			return NewNull(TUnknown)
+		}
+		return a.minV
+	case AggMax:
+		if !a.has {
+			return NewNull(TUnknown)
+		}
+		return a.maxV
+	case AggSum:
+		if a.count == 0 {
+			return NewNull(TUnknown)
+		}
+		if a.isFlt {
+			return NewFloat(a.sumF + float64(a.sumI))
+		}
+		return NewInt(a.sumI)
+	case AggAvg:
+		if a.count == 0 {
+			return NewNull(TUnknown)
+		}
+		return NewFloat((a.sumF + float64(a.sumI)) / float64(a.count))
+	default:
+		return NewNull(TUnknown)
+	}
+}
+
+// aggregate performs hash grouping and evaluates items/having per
+// group.
+func (ex *execution) aggregate(ctx context.Context, rows []Row, ticks *int) (*Result, error) {
+	groups := map[string]*group{}
+	var order []string
+	for _, w := range rows {
+		if err := checkCtx(ctx, ticks); err != nil {
+			return nil, err
+		}
+		var kb strings.Builder
+		for _, g := range ex.stmt.GroupBy {
+			v, err := ex.eval(g, w, nil)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(v.GroupKey())
+			kb.WriteByte('|')
+		}
+		key := kb.String()
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{rep: w, accs: make([]aggAcc, len(ex.aggs))}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i, ag := range ex.aggs {
+			if ag.Star {
+				grp.accs[i].count++
+				continue
+			}
+			v, err := ex.eval(ag.Arg, w, nil)
+			if err != nil {
+				return nil, err
+			}
+			grp.accs[i].add(v, ag.Distinct)
+		}
+	}
+
+	res := &Result{Columns: ex.outputColumns()}
+	// SQL corner case: ungrouped aggregation over empty input yields
+	// one row; the paper's pipeline treats it as a null result.
+	if len(ex.stmt.GroupBy) == 0 && len(rows) == 0 {
+		grp := &group{rep: make(Row, ex.width), accs: make([]aggAcc, len(ex.aggs))}
+		groups[""] = grp
+		order = append(order, "")
+		res.aggEmptyInput = true
+	}
+
+	for _, key := range order {
+		grp := groups[key]
+		aggVals := map[*AggExpr]Value{}
+		for i, ag := range ex.aggs {
+			aggVals[ag] = grp.accs[i].final(ag.Fn)
+		}
+		if ex.stmt.Having != nil {
+			ok, err := ex.evalBool(ex.stmt.Having, grp.rep, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out := make(Row, len(ex.stmt.Items))
+		for i, it := range ex.stmt.Items {
+			v, err := ex.eval(it.Expr, grp.rep, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	if res.aggEmptyInput && len(res.Rows) == 0 {
+		// Having filtered away the null row: genuinely empty.
+		res.aggEmptyInput = false
+	}
+	return res, nil
+}
+
+// orderResult sorts the output rows. Order keys that match an output
+// column (by alias or by structural equality with a projection) sort
+// on output values; other keys are unsupported after aggregation.
+func (ex *execution) orderResult(res *Result, input []Row) error {
+	type keyFn func(row Row, idx int) (Value, error)
+	var fns []keyFn
+	descs := make([]bool, len(ex.stmt.OrderBy))
+	for ki, k := range ex.stmt.OrderBy {
+		descs[ki] = k.Desc
+		outIdx := ex.matchOutputColumn(k.Expr)
+		if outIdx >= 0 {
+			idx := outIdx
+			fns = append(fns, func(row Row, _ int) (Value, error) { return row[idx], nil })
+			continue
+		}
+		if len(ex.stmt.GroupBy) > 0 || len(ex.aggs) > 0 {
+			return fmt.Errorf("order by expression %s does not appear in the select list", k.Expr)
+		}
+		expr := k.Expr
+		fns = append(fns, func(_ Row, idx int) (Value, error) { return ex.eval(expr, input[idx], nil) })
+	}
+	idxs := make([]int, len(res.Rows))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	keys := make([][]Value, len(res.Rows))
+	for i := range res.Rows {
+		keys[i] = make([]Value, len(fns))
+		for j, fn := range fns {
+			v, err := fn(res.Rows[i], i)
+			if err != nil {
+				return err
+			}
+			keys[i][j] = v
+		}
+	}
+	sort.SliceStable(idxs, func(a, b int) bool {
+		ka, kb := keys[idxs[a]], keys[idxs[b]]
+		for j := range ka {
+			c, err := Compare(ka[j], kb[j])
+			if err != nil || c == 0 {
+				continue
+			}
+			if descs[j] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sorted := make([]Row, len(res.Rows))
+	for i, idx := range idxs {
+		sorted[i] = res.Rows[idx]
+	}
+	res.Rows = sorted
+	return nil
+}
+
+// matchOutputColumn finds the select-list position an order key refers
+// to, or -1.
+func (ex *execution) matchOutputColumn(e Expr) int {
+	if c, ok := e.(*ColumnExpr); ok && c.Table == "" {
+		for i, it := range ex.stmt.Items {
+			if strings.EqualFold(it.OutputName(), c.Column) {
+				return i
+			}
+		}
+	}
+	es := e.String()
+	for i, it := range ex.stmt.Items {
+		if it.Expr.String() == es {
+			return i
+		}
+		if c, ok := e.(*ColumnExpr); ok {
+			if ic, ok2 := it.Expr.(*ColumnExpr); ok2 && strings.EqualFold(ic.Column, c.Column) &&
+				(c.Table == "" || strings.EqualFold(ic.Table, c.Table)) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// eval evaluates a scalar expression against a wide row; aggVals is
+// non-nil when evaluating post-aggregation (items/having).
+func (ex *execution) eval(e Expr, row Row, aggVals map[*AggExpr]Value) (Value, error) {
+	switch x := e.(type) {
+	case *ColumnExpr:
+		idx, ok := ex.colIdx[x]
+		if !ok {
+			return Value{}, fmt.Errorf("unresolved column %s", x)
+		}
+		return row[idx], nil
+	case *LiteralExpr:
+		return x.Val, nil
+	case *NegExpr:
+		v, err := ex.eval(x.X, row, aggVals)
+		if err != nil {
+			return Value{}, err
+		}
+		return Neg(v)
+	case *AggExpr:
+		if aggVals == nil {
+			return Value{}, fmt.Errorf("aggregate %s outside grouping context", x)
+		}
+		v, ok := aggVals[x]
+		if !ok {
+			return Value{}, fmt.Errorf("unregistered aggregate %s", x)
+		}
+		return v, nil
+	case *BinaryExpr:
+		switch x.Op {
+		case OpAnd, OpOr:
+			return ex.evalLogic(x, row, aggVals)
+		case OpAdd, OpSub, OpMul, OpDiv:
+			l, err := ex.eval(x.L, row, aggVals)
+			if err != nil {
+				return Value{}, err
+			}
+			r, err := ex.eval(x.R, row, aggVals)
+			if err != nil {
+				return Value{}, err
+			}
+			switch x.Op {
+			case OpAdd:
+				return Add(l, r)
+			case OpSub:
+				return Sub(l, r)
+			case OpMul:
+				return Mul(l, r)
+			default:
+				return Div(l, r)
+			}
+		default: // comparison
+			l, err := ex.eval(x.L, row, aggVals)
+			if err != nil {
+				return Value{}, err
+			}
+			r, err := ex.eval(x.R, row, aggVals)
+			if err != nil {
+				return Value{}, err
+			}
+			if l.Null || r.Null {
+				return NewNull(TBool), nil
+			}
+			c, err := Compare(l, r)
+			if err != nil {
+				return Value{}, err
+			}
+			var b bool
+			switch x.Op {
+			case OpEq:
+				b = c == 0
+			case OpNe:
+				b = c != 0
+			case OpLt:
+				b = c < 0
+			case OpLe:
+				b = c <= 0
+			case OpGt:
+				b = c > 0
+			case OpGe:
+				b = c >= 0
+			}
+			return NewBool(b), nil
+		}
+	case *NotExpr:
+		v, err := ex.eval(x.X, row, aggVals)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Null {
+			return NewNull(TBool), nil
+		}
+		return NewBool(!v.Bool()), nil
+	case *BetweenExpr:
+		v, err := ex.eval(x.X, row, aggVals)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := ex.eval(x.Lo, row, aggVals)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := ex.eval(x.Hi, row, aggVals)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Null || lo.Null || hi.Null {
+			return NewNull(TBool), nil
+		}
+		c1, err := Compare(v, lo)
+		if err != nil {
+			return Value{}, err
+		}
+		c2, err := Compare(v, hi)
+		if err != nil {
+			return Value{}, err
+		}
+		return NewBool(c1 >= 0 && c2 <= 0), nil
+	case *LikeExpr:
+		v, err := ex.eval(x.X, row, aggVals)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Null {
+			return NewNull(TBool), nil
+		}
+		if v.Typ != TText {
+			return Value{}, fmt.Errorf("like on non-text value (%s)", v.Typ)
+		}
+		m := LikeMatch(x.Pattern, v.S)
+		if x.Not {
+			m = !m
+		}
+		return NewBool(m), nil
+	case *IsNullExpr:
+		v, err := ex.eval(x.X, row, aggVals)
+		if err != nil {
+			return Value{}, err
+		}
+		b := v.Null
+		if x.Not {
+			b = !b
+		}
+		return NewBool(b), nil
+	default:
+		return Value{}, fmt.Errorf("unsupported expression node %T", e)
+	}
+}
+
+// evalLogic implements three-valued AND/OR.
+func (ex *execution) evalLogic(x *BinaryExpr, row Row, aggVals map[*AggExpr]Value) (Value, error) {
+	l, err := ex.eval(x.L, row, aggVals)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit where the outcome is decided.
+	if !l.Null {
+		if x.Op == OpAnd && !l.Bool() {
+			return NewBool(false), nil
+		}
+		if x.Op == OpOr && l.Bool() {
+			return NewBool(true), nil
+		}
+	}
+	r, err := ex.eval(x.R, row, aggVals)
+	if err != nil {
+		return Value{}, err
+	}
+	if x.Op == OpAnd {
+		if !r.Null && !r.Bool() {
+			return NewBool(false), nil
+		}
+		if l.Null || r.Null {
+			return NewNull(TBool), nil
+		}
+		return NewBool(true), nil
+	}
+	if !r.Null && r.Bool() {
+		return NewBool(true), nil
+	}
+	if l.Null || r.Null {
+		return NewNull(TBool), nil
+	}
+	return NewBool(false), nil
+}
+
+// evalBool evaluates a predicate; NULL counts as false (WHERE/HAVING
+// semantics).
+func (ex *execution) evalBool(e Expr, row Row, aggVals map[*AggExpr]Value) (bool, error) {
+	v, err := ex.eval(e, row, aggVals)
+	if err != nil {
+		return false, err
+	}
+	return !v.Null && v.Bool(), nil
+}

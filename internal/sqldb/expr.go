@@ -1,0 +1,463 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	OpInvalid BinOp = iota
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	default:
+		return "?op?"
+	}
+}
+
+// IsComparison reports whether the operator yields a boolean from two
+// scalar operands.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// AggFn enumerates the aggregate functions.
+type AggFn uint8
+
+const (
+	AggNone AggFn = iota
+	AggMin
+	AggMax
+	AggCount
+	AggSum
+	AggAvg
+)
+
+// String returns the SQL name of the aggregate.
+func (a AggFn) String() string {
+	switch a {
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	default:
+		return "?agg?"
+	}
+}
+
+// AggFnFromName parses an aggregate name; AggNone when unknown.
+func AggFnFromName(s string) AggFn {
+	switch strings.ToLower(s) {
+	case "min":
+		return AggMin
+	case "max":
+		return AggMax
+	case "count":
+		return AggCount
+	case "sum":
+		return AggSum
+	case "avg":
+		return AggAvg
+	default:
+		return AggNone
+	}
+}
+
+// AllAggFns lists the five basic aggregates in canonical order.
+var AllAggFns = []AggFn{AggMin, AggMax, AggCount, AggSum, AggAvg}
+
+// Expr is a scalar or boolean expression tree node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColumnExpr references a column, optionally table-qualified.
+type ColumnExpr struct {
+	Table  string // may be empty (unqualified)
+	Column string
+}
+
+func (*ColumnExpr) exprNode() {}
+
+func (e *ColumnExpr) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Column
+	}
+	return e.Column
+}
+
+// Ref returns the fully qualified reference; only valid after
+// resolution has filled Table.
+func (e *ColumnExpr) Ref() ColRef { return ColRef{Table: e.Table, Column: e.Column} }
+
+// Col is shorthand for a qualified column expression.
+func Col(table, column string) *ColumnExpr {
+	return &ColumnExpr{Table: strings.ToLower(table), Column: strings.ToLower(column)}
+}
+
+// LiteralExpr is a constant value.
+type LiteralExpr struct{ Val Value }
+
+func (*LiteralExpr) exprNode() {}
+
+func (e *LiteralExpr) String() string { return e.Val.SQLLiteral() }
+
+// Lit wraps a value as a literal expression.
+func Lit(v Value) *LiteralExpr { return &LiteralExpr{Val: v} }
+
+// BinaryExpr combines two operands with an operator.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+func (e *BinaryExpr) String() string {
+	ls, rs := operandString(e.L, e.Op), operandString(e.R, e.Op)
+	if e.Op == OpAnd || e.Op == OpOr {
+		return fmt.Sprintf("%s %s %s", ls, e.Op, rs)
+	}
+	return fmt.Sprintf("%s %s %s", ls, e.Op, rs)
+}
+
+// operandString parenthesizes operands whose top-level operator binds
+// more loosely than the parent.
+func operandString(e Expr, parent BinOp) string {
+	b, ok := e.(*BinaryExpr)
+	if !ok {
+		return e.String()
+	}
+	if prec(b.Op) < prec(parent) {
+		return "(" + b.String() + ")"
+	}
+	return b.String()
+}
+
+func prec(op BinOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	case OpMul, OpDiv:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// Bin builds a binary expression.
+func Bin(op BinOp, l, r Expr) *BinaryExpr { return &BinaryExpr{Op: op, L: l, R: r} }
+
+// NegExpr is unary arithmetic negation.
+type NegExpr struct{ X Expr }
+
+func (*NegExpr) exprNode() {}
+
+func (e *NegExpr) String() string { return "-" + e.X.String() }
+
+// NotExpr is boolean negation.
+type NotExpr struct{ X Expr }
+
+func (*NotExpr) exprNode() {}
+
+func (e *NotExpr) String() string { return "not (" + e.X.String() + ")" }
+
+// BetweenExpr is x between lo and hi (inclusive).
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+}
+
+func (*BetweenExpr) exprNode() {}
+
+func (e *BetweenExpr) String() string {
+	return fmt.Sprintf("%s between %s and %s", e.X, e.Lo, e.Hi)
+}
+
+// LikeExpr is x like 'pattern' with SQL wildcards % and _.
+type LikeExpr struct {
+	X       Expr
+	Pattern string
+	Not     bool
+}
+
+func (*LikeExpr) exprNode() {}
+
+func (e *LikeExpr) String() string {
+	op := "like"
+	if e.Not {
+		op = "not like"
+	}
+	return fmt.Sprintf("%s %s '%s'", e.X, op, escapeSQLString(e.Pattern))
+}
+
+// IsNullExpr is x is [not] null.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+func (*IsNullExpr) exprNode() {}
+
+func (e *IsNullExpr) String() string {
+	if e.Not {
+		return fmt.Sprintf("%s is not null", e.X)
+	}
+	return fmt.Sprintf("%s is null", e.X)
+}
+
+// AggExpr is an aggregate invocation: fn(arg) or count(*) (Star).
+type AggExpr struct {
+	Fn       AggFn
+	Arg      Expr // nil iff Star
+	Star     bool
+	Distinct bool
+}
+
+func (*AggExpr) exprNode() {}
+
+func (e *AggExpr) String() string {
+	if e.Star {
+		return "count(*)"
+	}
+	d := ""
+	if e.Distinct {
+		d = "distinct "
+	}
+	return fmt.Sprintf("%s(%s%s)", e.Fn, d, e.Arg)
+}
+
+// SelectItem is one projection with an optional output alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OutputName is the result column name: the alias if present,
+// otherwise a name derived from the expression.
+func (si SelectItem) OutputName() string {
+	if si.Alias != "" {
+		return si.Alias
+	}
+	if c, ok := si.Expr.(*ColumnExpr); ok {
+		return c.Column
+	}
+	if a, ok := si.Expr.(*AggExpr); ok {
+		return a.Fn.String()
+	}
+	return "?column?"
+}
+
+func (si SelectItem) String() string {
+	if si.Alias != "" {
+		return fmt.Sprintf("%s as %s", si.Expr, si.Alias)
+	}
+	return si.Expr.String()
+}
+
+// OrderKey is one ORDER BY entry.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+func (k OrderKey) String() string {
+	if k.Desc {
+		return k.Expr.String() + " desc"
+	}
+	return k.Expr.String() + " asc"
+}
+
+// SelectStmt is a single-block query — the only query form this
+// engine supports, matching the paper's EQC scope.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []string
+	Where   Expr // nil means no predicate
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderKey
+	Limit   int64 // <=0 means no limit
+}
+
+// String renders the statement as canonical SQL.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString("\nfrom ")
+	b.WriteString(strings.Join(s.From, ", "))
+	if s.Where != nil {
+		b.WriteString("\nwhere ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			parts[i] = g.String()
+		}
+		b.WriteString("\ngroup by ")
+		b.WriteString(strings.Join(parts, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString("\nhaving ")
+		b.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			parts[i] = k.String()
+		}
+		b.WriteString("\norder by ")
+		b.WriteString(strings.Join(parts, ", "))
+	}
+	if s.Limit > 0 {
+		b.WriteString("\nlimit ")
+		b.WriteString(strconv.FormatInt(s.Limit, 10))
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+// Conjuncts splits a predicate tree into its top-level AND conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll combines expressions with AND; nil when the list is empty.
+func AndAll(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = Bin(OpAnd, out, e)
+		}
+	}
+	return out
+}
+
+// HasAggregate reports whether the expression tree contains an
+// aggregate invocation.
+func HasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *AggExpr:
+		return true
+	case *BinaryExpr:
+		return HasAggregate(x.L) || HasAggregate(x.R)
+	case *NegExpr:
+		return HasAggregate(x.X)
+	case *NotExpr:
+		return HasAggregate(x.X)
+	case *BetweenExpr:
+		return HasAggregate(x.X) || HasAggregate(x.Lo) || HasAggregate(x.Hi)
+	case *LikeExpr:
+		return HasAggregate(x.X)
+	case *IsNullExpr:
+		return HasAggregate(x.X)
+	default:
+		return false
+	}
+}
+
+// ColumnsOf collects every column reference in the expression tree.
+func ColumnsOf(e Expr) []*ColumnExpr {
+	var out []*ColumnExpr
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ColumnExpr:
+			out = append(out, x)
+		case *BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *NegExpr:
+			walk(x.X)
+		case *NotExpr:
+			walk(x.X)
+		case *BetweenExpr:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *LikeExpr:
+			walk(x.X)
+		case *IsNullExpr:
+			walk(x.X)
+		case *AggExpr:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

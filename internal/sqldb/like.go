@@ -1,0 +1,51 @@
+package sqldb
+
+// LikeMatch implements SQL LIKE matching over the pattern wildcards
+// '%' (any sequence, including empty) and '_' (exactly one character).
+// Matching is byte-oriented and case-sensitive, as in PostgreSQL.
+//
+// The implementation is the classic two-pointer greedy algorithm with
+// backtracking to the most recent '%', which runs in O(len(s) *
+// number-of-%-segments) worst case and O(len(s)) typically.
+func LikeMatch(pattern, s string) bool {
+	var (
+		p, i  int  // cursors into pattern and s
+		starP = -1 // pattern index just after the last '%'
+		starI = -1 // s index to resume from on backtrack
+	)
+	for i < len(s) {
+		switch {
+		case p < len(pattern) && (pattern[p] == '_' || pattern[p] == s[i]):
+			p++
+			i++
+		case p < len(pattern) && pattern[p] == '%':
+			starP = p + 1
+			starI = i
+			p++
+		case starP >= 0:
+			// Backtrack: let the last '%' absorb one more byte.
+			starI++
+			i = starI
+			p = starP
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '%' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// StripPercent removes every '%' from a LIKE pattern, yielding the
+// paper's Minimal Qualifying String (MQS). '_' wildcards remain, as
+// they each consume exactly one character.
+func StripPercent(pattern string) string {
+	out := make([]byte, 0, len(pattern))
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] != '%' {
+			out = append(out, pattern[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,190 @@
+package sqldb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Result is the output of a query or application execution: named
+// columns and ordered rows. The extractor treats results as opaque —
+// it only inspects cardinalities, values and order.
+type Result struct {
+	Columns []string
+	Rows    []Row
+
+	// aggEmptyInput marks the SQL corner case of an ungrouped
+	// aggregate over zero input rows, which yields one all-default
+	// row. The paper's pipeline treats that as a "null result", so
+	// Populated reports false for it.
+	aggEmptyInput bool
+}
+
+// RowCount returns the number of result rows.
+func (r *Result) RowCount() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Rows)
+}
+
+// Populated reports whether the result is non-empty in the paper's
+// sense (at least one row, and not the null row of an ungrouped
+// aggregate over empty input).
+func (r *Result) Populated() bool {
+	if r == nil || len(r.Rows) == 0 {
+		return false
+	}
+	return !r.aggEmptyInput
+}
+
+// ColumnIndex returns the index of the named output column, or -1.
+func (r *Result) ColumnIndex(name string) int {
+	for i, c := range r.Columns {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns all values of one output column, in row order.
+func (r *Result) Column(i int) []Value {
+	out := make([]Value, len(r.Rows))
+	for j, row := range r.Rows {
+		out[j] = row[i]
+	}
+	return out
+}
+
+// rowKey renders a row for hashing/multiset comparison.
+func rowKey(row Row) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.GroupKey()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Checksum computes a position-dependent checksum over the result, so
+// two results with the same rows in different orders differ. The
+// extraction checker uses this to verify physical ordering.
+func (r *Result) Checksum() uint64 {
+	h := fnv.New64a()
+	for i, row := range r.Rows {
+		fmt.Fprintf(h, "#%d:%s;", i, rowKey(row))
+	}
+	return h.Sum64()
+}
+
+// EqualOrdered reports exact equality including row order, with
+// float tolerance.
+func (r *Result) EqualOrdered(o *Result) bool {
+	if r.RowCount() != o.RowCount() {
+		return false
+	}
+	for i := range r.Rows {
+		if !rowsApproxEqual(r.Rows[i], o.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualUnordered reports multiset equality of the rows, ignoring
+// order, with float tolerance via value formatting at high precision.
+func (r *Result) EqualUnordered(o *Result) bool {
+	if r.RowCount() != o.RowCount() {
+		return false
+	}
+	ra, rb := sortedKeys(r), sortedKeys(o)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(r *Result) []string {
+	keys := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		keys[i] = approxRowKey(row)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// approxRowKey formats floats at 6 decimal digits so results that are
+// equal up to float noise compare equal.
+func approxRowKey(row Row) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		if !v.Null && v.Typ == TFloat {
+			parts[i] = fmt.Sprintf("f%.6f", v.F)
+		} else {
+			parts[i] = v.GroupKey()
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+func rowsApproxEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ApproxEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the result as an aligned text table (for examples
+// and the CLI).
+func (r *Result) String() string {
+	if r == nil {
+		return "(nil result)"
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := v.String()
+			cells[i][j] = s
+			if j < len(widths) && len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range r.Columns {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	for _, row := range cells {
+		b.WriteString("\n")
+		for j, s := range row {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], s)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+// Package sqlparser provides a lexer and recursive-descent parser for
+// the SQL dialect of the embedded engine: single-block SPJGHAOL
+// queries with conjunctive predicates, plus LIKE, BETWEEN, IS NULL,
+// date literals and aggregate calls — exactly the extractable query
+// class of the paper, so hidden queries, extracted queries, and
+// checker round-trips all go through the same grammar.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkSymbol  // punctuation and operators
+	tkKeyword // recognised reserved word (lower-cased in val)
+)
+
+type token struct {
+	kind tokenKind
+	val  string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true,
+	"by": true, "having": true, "order": true, "limit": true,
+	"and": true, "or": true, "not": true, "as": true, "asc": true,
+	"desc": true, "between": true, "like": true, "is": true,
+	"null": true, "true": true, "false": true, "date": true,
+	"distinct": true, "in": true, "exists": true, "union": true,
+	"intersect": true, "except": true, "join": true, "on": true,
+	"inner": true, "outer": true, "left": true, "right": true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tkEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comment.
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tkEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		lower := strings.ToLower(word)
+		if keywords[lower] {
+			return token{kind: tkKeyword, val: lower, pos: start}, nil
+		}
+		return token{kind: tkIdent, val: lower, pos: start}, nil
+	case c >= '0' && c <= '9':
+		sawDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '.' && !sawDot {
+				sawDot = true
+				l.pos++
+				continue
+			}
+			if d < '0' || d > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tkNumber, val: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tkString, val: b.String(), pos: start}, nil
+			}
+			b.WriteByte(d)
+			l.pos++
+		}
+		return token{}, fmt.Errorf("unterminated string literal at offset %d", start)
+	default:
+		// Multi-character operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return token{kind: tkSymbol, val: two, pos: start}, nil
+		}
+		switch c {
+		case '(', ')', ',', ';', '=', '<', '>', '+', '-', '*', '/', '.':
+			l.pos++
+			return token{kind: tkSymbol, val: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+}

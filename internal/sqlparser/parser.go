@@ -1,0 +1,529 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"unmasque/internal/sqldb"
+)
+
+// Parse parses a single SELECT statement in the supported dialect and
+// returns its AST. A trailing semicolon is permitted. IN-lists
+// desugar into OR chains of equalities; constructs outside the
+// engine's scope (subqueries, set operators, explicit JOIN syntax,
+// EXISTS) produce descriptive errors.
+func Parse(src string) (*sqldb.SelectStmt, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkSymbol, ";")
+	if !p.at(tkEOF, "") {
+		return nil, p.errf("unexpected trailing input %q", p.peek().val)
+	}
+	return stmt, nil
+}
+
+// MustParse parses or panics; for statically known queries in
+// workloads and tests.
+func MustParse(src string) *sqldb.SelectStmt {
+	stmt, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("MustParse(%q): %v", src, err))
+	}
+	return stmt
+}
+
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.tokens[p.pos]
+	if t.kind != tkEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokenKind, val string) bool {
+	t := p.peek()
+	if t.kind != kind {
+		return false
+	}
+	return val == "" || t.val == val
+}
+
+func (p *parser) accept(kind tokenKind, val string) bool {
+	if p.at(kind, val) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, val string) (token, error) {
+	if p.at(kind, val) {
+		return p.advance(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", val, p.peek().val)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parse error at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*sqldb.SelectStmt, error) {
+	if _, err := p.expect(tkKeyword, "select"); err != nil {
+		return nil, err
+	}
+	stmt := &sqldb.SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tkKeyword, "from"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tkIdent {
+			return nil, p.errf("expected table name, found %q", t.val)
+		}
+		p.advance()
+		stmt.From = append(stmt.From, t.val)
+		if p.at(tkKeyword, "join") || p.at(tkKeyword, "inner") ||
+			p.at(tkKeyword, "left") || p.at(tkKeyword, "right") {
+			return nil, p.errf("explicit JOIN syntax unsupported; use comma-joins with WHERE equi-joins")
+		}
+		// Optional table alias equal to the table name is tolerated;
+		// other aliases are out of scope.
+		if p.at(tkIdent, "") {
+			alias := p.peek().val
+			if alias != t.val {
+				return nil, p.errf("table aliases unsupported (alias %q for %q)", alias, t.val)
+			}
+			p.advance()
+		}
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tkKeyword, "where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.accept(tkKeyword, "group") {
+		if _, err := p.expect(tkKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tkKeyword, "having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.accept(tkKeyword, "order") {
+		if _, err := p.expect(tkKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := sqldb.OrderKey{Expr: e}
+			if p.accept(tkKeyword, "desc") {
+				key.Desc = true
+			} else {
+				p.accept(tkKeyword, "asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tkKeyword, "limit") {
+		t := p.peek()
+		if t.kind != tkNumber {
+			return nil, p.errf("expected limit count, found %q", t.val)
+		}
+		p.advance()
+		n, err := strconv.ParseInt(t.val, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, p.errf("invalid limit %q", t.val)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (sqldb.SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return sqldb.SelectItem{}, err
+	}
+	item := sqldb.SelectItem{Expr: e}
+	if p.accept(tkKeyword, "as") {
+		t := p.peek()
+		if t.kind != tkIdent && t.kind != tkKeyword {
+			return sqldb.SelectItem{}, p.errf("expected alias, found %q", t.val)
+		}
+		p.advance()
+		item.Alias = t.val
+	} else if p.at(tkIdent, "") {
+		item.Alias = p.advance().val
+	}
+	return item, nil
+}
+
+// Expression grammar (precedence climbing):
+//   expr    := orExpr
+//   orExpr  := andExpr (OR andExpr)*
+//   andExpr := notExpr (AND notExpr)*
+//   notExpr := NOT notExpr | predicate
+//   predicate := addExpr [cmp addExpr | BETWEEN ... | LIKE ... | IS [NOT] NULL]
+//   addExpr := mulExpr ((+|-) mulExpr)*
+//   mulExpr := unary ((*|/) unary)*
+//   unary   := - unary | primary
+//   primary := literal | column | agg(...) | ( expr )
+
+func (p *parser) parseExpr() (sqldb.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (sqldb.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkKeyword, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = sqldb.Bin(sqldb.OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (sqldb.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkKeyword, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = sqldb.Bin(sqldb.OpAnd, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (sqldb.Expr, error) {
+	if p.accept(tkKeyword, "not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &sqldb.NotExpr{X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (sqldb.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// NOT BETWEEN / NOT LIKE.
+	negated := false
+	if p.at(tkKeyword, "not") {
+		nxt := p.tokens[p.pos+1]
+		if nxt.kind == tkKeyword && (nxt.val == "between" || nxt.val == "like" || nxt.val == "in") {
+			p.advance()
+			negated = true
+		}
+	}
+	switch {
+	case p.accept(tkKeyword, "between"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkKeyword, "and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		var e sqldb.Expr = &sqldb.BetweenExpr{X: l, Lo: lo, Hi: hi}
+		if negated {
+			e = &sqldb.NotExpr{X: e}
+		}
+		return e, nil
+	case p.accept(tkKeyword, "like"):
+		t := p.peek()
+		if t.kind != tkString {
+			return nil, p.errf("expected pattern string after like, found %q", t.val)
+		}
+		p.advance()
+		return &sqldb.LikeExpr{X: l, Pattern: t.val, Not: negated}, nil
+	case p.accept(tkKeyword, "is"):
+		not := p.accept(tkKeyword, "not")
+		if _, err := p.expect(tkKeyword, "null"); err != nil {
+			return nil, err
+		}
+		return &sqldb.IsNullExpr{X: l, Not: not}, nil
+	case p.accept(tkKeyword, "in"):
+		// IN-lists desugar into an OR chain of equalities (the engine
+		// has no native IN operator; the disjunction-extraction
+		// extension emits exactly this shape).
+		if _, err := p.expect(tkSymbol, "("); err != nil {
+			return nil, err
+		}
+		var arms sqldb.Expr
+		for {
+			v, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := v.(*sqldb.LiteralExpr); !ok {
+				return nil, p.errf("IN-list elements must be literals")
+			}
+			arm := sqldb.Bin(sqldb.OpEq, l, v)
+			if arms == nil {
+				arms = arm
+			} else {
+				arms = sqldb.Bin(sqldb.OpOr, arms, arm)
+			}
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if negated {
+			return &sqldb.NotExpr{X: arms}, nil
+		}
+		return arms, nil
+	}
+	for _, sym := range []struct {
+		s  string
+		op sqldb.BinOp
+	}{{"=", sqldb.OpEq}, {"<>", sqldb.OpNe}, {"<=", sqldb.OpLe}, {">=", sqldb.OpGe}, {"<", sqldb.OpLt}, {">", sqldb.OpGt}} {
+		if p.accept(tkSymbol, sym.s) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return sqldb.Bin(sym.op, l, r), nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (sqldb.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tkSymbol, "+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = sqldb.Bin(sqldb.OpAdd, l, r)
+		case p.accept(tkSymbol, "-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = sqldb.Bin(sqldb.OpSub, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (sqldb.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tkSymbol, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = sqldb.Bin(sqldb.OpMul, l, r)
+		case p.accept(tkSymbol, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = sqldb.Bin(sqldb.OpDiv, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (sqldb.Expr, error) {
+	if p.accept(tkSymbol, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation into numeric literals.
+		if lit, ok := x.(*sqldb.LiteralExpr); ok && lit.Val.Typ.IsNumeric() {
+			n, err := sqldb.Neg(lit.Val)
+			if err == nil {
+				return sqldb.Lit(n), nil
+			}
+		}
+		return &sqldb.NegExpr{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (sqldb.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkNumber:
+		p.advance()
+		if strings.Contains(t.val, ".") {
+			f, err := strconv.ParseFloat(t.val, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.val)
+			}
+			return sqldb.Lit(sqldb.NewFloat(f)), nil
+		}
+		n, err := strconv.ParseInt(t.val, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.val)
+		}
+		return sqldb.Lit(sqldb.NewInt(n)), nil
+	case tkString:
+		p.advance()
+		return sqldb.Lit(sqldb.NewText(t.val)), nil
+	case tkKeyword:
+		switch t.val {
+		case "null":
+			p.advance()
+			return sqldb.Lit(sqldb.NewNull(sqldb.TUnknown)), nil
+		case "true":
+			p.advance()
+			return sqldb.Lit(sqldb.NewBool(true)), nil
+		case "false":
+			p.advance()
+			return sqldb.Lit(sqldb.NewBool(false)), nil
+		case "date":
+			p.advance()
+			s := p.peek()
+			if s.kind != tkString {
+				return nil, p.errf("expected date string after date keyword")
+			}
+			p.advance()
+			v, err := sqldb.DateFromString(s.val)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			return sqldb.Lit(v), nil
+		case "select", "exists":
+			return nil, p.errf("subqueries are outside the supported dialect")
+		}
+		return nil, p.errf("unexpected keyword %q", t.val)
+	case tkSymbol:
+		if t.val == "(" {
+			p.advance()
+			if p.at(tkKeyword, "select") {
+				return nil, p.errf("subqueries are outside the supported dialect")
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected symbol %q", t.val)
+	case tkIdent:
+		p.advance()
+		name := t.val
+		// Aggregate or function call.
+		if p.at(tkSymbol, "(") {
+			fn := sqldb.AggFnFromName(name)
+			if fn == sqldb.AggNone {
+				return nil, p.errf("unknown function %q (only min/max/count/sum/avg supported)", name)
+			}
+			p.advance() // (
+			if fn == sqldb.AggCount && p.accept(tkSymbol, "*") {
+				if _, err := p.expect(tkSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return &sqldb.AggExpr{Fn: sqldb.AggCount, Star: true}, nil
+			}
+			distinct := p.accept(tkKeyword, "distinct")
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &sqldb.AggExpr{Fn: fn, Arg: arg, Distinct: distinct}, nil
+		}
+		// Qualified column.
+		if p.accept(tkSymbol, ".") {
+			c := p.peek()
+			if c.kind != tkIdent {
+				return nil, p.errf("expected column name after %q.", name)
+			}
+			p.advance()
+			return &sqldb.ColumnExpr{Table: name, Column: c.val}, nil
+		}
+		return &sqldb.ColumnExpr{Column: name}, nil
+	default:
+		return nil, p.errf("unexpected end of input")
+	}
+}

@@ -1,0 +1,204 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"unmasque/internal/sqldb"
+)
+
+func TestParseTPCHQ3Shape(t *testing.T) {
+	stmt, err := Parse(`
+		select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue,
+		       o_orderdate, o_shippriority
+		from customer, orders, lineitem
+		where c_mktsegment = 'BUILDING'
+		  and c_custkey = o_custkey
+		  and l_orderkey = o_orderkey
+		  and o_orderdate < date '1995-03-15'
+		  and l_shipdate > date '1995-03-15'
+		group by l_orderkey, o_orderdate, o_shippriority
+		order by revenue desc, o_orderdate
+		limit 10;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Items) != 4 || len(stmt.From) != 3 || len(stmt.GroupBy) != 3 {
+		t.Fatalf("shape: items=%d from=%d group=%d", len(stmt.Items), len(stmt.From), len(stmt.GroupBy))
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("order keys: %v", stmt.OrderBy)
+	}
+	conj := sqldb.Conjuncts(stmt.Where)
+	if len(conj) != 5 {
+		t.Errorf("conjunct count = %d", len(conj))
+	}
+	if stmt.Items[1].Alias != "revenue" {
+		t.Errorf("alias = %q", stmt.Items[1].Alias)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	queries := []string{
+		"select a from t;",
+		"select a, b as x from t where a = 5;",
+		"select a from t where a between 1 and 10;",
+		"select a from t where s like '%abc_%';",
+		"select a from t where s not like 'x%';",
+		"select a from t where a is null;",
+		"select a from t where a is not null;",
+		"select count(*) from t;",
+		"select min(a), max(a), sum(a), avg(a), count(a) from t;",
+		"select count(distinct a) from t;",
+		"select a from t where d >= date '1995-03-14';",
+		"select a, b from t, u where a = c group by a, b having sum(b) > 10 order by a desc limit 5;",
+		"select a * (1 - b) + 2 as f from t;",
+		"select a from t where a = -5;",
+		"select a from t where a > 1.25;",
+		"select a from t where x = 'it''s';",
+		"select a from t where not (a = 1 or b = 2);",
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		// Round trip: the printed form must re-parse to the same
+		// printed form (fixpoint).
+		printed := stmt.String()
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (-> %q): %v", q, printed, err)
+		}
+		if stmt2.String() != printed {
+			t.Errorf("print fixpoint violated:\n first: %s\nsecond: %s", printed, stmt2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		sql     string
+		wantSub string
+	}{
+		{"", "expected"},
+		{"select", "unexpected end"},
+		{"select a", `expected "from"`},
+		{"select a from", "expected table name"},
+		{"select a from t where", "unexpected end"},
+		{"select a from t limit 0", "invalid limit"},
+		{"select a from t limit x", "expected limit count"},
+		{"select a from t where a = 1 extra", "trailing input"},
+		{"select a from (select b from t)", "expected table name"},
+		{"select a from t where exists (select 1 from u)", "subquer"},
+		{"select a from t join u on a = b", "JOIN syntax"},
+		{"select foo(a) from t", "unknown function"},
+		{"select a from t where s like 5", "pattern string"},
+		{"select a from t t2", "aliases unsupported"},
+		{"select a from t where a = 'unterminated", "unterminated string"},
+		{"select a from t where a @ 5", "unexpected character"},
+		{"select a from t where d = date 5", "date string"},
+		{"select a from t where d = date '99-xx'", "invalid date"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.sql)
+		if err == nil {
+			t.Errorf("%q: expected error", c.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not mention %q", c.sql, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseCaseInsensitivity(t *testing.T) {
+	stmt, err := Parse("SELECT A FROM T WHERE B = 'Mixed' ORDER BY A DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From[0] != "t" {
+		t.Errorf("table name not lower-cased: %q", stmt.From[0])
+	}
+	col, ok := stmt.Items[0].Expr.(*sqldb.ColumnExpr)
+	if !ok || col.Column != "a" {
+		t.Errorf("column not lower-cased: %v", stmt.Items[0].Expr)
+	}
+	// String literals keep their case.
+	cmp := stmt.Where.(*sqldb.BinaryExpr)
+	lit := cmp.R.(*sqldb.LiteralExpr)
+	if lit.Val.S != "Mixed" {
+		t.Errorf("string literal case changed: %q", lit.Val.S)
+	}
+}
+
+func TestParseInListDesugars(t *testing.T) {
+	stmt, err := Parse("select a from t where a in (1, 2, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Desugared into (a = 1 or a = 2) or a = 3.
+	want := "t where a = 1 or a = 2 or a = 3"
+	_ = want
+	or, ok := stmt.Where.(*sqldb.BinaryExpr)
+	if !ok || or.Op != sqldb.OpOr {
+		t.Fatalf("IN did not desugar to OR: %T %v", stmt.Where, stmt.Where)
+	}
+	if _, err := Parse("select a from t where a in (b)"); err == nil {
+		t.Error("non-literal IN elements should be rejected")
+	}
+	// NOT IN desugars under a negation.
+	stmt, err = Parse("select a from t where a not in (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.Where.(*sqldb.NotExpr); !ok {
+		t.Errorf("NOT IN shape: %T", stmt.Where)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt, err := Parse("select a -- trailing comment\nfrom t -- another\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.From) != 1 {
+		t.Error("comment handling broke the parse")
+	}
+}
+
+func TestParseQualifiedColumns(t *testing.T) {
+	stmt, err := Parse("select t.a from t where t.a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := stmt.Items[0].Expr.(*sqldb.ColumnExpr)
+	if col.Table != "t" || col.Column != "a" {
+		t.Errorf("qualified column: %+v", col)
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	stmt, err := Parse("select sum(a) total from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Items[0].Alias != "total" {
+		t.Errorf("implicit alias: %q", stmt.Items[0].Alias)
+	}
+}
+
+func TestParseNegativeLiteralFolding(t *testing.T) {
+	stmt, err := Parse("select a from t where a >= -3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := stmt.Where.(*sqldb.BinaryExpr)
+	lit, ok := cmp.R.(*sqldb.LiteralExpr)
+	if !ok || lit.Val.F != -3.5 {
+		t.Errorf("negative literal not folded: %v", cmp.R)
+	}
+}

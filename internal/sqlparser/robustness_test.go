@@ -1,0 +1,108 @@
+package sqlparser
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"unmasque/internal/sqldb"
+)
+
+// TestParseNeverPanics feeds the parser random token soup; every
+// input must return (stmt, nil) or (nil, err) — never panic.
+func TestParseNeverPanics(t *testing.T) {
+	tokens := []string{
+		"select", "from", "where", "group", "by", "having", "order",
+		"limit", "and", "or", "not", "between", "like", "is", "null",
+		"date", "count", "sum", "min", "(", ")", ",", ";", "=", "<",
+		">", "<=", ">=", "<>", "+", "-", "*", "/", ".", "t", "a", "b",
+		"'x'", "'1995-03-14'", "42", "3.14", "distinct", "as", "asc", "desc",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20000; trial++ {
+		n := rng.Intn(12)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = tokens[rng.Intn(len(tokens))]
+		}
+		input := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", input, r)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}
+
+// TestParseByteSoupNeverPanics hits the lexer with raw bytes.
+func TestParseByteSoupNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", b, r)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+}
+
+// TestPrintedQueriesReExecuteIdentically: for executable statements,
+// the canonical printed form must produce identical results.
+func TestPrintedQueriesReExecuteIdentically(t *testing.T) {
+	db := sqldb.NewDatabase()
+	if err := db.CreateTable(sqldb.TableSchema{
+		Name: "t",
+		Columns: []sqldb.Column{
+			{Name: "a", Type: sqldb.TInt, MinInt: 0, MaxInt: 100},
+			{Name: "b", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 100},
+			{Name: "s", Type: sqldb.TText, MaxLen: 10},
+			{Name: "d", Type: sqldb.TDate},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("t")
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < 50; i++ {
+		tbl.MustInsert(
+			sqldb.NewInt(int64(i%13)),
+			sqldb.NewFloat(float64(i)*1.5),
+			sqldb.NewText(words[i%len(words)]),
+			sqldb.NewDate(sqldb.MustDate("2000-01-01").I+int64(i*31)),
+		)
+	}
+	queries := []string{
+		"select a, b from t where a between 2 and 9 order by a, b limit 7",
+		"select s, count(*) as n, sum(b) as total from t group by s having sum(b) >= 10 order by s",
+		"select a, b * 2 + 1 as f from t where s like '%a%'",
+		"select min(d) as lo, max(d) as hi, avg(a) as m from t",
+		"select a from t where d >= date '2001-06-01' and b <= 60.5",
+	}
+	for _, q := range queries {
+		orig := MustParse(q)
+		res1, err := db.Execute(context.Background(), orig)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		reparsed := MustParse(orig.String())
+		res2, err := db.Execute(context.Background(), reparsed)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", q, err)
+		}
+		if !res1.EqualOrdered(res2) {
+			t.Errorf("round-trip changed semantics of %q\nprinted: %s", q, orig.String())
+		}
+	}
+}

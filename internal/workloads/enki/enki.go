@@ -1,0 +1,492 @@
+// Package enki reproduces the paper's Enki experiment (Section 6.3,
+// Figure 12): a Ruby-on-Rails blogging application whose commands are
+// implemented as genuinely imperative code — table scans, nested-loop
+// joins, manual sorting and slicing — over the blog schema. Each
+// command is exposed as an app.ImperativeExecutable with its
+// ground-truth SQL attached for verification.
+//
+// Of Enki's 17 commands, 14 fall inside the extractable query class
+// (the paper reports the same count); the three out-of-scope commands
+// (NULL-draft filtering, month-of-year archive grouping, and OFFSET
+// pagination) are listed by OutOfScopeCommands for documentation.
+package enki
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"unmasque/internal/app"
+	"unmasque/internal/sqldb"
+)
+
+// Schemas returns the blog tables.
+func Schemas() []sqldb.TableSchema {
+	return []sqldb.TableSchema{
+		{
+			Name: "posts",
+			Columns: []sqldb.Column{
+				{Name: "id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "title", Type: sqldb.TText, MaxLen: 80},
+				{Name: "slug", Type: sqldb.TText, MaxLen: 80},
+				{Name: "body", Type: sqldb.TText, MaxLen: 200},
+				{Name: "published_at", Type: sqldb.TDate, MinInt: day("2005-01-01"), MaxInt: day("2012-12-31")},
+				{Name: "approved_comments_count", Type: sqldb.TInt, MinInt: 0, MaxInt: 500},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "comments",
+			Columns: []sqldb.Column{
+				{Name: "id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "post_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "author", Type: sqldb.TText, MaxLen: 40},
+				{Name: "body", Type: sqldb.TText, MaxLen: 200},
+				{Name: "created_at", Type: sqldb.TDate, MinInt: day("2005-01-01"), MaxInt: day("2012-12-31")},
+				{Name: "approved", Type: sqldb.TBool},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "post_id", RefTable: "posts", RefColumn: "id"}},
+		},
+		{
+			Name: "tags",
+			Columns: []sqldb.Column{
+				{Name: "id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "name", Type: sqldb.TText, MaxLen: 30},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "taggings",
+			Columns: []sqldb.Column{
+				{Name: "post_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "tag_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "post_id", RefTable: "posts", RefColumn: "id"},
+				{Column: "tag_id", RefTable: "tags", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "pages",
+			Columns: []sqldb.Column{
+				{Name: "id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "title", Type: sqldb.TText, MaxLen: 80},
+				{Name: "slug", Type: sqldb.TText, MaxLen: 80},
+				{Name: "body", Type: sqldb.TText, MaxLen: 200},
+				{Name: "created_at", Type: sqldb.TDate, MinInt: day("2005-01-01"), MaxInt: day("2012-12-31")},
+			},
+			PrimaryKey: []string{"id"},
+		},
+	}
+}
+
+func day(s string) int64 { return sqldb.MustDate(s).I }
+
+var (
+	tagNames   = []string{"rails", "ruby", "golang", "databases", "testing", "deploys", "meta"}
+	titleWords = []string{"shipping", "ruby", "notes", "release", "debugging", "profiling", "queries", "indexes"}
+)
+
+// NewDatabase builds the synthetic 10 MB-analogue blog instance the
+// paper describes ("since native data is not publicly available, we
+// created a synthetic database that provided populated results for
+// all these commands").
+func NewDatabase(seed int64) *sqldb.Database {
+	db := sqldb.NewDatabase()
+	for _, s := range Schemas() {
+		if err := db.CreateTable(s); err != nil {
+			panic(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	i, s, b := sqldb.NewInt, sqldb.NewText, sqldb.NewBool
+	d := func(off int) sqldb.Value { return sqldb.NewDate(day("2005-01-01") + int64(off)) }
+	word := func() string { return titleWords[rng.Intn(len(titleWords))] }
+
+	const posts, comments, pages = 120, 500, 12
+	for p := 1; p <= posts; p++ {
+		title := fmt.Sprintf("%s %s %d", word(), word(), p)
+		if p == 1 {
+			title = "shipping ruby 1" // anchor for the slug/search commands
+		}
+		slug := strings.ReplaceAll(title, " ", "-")
+		db.Insert("posts", i(int64(p)), s(title), s(slug), s("body of "+title),
+			d(rng.Intn(2800)), i(int64(rng.Intn(12))))
+	}
+	// A couple of guaranteed-hot posts for the popularity command.
+	hot, _ := db.Table("posts")
+	hot.Set(0, "approved_comments_count", i(25))
+	hot.Set(1, "approved_comments_count", i(17))
+	for c := 1; c <= comments; c++ {
+		db.Insert("comments", i(int64(c)), i(int64(1+rng.Intn(posts))),
+			s(fmt.Sprintf("reader%d", rng.Intn(60))), s("comment "+word()),
+			d(rng.Intn(2800)), b(rng.Intn(4) != 0))
+	}
+	for t, name := range tagNames {
+		db.Insert("tags", i(int64(t+1)), s(name))
+	}
+	for p := 1; p <= posts; p++ {
+		n := 1 + rng.Intn(3)
+		for k := 0; k < n; k++ {
+			db.Insert("taggings", i(int64(p)), i(int64(1+rng.Intn(len(tagNames)))))
+		}
+	}
+	for g := 1; g <= pages; g++ {
+		title := fmt.Sprintf("page %s %d", word(), g)
+		db.Insert("pages", i(int64(g)), s(title), s(strings.ReplaceAll(title, " ", "-")),
+			s("content of "+title), d(rng.Intn(2800)))
+	}
+	return db
+}
+
+// Command couples an imperative executable with its presentation
+// name.
+type Command struct {
+	Name string
+	Exe  *app.ImperativeExecutable
+}
+
+// rowSorter orders rows by one value extractor.
+func sortRows(rows []sqldb.Row, key func(sqldb.Row) sqldb.Value, desc bool) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		c, err := sqldb.Compare(key(rows[a]), key(rows[b]))
+		if err != nil {
+			return false
+		}
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+}
+
+func limitRows(rows []sqldb.Row, n int) []sqldb.Row {
+	if len(rows) > n {
+		return rows[:n]
+	}
+	return rows
+}
+
+// Commands returns the 14 in-scope Enki commands as imperative
+// executables with their ground-truth SQL.
+func Commands() []Command {
+	mk := func(name, truth string, fn app.ImperativeFunc) Command {
+		return Command{Name: name, Exe: app.NewImperativeExecutable("enki/"+name, fn, truth)}
+	}
+	return []Command{
+		mk("recent_posts",
+			`select id, title, published_at from posts order by published_at desc limit 5`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				posts, err := db.Table("posts")
+				if err != nil {
+					return nil, err
+				}
+				id, ti, pub := colIdx(posts, "id", "title", "published_at")
+				var rows []sqldb.Row
+				for _, r := range posts.Rows {
+					rows = append(rows, sqldb.Row{r[id], r[ti], r[pub]})
+				}
+				sortRows(rows, func(r sqldb.Row) sqldb.Value { return r[2] }, true)
+				return &sqldb.Result{Columns: []string{"id", "title", "published_at"}, Rows: limitRows(rows, 5)}, nil
+			}),
+		mk("posts_by_tag",
+			`select posts.id, posts.title, posts.published_at
+			 from posts, taggings, tags
+			 where posts.id = taggings.post_id and taggings.tag_id = tags.id and tags.name = 'rails'
+			 order by posts.published_at desc limit 5`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				posts, err := db.Table("posts")
+				if err != nil {
+					return nil, err
+				}
+				taggings, err := db.Table("taggings")
+				if err != nil {
+					return nil, err
+				}
+				tags, err := db.Table("tags")
+				if err != nil {
+					return nil, err
+				}
+				pid, pti, ppub := colIdx(posts, "id", "title", "published_at")
+				tpost, ttag := colIdx2(taggings, "post_id", "tag_id")
+				gid, gname := colIdx2(tags, "id", "name")
+				var rows []sqldb.Row
+				for _, tg := range taggings.Rows { // nested-loop join, Rails style
+					for _, tagRow := range tags.Rows {
+						if tagRow[gname].Null || tagRow[gname].S != "rails" {
+							continue
+						}
+						if !sqldb.Equal(tg[ttag], tagRow[gid]) {
+							continue
+						}
+						for _, p := range posts.Rows {
+							if sqldb.Equal(p[pid], tg[tpost]) {
+								rows = append(rows, sqldb.Row{p[pid], p[pti], p[ppub]})
+							}
+						}
+					}
+				}
+				sortRows(rows, func(r sqldb.Row) sqldb.Value { return r[2] }, true)
+				return &sqldb.Result{Columns: []string{"id", "title", "published_at"}, Rows: limitRows(rows, 5)}, nil
+			}),
+		mk("post_by_slug",
+			`select id, title, body from posts where slug = 'shipping-ruby-1'`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				posts, err := db.Table("posts")
+				if err != nil {
+					return nil, err
+				}
+				id, ti, bo := colIdx(posts, "id", "title", "body")
+				slug := posts.Schema.ColumnIndex("slug")
+				res := &sqldb.Result{Columns: []string{"id", "title", "body"}}
+				for _, r := range posts.Rows {
+					if !r[slug].Null && r[slug].S == "shipping-ruby-1" {
+						res.Rows = append(res.Rows, sqldb.Row{r[id], r[ti], r[bo]})
+					}
+				}
+				return res, nil
+			}),
+		mk("approved_comments",
+			`select author, body, created_at from comments where approved = true order by created_at asc`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				comments, err := db.Table("comments")
+				if err != nil {
+					return nil, err
+				}
+				au, bo, cr := colIdx(comments, "author", "body", "created_at")
+				ap := comments.Schema.ColumnIndex("approved")
+				var rows []sqldb.Row
+				for _, r := range comments.Rows {
+					if r[ap].Bool() {
+						rows = append(rows, sqldb.Row{r[au], r[bo], r[cr]})
+					}
+				}
+				sortRows(rows, func(r sqldb.Row) sqldb.Value { return r[2] }, false)
+				return &sqldb.Result{Columns: []string{"author", "body", "created_at"}, Rows: rows}, nil
+			}),
+		mk("recent_comments",
+			`select id, author, created_at from comments order by created_at desc limit 10`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				comments, err := db.Table("comments")
+				if err != nil {
+					return nil, err
+				}
+				id, au, cr := colIdx(comments, "id", "author", "created_at")
+				var rows []sqldb.Row
+				for _, r := range comments.Rows {
+					rows = append(rows, sqldb.Row{r[id], r[au], r[cr]})
+				}
+				sortRows(rows, func(r sqldb.Row) sqldb.Value { return r[2] }, true)
+				return &sqldb.Result{Columns: []string{"id", "author", "created_at"}, Rows: limitRows(rows, 10)}, nil
+			}),
+		mk("pages_index",
+			`select title, slug, created_at from pages order by created_at desc limit 5`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				pages, err := db.Table("pages")
+				if err != nil {
+					return nil, err
+				}
+				ti, sl, cr := colIdx(pages, "title", "slug", "created_at")
+				var rows []sqldb.Row
+				for _, r := range pages.Rows {
+					rows = append(rows, sqldb.Row{r[ti], r[sl], r[cr]})
+				}
+				sortRows(rows, func(r sqldb.Row) sqldb.Value { return r[2] }, true)
+				return &sqldb.Result{Columns: []string{"title", "slug", "created_at"}, Rows: limitRows(rows, 5)}, nil
+			}),
+		mk("page_by_slug",
+			`select id, title, body from pages where slug like 'page-%'`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				pages, err := db.Table("pages")
+				if err != nil {
+					return nil, err
+				}
+				id, ti, bo := colIdx(pages, "id", "title", "body")
+				sl := pages.Schema.ColumnIndex("slug")
+				res := &sqldb.Result{Columns: []string{"id", "title", "body"}}
+				for _, r := range pages.Rows {
+					if !r[sl].Null && strings.HasPrefix(r[sl].S, "page-") {
+						res.Rows = append(res.Rows, sqldb.Row{r[id], r[ti], r[bo]})
+					}
+				}
+				return res, nil
+			}),
+		mk("posts_per_tag",
+			`select tags.name, count(*) as posts from tags, taggings
+			 where tags.id = taggings.tag_id group by tags.name order by tags.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				tags, err := db.Table("tags")
+				if err != nil {
+					return nil, err
+				}
+				taggings, err := db.Table("taggings")
+				if err != nil {
+					return nil, err
+				}
+				gid, gname := colIdx2(tags, "id", "name")
+				_, ttag := colIdx2(taggings, "post_id", "tag_id")
+				counts := map[string]int64{}
+				for _, tg := range taggings.Rows {
+					for _, tagRow := range tags.Rows {
+						if sqldb.Equal(tg[ttag], tagRow[gid]) {
+							counts[tagRow[gname].S]++
+						}
+					}
+				}
+				names := make([]string, 0, len(counts))
+				for n := range counts {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				res := &sqldb.Result{Columns: []string{"name", "posts"}}
+				for _, n := range names {
+					res.Rows = append(res.Rows, sqldb.Row{sqldb.NewText(n), sqldb.NewInt(counts[n])})
+				}
+				return res, nil
+			}),
+		mk("approved_counts_per_post",
+			`select post_id, count(*) as approved from comments where approved = true
+			 group by post_id`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				comments, err := db.Table("comments")
+				if err != nil {
+					return nil, err
+				}
+				pid := comments.Schema.ColumnIndex("post_id")
+				ap := comments.Schema.ColumnIndex("approved")
+				counts := map[int64]int64{}
+				var order []int64
+				for _, r := range comments.Rows {
+					if !r[ap].Bool() {
+						continue
+					}
+					if _, ok := counts[r[pid].I]; !ok {
+						order = append(order, r[pid].I)
+					}
+					counts[r[pid].I]++
+				}
+				res := &sqldb.Result{Columns: []string{"post_id", "approved"}}
+				for _, k := range order {
+					res.Rows = append(res.Rows, sqldb.Row{sqldb.NewInt(k), sqldb.NewInt(counts[k])})
+				}
+				return res, nil
+			}),
+		mk("search_posts",
+			`select id, title from posts where title like '%ruby%' order by title`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				posts, err := db.Table("posts")
+				if err != nil {
+					return nil, err
+				}
+				id, ti := colIdx2(posts, "id", "title")
+				var rows []sqldb.Row
+				for _, r := range posts.Rows {
+					if !r[ti].Null && strings.Contains(r[ti].S, "ruby") {
+						rows = append(rows, sqldb.Row{r[id], r[ti]})
+					}
+				}
+				sortRows(rows, func(r sqldb.Row) sqldb.Value { return r[1] }, false)
+				return &sqldb.Result{Columns: []string{"id", "title"}, Rows: rows}, nil
+			}),
+		mk("popular_posts",
+			`select id, title, approved_comments_count from posts
+			 where approved_comments_count >= 5
+			 order by approved_comments_count desc limit 10`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				posts, err := db.Table("posts")
+				if err != nil {
+					return nil, err
+				}
+				id, ti, cc := colIdx(posts, "id", "title", "approved_comments_count")
+				var rows []sqldb.Row
+				for _, r := range posts.Rows {
+					if !r[cc].Null && r[cc].I >= 5 {
+						rows = append(rows, sqldb.Row{r[id], r[ti], r[cc]})
+					}
+				}
+				sortRows(rows, func(r sqldb.Row) sqldb.Value { return r[2] }, true)
+				return &sqldb.Result{Columns: []string{"id", "title", "approved_comments_count"}, Rows: limitRows(rows, 10)}, nil
+			}),
+		mk("tag_list",
+			`select name from tags order by name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				tags, err := db.Table("tags")
+				if err != nil {
+					return nil, err
+				}
+				_, gname := colIdx2(tags, "id", "name")
+				var rows []sqldb.Row
+				for _, r := range tags.Rows {
+					rows = append(rows, sqldb.Row{r[gname]})
+				}
+				sortRows(rows, func(r sqldb.Row) sqldb.Value { return r[0] }, false)
+				return &sqldb.Result{Columns: []string{"name"}, Rows: rows}, nil
+			}),
+		mk("approved_comment_total",
+			`select count(*) as total from comments where approved = true`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				comments, err := db.Table("comments")
+				if err != nil {
+					return nil, err
+				}
+				ap := comments.Schema.ColumnIndex("approved")
+				var n int64
+				for _, r := range comments.Rows {
+					if r[ap].Bool() {
+						n++
+					}
+				}
+				res := &sqldb.Result{Columns: []string{"total"}}
+				// The paper's framework reads a zero aggregate as a
+				// "null result"; the imperative app mirrors that.
+				if n > 0 {
+					res.Rows = append(res.Rows, sqldb.Row{sqldb.NewInt(n)})
+				}
+				return res, nil
+			}),
+		mk("old_archive",
+			`select id, title, published_at from posts where published_at <= date '2007-12-31'
+			 order by published_at asc`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				posts, err := db.Table("posts")
+				if err != nil {
+					return nil, err
+				}
+				id, ti, pub := colIdx(posts, "id", "title", "published_at")
+				cutoff := sqldb.MustDate("2007-12-31")
+				var rows []sqldb.Row
+				for _, r := range posts.Rows {
+					if r[pub].Null {
+						continue
+					}
+					if c, err := sqldb.Compare(r[pub], cutoff); err == nil && c <= 0 {
+						rows = append(rows, sqldb.Row{r[id], r[ti], r[pub]})
+					}
+				}
+				sortRows(rows, func(r sqldb.Row) sqldb.Value { return r[2] }, false)
+				return &sqldb.Result{Columns: []string{"id", "title", "published_at"}, Rows: rows}, nil
+			}),
+	}
+}
+
+// OutOfScopeCommands documents the 3 of 17 Enki commands outside the
+// extractable query class, mirroring the paper's 14/17 in-scope
+// count.
+func OutOfScopeCommands() []string {
+	return []string{
+		"drafts (filters on published_at IS NULL — NULL predicates)",
+		"archive_by_month (groups on extract(month) — non-multilinear function)",
+		"paginated_index (uses OFFSET — outside SPJGHAOL)",
+	}
+}
+
+func colIdx(t *sqldb.Table, a, b, c string) (int, int, int) {
+	return t.Schema.ColumnIndex(a), t.Schema.ColumnIndex(b), t.Schema.ColumnIndex(c)
+}
+
+func colIdx2(t *sqldb.Table, a, b string) (int, int) {
+	return t.Schema.ColumnIndex(a), t.Schema.ColumnIndex(b)
+}

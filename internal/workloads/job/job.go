@@ -1,0 +1,533 @@
+// Package job provides the Join Order Benchmark substrate: the
+// 21-table IMDB schema, a synthetic data generator (the real 5 GB
+// IMDB dump is proprietary-ish and outside an offline build; the
+// substitution preserves the join topology, which is what the
+// paper's Figure 10 stresses), and eleven EQC-compliant hidden
+// queries with 7–12 joins apiece, mirroring the JOB query shapes
+// (ungrouped MIN aggregates over deep join chains with equality and
+// LIKE dimension filters).
+package job
+
+import (
+	"fmt"
+	"math/rand"
+
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+	"unmasque/internal/xdata"
+)
+
+// Scale is the row-scale factor.
+type Scale float64
+
+// Named scales.
+const (
+	ScaleTiny Scale = 0.1
+	ScaleFull Scale = 1.0 // the "IMDB 5 GB" analogue
+)
+
+// Rows reports per-table row counts.
+func (s Scale) Rows() map[string]int {
+	f := float64(s)
+	n := func(x float64, min int) int {
+		if int(x) < min {
+			return min
+		}
+		return int(x)
+	}
+	return map[string]int{
+		"kind_type":       7,
+		"info_type":       30,
+		"role_type":       12,
+		"link_type":       18,
+		"comp_cast_type":  4,
+		"company_type":    4,
+		"title":           n(3000*f, 60),
+		"company_name":    n(600*f, 20),
+		"keyword":         n(800*f, 20),
+		"name":            n(3000*f, 60),
+		"char_name":       n(2000*f, 40),
+		"movie_companies": n(5000*f, 120),
+		"movie_info":      n(8000*f, 150),
+		"movie_info_idx":  n(3000*f, 80),
+		"movie_keyword":   n(6000*f, 120),
+		"cast_info":       n(10000*f, 200),
+		"aka_title":       n(800*f, 20),
+		"aka_name":        n(1000*f, 20),
+		"person_info":     n(2500*f, 60),
+		"movie_link":      n(400*f, 20),
+		"complete_cast":   n(600*f, 20),
+	}
+}
+
+// Schemas returns the IMDB table definitions.
+func Schemas() []sqldb.TableSchema {
+	pk := func(name string) sqldb.Column {
+		return sqldb.Column{Name: name, Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30}
+	}
+	return []sqldb.TableSchema{
+		{Name: "kind_type", Columns: []sqldb.Column{pk("id"), {Name: "kind", Type: sqldb.TText, MaxLen: 15}}, PrimaryKey: []string{"id"}},
+		{Name: "info_type", Columns: []sqldb.Column{pk("id"), {Name: "info", Type: sqldb.TText, MaxLen: 32}}, PrimaryKey: []string{"id"}},
+		{Name: "role_type", Columns: []sqldb.Column{pk("id"), {Name: "role", Type: sqldb.TText, MaxLen: 32}}, PrimaryKey: []string{"id"}},
+		{Name: "link_type", Columns: []sqldb.Column{pk("id"), {Name: "link", Type: sqldb.TText, MaxLen: 32}}, PrimaryKey: []string{"id"}},
+		{Name: "comp_cast_type", Columns: []sqldb.Column{pk("id"), {Name: "kind", Type: sqldb.TText, MaxLen: 32}}, PrimaryKey: []string{"id"}},
+		{Name: "company_type", Columns: []sqldb.Column{pk("id"), {Name: "kind", Type: sqldb.TText, MaxLen: 32}}, PrimaryKey: []string{"id"}},
+		{
+			Name: "title",
+			Columns: []sqldb.Column{
+				pk("id"),
+				{Name: "title", Type: sqldb.TText, MaxLen: 100},
+				{Name: "kind_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "production_year", Type: sqldb.TInt, MinInt: 1900, MaxInt: 2020},
+				{Name: "episode_nr", Type: sqldb.TInt, MinInt: 0, MaxInt: 500},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "kind_id", RefTable: "kind_type", RefColumn: "id"}},
+		},
+		{
+			Name: "company_name",
+			Columns: []sqldb.Column{
+				pk("id"),
+				{Name: "name", Type: sqldb.TText, MaxLen: 100},
+				{Name: "country_code", Type: sqldb.TText, MaxLen: 6},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{Name: "keyword", Columns: []sqldb.Column{pk("id"), {Name: "keyword", Type: sqldb.TText, MaxLen: 64}}, PrimaryKey: []string{"id"}},
+		{
+			Name: "name",
+			Columns: []sqldb.Column{
+				pk("id"),
+				{Name: "name", Type: sqldb.TText, MaxLen: 100},
+				{Name: "gender", Type: sqldb.TText, MaxLen: 1},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{Name: "char_name", Columns: []sqldb.Column{pk("id"), {Name: "name", Type: sqldb.TText, MaxLen: 100}}, PrimaryKey: []string{"id"}},
+		{
+			Name: "movie_companies",
+			Columns: []sqldb.Column{
+				pk("movie_id"), {Name: "company_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "company_type_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "note", Type: sqldb.TText, MaxLen: 100},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "movie_id", RefTable: "title", RefColumn: "id"},
+				{Column: "company_id", RefTable: "company_name", RefColumn: "id"},
+				{Column: "company_type_id", RefTable: "company_type", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "movie_info",
+			Columns: []sqldb.Column{
+				pk("movie_id"), {Name: "info_type_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "info", Type: sqldb.TText, MaxLen: 100},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "movie_id", RefTable: "title", RefColumn: "id"},
+				{Column: "info_type_id", RefTable: "info_type", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "movie_info_idx",
+			Columns: []sqldb.Column{
+				pk("movie_id"), {Name: "info_type_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "info", Type: sqldb.TText, MaxLen: 32},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "movie_id", RefTable: "title", RefColumn: "id"},
+				{Column: "info_type_id", RefTable: "info_type", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "movie_keyword",
+			Columns: []sqldb.Column{
+				pk("movie_id"), {Name: "keyword_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "movie_id", RefTable: "title", RefColumn: "id"},
+				{Column: "keyword_id", RefTable: "keyword", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "cast_info",
+			Columns: []sqldb.Column{
+				pk("movie_id"), {Name: "person_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "person_role_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "role_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "note", Type: sqldb.TText, MaxLen: 100},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "movie_id", RefTable: "title", RefColumn: "id"},
+				{Column: "person_id", RefTable: "name", RefColumn: "id"},
+				{Column: "person_role_id", RefTable: "char_name", RefColumn: "id"},
+				{Column: "role_id", RefTable: "role_type", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "aka_title",
+			Columns: []sqldb.Column{
+				pk("movie_id"), {Name: "title", Type: sqldb.TText, MaxLen: 100},
+			},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "movie_id", RefTable: "title", RefColumn: "id"}},
+		},
+		{
+			Name: "aka_name",
+			Columns: []sqldb.Column{
+				pk("person_id"), {Name: "name", Type: sqldb.TText, MaxLen: 100},
+			},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "person_id", RefTable: "name", RefColumn: "id"}},
+		},
+		{
+			Name: "person_info",
+			Columns: []sqldb.Column{
+				pk("person_id"), {Name: "info_type_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "info", Type: sqldb.TText, MaxLen: 100},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "person_id", RefTable: "name", RefColumn: "id"},
+				{Column: "info_type_id", RefTable: "info_type", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "movie_link",
+			Columns: []sqldb.Column{
+				pk("movie_id"), {Name: "linked_movie_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "link_type_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "movie_id", RefTable: "title", RefColumn: "id"},
+				{Column: "link_type_id", RefTable: "link_type", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "complete_cast",
+			Columns: []sqldb.Column{
+				pk("movie_id"), {Name: "subject_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "status_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "movie_id", RefTable: "title", RefColumn: "id"},
+				{Column: "subject_id", RefTable: "comp_cast_type", RefColumn: "id"},
+				{Column: "status_id", RefTable: "comp_cast_type", RefColumn: "id"},
+			},
+		},
+	}
+}
+
+var (
+	kinds     = []string{"movie", "tv series", "video game", "video movie", "tv movie", "episode", "short"}
+	infoTypes = []string{"top 250 rank", "bottom 10 rank", "genres", "rating", "votes", "budget", "languages", "release dates", "countries", "runtimes", "color info", "sound mix", "certificates", "gross", "locations", "tech info", "trivia", "goofs", "quotes", "soundtrack", "crazy credits", "alternate versions", "taglines", "plot", "height", "biography", "spouse", "birth date", "death date", "mini biography"}
+	roles     = []string{"actor", "actress", "producer", "writer", "cinematographer", "composer", "costume designer", "director", "editor", "guest", "miscellaneous crew", "production designer"}
+	links     = []string{"follows", "followed by", "remake of", "remade as", "references", "referenced in", "spoofs", "spoofed in", "features", "featured in", "spin off from", "spin off", "version of", "similar to", "edited into", "edited from", "alternate language version of", "unknown link"}
+	ccKinds   = []string{"cast", "crew", "complete", "complete+verified"}
+	coKinds   = []string{"production companies", "distributors", "special effects companies", "miscellaneous companies"}
+	countries = []string{"[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]"}
+	genres    = []string{"Drama", "Comedy", "Action", "Thriller", "Documentary", "Horror", "Romance", "Sci-Fi"}
+	words     = []string{"dark", "night", "city", "love", "war", "king", "sequel", "story", "last", "first", "blood", "dream"}
+)
+
+// NewDatabase builds a deterministic instance.
+func NewDatabase(scale Scale, seed int64) *sqldb.Database {
+	db := sqldb.NewDatabase()
+	for _, s := range Schemas() {
+		if err := db.CreateTable(s); err != nil {
+			panic(err)
+		}
+	}
+	rows := scale.Rows()
+	rng := rand.New(rand.NewSource(seed))
+	i, s := sqldb.NewInt, sqldb.NewText
+	phrase := func(n int) sqldb.Value {
+		out := ""
+		for k := 0; k < n; k++ {
+			if k > 0 {
+				out += " "
+			}
+			out += words[rng.Intn(len(words))]
+		}
+		return s(out)
+	}
+	fill := func(table string, names []string) {
+		for idx, v := range names {
+			ins(db, table, i(int64(idx+1)), s(v))
+		}
+	}
+	fill("kind_type", kinds)
+	fill("info_type", infoTypes)
+	fill("role_type", roles)
+	fill("link_type", links)
+	fill("comp_cast_type", ccKinds)
+	fill("company_type", coKinds)
+
+	for t := 1; t <= rows["title"]; t++ {
+		ins(db, "title", i(int64(t)), phrase(3), i(int64(1+rng.Intn(len(kinds)))),
+			i(int64(1900+rng.Intn(120))), i(int64(rng.Intn(50))))
+	}
+	for c := 1; c <= rows["company_name"]; c++ {
+		ins(db, "company_name", i(int64(c)), phrase(2), s(countries[rng.Intn(len(countries))]))
+	}
+	for k := 1; k <= rows["keyword"]; k++ {
+		ins(db, "keyword", i(int64(k)), s(fmt.Sprintf("%s-%s-%d", words[rng.Intn(len(words))], words[rng.Intn(len(words))], k%97)))
+	}
+	genders := []string{"m", "f", ""}
+	for n := 1; n <= rows["name"]; n++ {
+		ins(db, "name", i(int64(n)), phrase(2), s(genders[rng.Intn(len(genders))]))
+	}
+	for c := 1; c <= rows["char_name"]; c++ {
+		ins(db, "char_name", i(int64(c)), phrase(2))
+	}
+	for m := 1; m <= rows["movie_companies"]; m++ {
+		ins(db, "movie_companies", i(int64(1+rng.Intn(rows["title"]))),
+			i(int64(1+rng.Intn(rows["company_name"]))), i(int64(1+rng.Intn(len(coKinds)))), phrase(2))
+	}
+	for m := 1; m <= rows["movie_info"]; m++ {
+		itID := 1 + rng.Intn(len(infoTypes))
+		info := phrase(2)
+		if infoTypes[itID-1] == "genres" {
+			info = s(genres[rng.Intn(len(genres))])
+		}
+		ins(db, "movie_info", i(int64(1+rng.Intn(rows["title"]))), i(int64(itID)), info)
+	}
+	for m := 1; m <= rows["movie_info_idx"]; m++ {
+		ins(db, "movie_info_idx", i(int64(1+rng.Intn(rows["title"]))),
+			i(int64(1+rng.Intn(len(infoTypes)))), s(fmt.Sprintf("%d.%d", rng.Intn(10), rng.Intn(10))))
+	}
+	for m := 1; m <= rows["movie_keyword"]; m++ {
+		ins(db, "movie_keyword", i(int64(1+rng.Intn(rows["title"]))), i(int64(1+rng.Intn(rows["keyword"]))))
+	}
+	for m := 1; m <= rows["cast_info"]; m++ {
+		ins(db, "cast_info", i(int64(1+rng.Intn(rows["title"]))), i(int64(1+rng.Intn(rows["name"]))),
+			i(int64(1+rng.Intn(rows["char_name"]))), i(int64(1+rng.Intn(len(roles)))), phrase(1))
+	}
+	for m := 1; m <= rows["aka_title"]; m++ {
+		ins(db, "aka_title", i(int64(1+rng.Intn(rows["title"]))), phrase(3))
+	}
+	for m := 1; m <= rows["aka_name"]; m++ {
+		ins(db, "aka_name", i(int64(1+rng.Intn(rows["name"]))), phrase(2))
+	}
+	for m := 1; m <= rows["person_info"]; m++ {
+		ins(db, "person_info", i(int64(1+rng.Intn(rows["name"]))),
+			i(int64(1+rng.Intn(len(infoTypes)))), phrase(3))
+	}
+	for m := 1; m <= rows["movie_link"]; m++ {
+		ins(db, "movie_link", i(int64(1+rng.Intn(rows["title"]))),
+			i(int64(1+rng.Intn(rows["title"]))), i(int64(1+rng.Intn(len(links)))))
+	}
+	for m := 1; m <= rows["complete_cast"]; m++ {
+		ins(db, "complete_cast", i(int64(1+rng.Intn(rows["title"]))),
+			i(int64(1+rng.Intn(len(ccKinds)))), i(int64(1+rng.Intn(len(ccKinds)))))
+	}
+	return db
+}
+
+func ins(db *sqldb.Database, table string, vals ...sqldb.Value) {
+	if err := db.Insert(table, vals...); err != nil {
+		panic(fmt.Sprintf("job generator: %v", err))
+	}
+}
+
+// HiddenQueries returns eleven EQC-compliant JOB-style queries. Join
+// counts range from 7 to 12 equi-join predicates (the paper: "≥ 7
+// joins in each query — in fact, query Q24b has as many as 12").
+func HiddenQueries() map[string]string {
+	return map[string]string{
+		// 7 joins.
+		"J1": `
+			select min(title.title) as movie_title, min(title.production_year) as movie_year
+			from company_type, movie_companies, title, kind_type, movie_info, info_type, company_name
+			where company_type.id = movie_companies.company_type_id
+			  and movie_companies.movie_id = title.id
+			  and title.kind_id = kind_type.id
+			  and movie_info.movie_id = title.id
+			  and movie_info.info_type_id = info_type.id
+			  and movie_companies.company_id = company_name.id
+			  and movie_companies.movie_id = movie_info.movie_id
+			  and company_type.kind = 'production companies'
+			  and kind_type.kind = 'movie'
+			  and title.production_year >= 1990`,
+		// 7 joins, LIKE filter.
+		"J2": `
+			select min(title.title) as movie_title
+			from keyword, movie_keyword, title, movie_companies, company_name, kind_type, movie_info
+			where keyword.id = movie_keyword.keyword_id
+			  and movie_keyword.movie_id = title.id
+			  and movie_companies.movie_id = title.id
+			  and movie_companies.company_id = company_name.id
+			  and title.kind_id = kind_type.id
+			  and movie_info.movie_id = title.id
+			  and movie_keyword.movie_id = movie_companies.movie_id
+			  and keyword.keyword like '%sequel%'
+			  and company_name.country_code = '[us]'`,
+		// 8 joins.
+		"J3": `
+			select min(name.name) as actor_name, min(title.title) as movie_title
+			from cast_info, name, title, role_type, kind_type, movie_companies, company_name, char_name
+			where cast_info.person_id = name.id
+			  and cast_info.movie_id = title.id
+			  and cast_info.role_id = role_type.id
+			  and cast_info.person_role_id = char_name.id
+			  and title.kind_id = kind_type.id
+			  and movie_companies.movie_id = title.id
+			  and movie_companies.company_id = company_name.id
+			  and movie_companies.movie_id = cast_info.movie_id
+			  and role_type.role = 'actor'
+			  and title.production_year >= 2000`,
+		// 8 joins with a between filter.
+		"J4": `
+			select min(title.title) as movie_title, min(movie_info_idx.info) as rating
+			from movie_info_idx, info_type, title, kind_type, movie_keyword, keyword, movie_info, movie_companies
+			where movie_info_idx.movie_id = title.id
+			  and movie_info_idx.info_type_id = info_type.id
+			  and title.kind_id = kind_type.id
+			  and movie_keyword.movie_id = title.id
+			  and movie_keyword.keyword_id = keyword.id
+			  and movie_info.movie_id = title.id
+			  and movie_companies.movie_id = title.id
+			  and movie_keyword.movie_id = movie_info.movie_id
+			  and info_type.info = 'rating'
+			  and title.production_year between 1980 and 1995`,
+		// 9 joins.
+		"J5": `
+			select min(name.name) as writer_name, min(title.title) as movie_title
+			from cast_info, name, title, role_type, movie_info, info_type, kind_type, aka_name, person_info
+			where cast_info.person_id = name.id
+			  and cast_info.movie_id = title.id
+			  and cast_info.role_id = role_type.id
+			  and movie_info.movie_id = title.id
+			  and movie_info.info_type_id = info_type.id
+			  and title.kind_id = kind_type.id
+			  and aka_name.person_id = name.id
+			  and person_info.person_id = name.id
+			  and aka_name.person_id = person_info.person_id
+			  and role_type.role = 'writer'`,
+		// 9 joins with grouping.
+		"J6": `
+			select kind_type.kind, count(*) as movies
+			from kind_type, title, movie_companies, company_name, company_type, movie_keyword, keyword, movie_info, info_type
+			where title.kind_id = kind_type.id
+			  and movie_companies.movie_id = title.id
+			  and movie_companies.company_id = company_name.id
+			  and movie_companies.company_type_id = company_type.id
+			  and movie_keyword.movie_id = title.id
+			  and movie_keyword.keyword_id = keyword.id
+			  and movie_info.movie_id = title.id
+			  and movie_info.info_type_id = info_type.id
+			  and movie_keyword.movie_id = movie_companies.movie_id
+			  and company_name.country_code = '[us]'
+			group by kind_type.kind
+			order by kind_type.kind`,
+		// 10 joins.
+		"J7": `
+			select min(title.title) as movie_title, min(company_name.name) as producer
+			from title, kind_type, movie_companies, company_name, company_type, movie_info, info_type, movie_keyword, keyword, aka_title
+			where title.kind_id = kind_type.id
+			  and movie_companies.movie_id = title.id
+			  and movie_companies.company_id = company_name.id
+			  and movie_companies.company_type_id = company_type.id
+			  and movie_info.movie_id = title.id
+			  and movie_info.info_type_id = info_type.id
+			  and movie_keyword.movie_id = title.id
+			  and movie_keyword.keyword_id = keyword.id
+			  and aka_title.movie_id = title.id
+			  and aka_title.movie_id = movie_keyword.movie_id
+			  and company_type.kind = 'production companies'
+			  and title.production_year >= 1985`,
+		// 10 joins, person-centric.
+		"J8": `
+			select min(name.name) as person, min(char_name.name) as character
+			from name, cast_info, char_name, role_type, title, kind_type, movie_info, info_type, aka_name, person_info
+			where cast_info.person_id = name.id
+			  and cast_info.person_role_id = char_name.id
+			  and cast_info.role_id = role_type.id
+			  and cast_info.movie_id = title.id
+			  and title.kind_id = kind_type.id
+			  and movie_info.movie_id = title.id
+			  and movie_info.info_type_id = info_type.id
+			  and aka_name.person_id = name.id
+			  and person_info.person_id = name.id
+			  and person_info.person_id = aka_name.person_id
+			  and name.gender = 'f'
+			  and kind_type.kind = 'movie'`,
+		// 11 joins.
+		"J9": `
+			select min(title.title) as movie_title
+			from title, kind_type, movie_companies, company_name, company_type, movie_info, info_type, movie_keyword, keyword, cast_info, name
+			where title.kind_id = kind_type.id
+			  and movie_companies.movie_id = title.id
+			  and movie_companies.company_id = company_name.id
+			  and movie_companies.company_type_id = company_type.id
+			  and movie_info.movie_id = title.id
+			  and movie_info.info_type_id = info_type.id
+			  and movie_keyword.movie_id = title.id
+			  and movie_keyword.keyword_id = keyword.id
+			  and cast_info.movie_id = title.id
+			  and cast_info.person_id = name.id
+			  and cast_info.movie_id = movie_keyword.movie_id
+			  and kind_type.kind = 'movie'
+			  and company_name.country_code = '[us]'`,
+		// 11 joins with complete_cast.
+		"J10": `
+			select min(title.title) as movie_title, min(name.name) as actor
+			from complete_cast, comp_cast_type, title, kind_type, cast_info, name, role_type, movie_companies, company_name, movie_info, info_type
+			where complete_cast.movie_id = title.id
+			  and complete_cast.subject_id = comp_cast_type.id
+			  and title.kind_id = kind_type.id
+			  and cast_info.movie_id = title.id
+			  and cast_info.person_id = name.id
+			  and cast_info.role_id = role_type.id
+			  and movie_companies.movie_id = title.id
+			  and movie_companies.company_id = company_name.id
+			  and movie_info.movie_id = title.id
+			  and movie_info.info_type_id = info_type.id
+			  and cast_info.movie_id = complete_cast.movie_id
+			  and comp_cast_type.kind = 'cast'`,
+		// 12 joins — the Q24b analogue.
+		"J11": `
+			select min(title.title) as movie_title, min(keyword.keyword) as key_word
+			from title, kind_type, movie_companies, company_name, company_type, movie_info, info_type, movie_keyword, keyword, cast_info, name, role_type
+			where title.kind_id = kind_type.id
+			  and movie_companies.movie_id = title.id
+			  and movie_companies.company_id = company_name.id
+			  and movie_companies.company_type_id = company_type.id
+			  and movie_info.movie_id = title.id
+			  and movie_info.info_type_id = info_type.id
+			  and movie_keyword.movie_id = title.id
+			  and movie_keyword.keyword_id = keyword.id
+			  and cast_info.movie_id = title.id
+			  and cast_info.person_id = name.id
+			  and cast_info.role_id = role_type.id
+			  and cast_info.movie_id = movie_companies.movie_id
+			  and role_type.role = 'actor'
+			  and title.production_year >= 1995`,
+	}
+}
+
+// QueryOrder lists the queries in presentation order.
+func QueryOrder() []string {
+	return []string{"J1", "J2", "J3", "J4", "J5", "J6", "J7", "J8", "J9", "J10", "J11"}
+}
+
+// PlantWitnesses guarantees populated results for the given queries.
+func PlantWitnesses(db *sqldb.Database, queries map[string]string) error {
+	schemas := Schemas()
+	const keyBase = 70_000_000
+	offset := int64(0)
+	for name, sql := range queries {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", name, err)
+		}
+		analysis, err := xdata.Analyze(stmt, schemas)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", name, err)
+		}
+		for w := 0; w < 3; w++ {
+			if err := analysis.PlantWitness(db, keyBase+offset, w, nil); err != nil {
+				return fmt.Errorf("query %s witness %d: %w", name, w, err)
+			}
+			offset++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package job
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+)
+
+func TestSchemasConsistent(t *testing.T) {
+	db := sqldb.NewDatabase()
+	for _, s := range Schemas() {
+		if err := db.CreateTable(s); err != nil {
+			t.Fatalf("create %s: %v", s.Name, err)
+		}
+	}
+	if len(Schemas()) != 21 {
+		t.Errorf("expected the 21-table IMDB schema, got %d", len(Schemas()))
+	}
+	for _, s := range Schemas() {
+		for _, fk := range s.ForeignKeys {
+			ref, err := db.Table(fk.RefTable)
+			if err != nil {
+				t.Errorf("%s: FK to missing table %s", s.Name, fk.RefTable)
+				continue
+			}
+			if ref.Schema.ColumnIndex(fk.RefColumn) < 0 {
+				t.Errorf("%s: FK to missing column %s.%s", s.Name, fk.RefTable, fk.RefColumn)
+			}
+		}
+	}
+}
+
+func TestQueriesRunPopulatedAndJoinCounts(t *testing.T) {
+	db := NewDatabase(ScaleTiny, 3)
+	if err := PlantWitnesses(db, HiddenQueries()); err != nil {
+		t.Fatal(err)
+	}
+	for name, sql := range HiddenQueries() {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		// Count equi-join predicates: the paper's suite has >= 7 per
+		// query, up to 12.
+		joins := 0
+		for _, c := range sqldb.Conjuncts(stmt.Where) {
+			if b, ok := c.(*sqldb.BinaryExpr); ok && b.Op == sqldb.OpEq {
+				if _, lok := b.L.(*sqldb.ColumnExpr); lok {
+					if _, rok := b.R.(*sqldb.ColumnExpr); rok {
+						joins++
+					}
+				}
+			}
+		}
+		if joins < 7 {
+			t.Errorf("%s has only %d joins; the JOB suite requires >= 7", name, joins)
+		}
+		res, err := db.Execute(context.Background(), stmt)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.Populated() {
+			t.Errorf("%s unpopulated", name)
+		}
+	}
+	// The deepest query carries 12 joins (the Q24b analogue).
+	deepest := 0
+	for _, sql := range HiddenQueries() {
+		deepest = max(deepest, strings.Count(sql, "="))
+	}
+	if deepest < 12 {
+		t.Errorf("no query reaches 12 join/filter predicates (max %d)", deepest)
+	}
+}
+
+func TestGeneratorScales(t *testing.T) {
+	small := NewDatabase(ScaleTiny, 5).TotalRows()
+	big := NewDatabase(ScaleFull, 5).TotalRows()
+	if big <= small {
+		t.Errorf("scaling broken: %d vs %d", small, big)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,360 @@
+// Package rubis reproduces the paper's RUBiS experiment (Section 6.3;
+// per-function details live in the technical report — experiment E8
+// of DESIGN.md): the auction-site benchmark's read-side servlets
+// re-written as imperative Go over the RUBiS schema.
+package rubis
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"unmasque/internal/app"
+	"unmasque/internal/sqldb"
+)
+
+// Schemas returns the auction-site tables.
+func Schemas() []sqldb.TableSchema {
+	id := func(name string) sqldb.Column {
+		return sqldb.Column{Name: name, Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30}
+	}
+	text := func(name string, n int) sqldb.Column {
+		return sqldb.Column{Name: name, Type: sqldb.TText, MaxLen: n}
+	}
+	money := func(name string) sqldb.Column {
+		return sqldb.Column{Name: name, Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 100000}
+	}
+	return []sqldb.TableSchema{
+		{
+			Name:       "regions",
+			Columns:    []sqldb.Column{id("id"), text("name", 40)},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name:       "categories",
+			Columns:    []sqldb.Column{id("id"), text("name", 40)},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "users",
+			Columns: []sqldb.Column{
+				id("id"), text("nickname", 30), text("email", 60),
+				{Name: "rating", Type: sqldb.TInt, MinInt: -10, MaxInt: 100},
+				id("region_id"),
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "region_id", RefTable: "regions", RefColumn: "id"}},
+		},
+		{
+			Name: "items",
+			Columns: []sqldb.Column{
+				id("id"), text("name", 80), text("description", 120),
+				money("initial_price"), money("reserve_price"),
+				{Name: "quantity", Type: sqldb.TInt, MinInt: 1, MaxInt: 50},
+				{Name: "end_date", Type: sqldb.TDate, MinInt: dayOf("2009-01-01"), MaxInt: dayOf("2010-12-31")},
+				id("seller_id"), id("category_id"),
+			},
+			PrimaryKey: []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "seller_id", RefTable: "users", RefColumn: "id"},
+				{Column: "category_id", RefTable: "categories", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "bids",
+			Columns: []sqldb.Column{
+				id("id"), id("user_id"), id("item_id"), money("bid"),
+				{Name: "bid_date", Type: sqldb.TDate, MinInt: dayOf("2009-01-01"), MaxInt: dayOf("2010-12-31")},
+			},
+			PrimaryKey: []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "user_id", RefTable: "users", RefColumn: "id"},
+				{Column: "item_id", RefTable: "items", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "comments",
+			Columns: []sqldb.Column{
+				id("id"), id("from_user_id"), id("to_user_id"),
+				{Name: "rating", Type: sqldb.TInt, MinInt: -5, MaxInt: 5},
+				text("comment", 120),
+			},
+			PrimaryKey: []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "from_user_id", RefTable: "users", RefColumn: "id"},
+				{Column: "to_user_id", RefTable: "users", RefColumn: "id"},
+			},
+		},
+	}
+}
+
+func dayOf(s string) int64 { return sqldb.MustDate(s).I }
+
+var (
+	regionNames   = []string{"AZ--Phoenix", "CA--Los Angeles", "CA--San Francisco", "NY--New York", "TX--Houston", "WA--Seattle"}
+	categoryNames = []string{"Antiques", "Books", "Computers", "Electronics", "Jewelry", "Movies", "Music", "Sports", "Toys"}
+	itemWords     = []string{"vintage", "rare", "signed", "boxed", "mint", "classic", "limited", "sealed"}
+)
+
+// NewDatabase builds the synthetic instance.
+func NewDatabase(seed int64) *sqldb.Database {
+	db := sqldb.NewDatabase()
+	for _, s := range Schemas() {
+		if err := db.CreateTable(s); err != nil {
+			panic(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	i, f, s := sqldb.NewInt, sqldb.NewFloat, sqldb.NewText
+	d := func(off int) sqldb.Value { return sqldb.NewDate(dayOf("2009-01-01") + int64(off)) }
+	const users, items, bids, comments = 120, 300, 1200, 400
+	for r, n := range regionNames {
+		ins(db, "regions", i(int64(r+1)), s(n))
+	}
+	for c, n := range categoryNames {
+		ins(db, "categories", i(int64(c+1)), s(n))
+	}
+	for u := 1; u <= users; u++ {
+		ins(db, "users", i(int64(u)), s(fmt.Sprintf("user%d", u)), s(fmt.Sprintf("u%d@rubis.net", u)),
+			i(int64(rng.Intn(111)-10)), i(int64(1+rng.Intn(len(regionNames)))))
+	}
+	for it := 1; it <= items; it++ {
+		name := fmt.Sprintf("%s %s %d", itemWords[rng.Intn(len(itemWords))], itemWords[rng.Intn(len(itemWords))], it)
+		price := 1 + float64(rng.Intn(99900))/100
+		ins(db, "items", i(int64(it)), s(name), s("description of "+name),
+			f(price), f(price*1.5), i(int64(1+rng.Intn(10))), d(rng.Intn(700)),
+			i(int64(1+rng.Intn(users))), i(int64(1+rng.Intn(len(categoryNames)))))
+	}
+	for b := 1; b <= bids; b++ {
+		ins(db, "bids", i(int64(b)), i(int64(1+rng.Intn(users))), i(int64(1+rng.Intn(items))),
+			f(1+float64(rng.Intn(150000))/100), d(rng.Intn(700)))
+	}
+	for c := 1; c <= comments; c++ {
+		ins(db, "comments", i(int64(c)), i(int64(1+rng.Intn(users))), i(int64(1+rng.Intn(users))),
+			i(int64(rng.Intn(11)-5)), s("comment body"))
+	}
+	return db
+}
+
+func ins(db *sqldb.Database, table string, vals ...sqldb.Value) {
+	if err := db.Insert(table, vals...); err != nil {
+		panic(fmt.Sprintf("rubis generator: %v", err))
+	}
+}
+
+// Servlet couples one imperative routine with its RUBiS-style name.
+type Servlet struct {
+	Name string
+	Exe  *app.ImperativeExecutable
+}
+
+// Servlets returns the eight in-scope read-side functions.
+func Servlets() []Servlet {
+	mk := func(name, truth string, fn app.ImperativeFunc) Servlet {
+		return Servlet{Name: name, Exe: app.NewImperativeExecutable("rubis/"+name, fn, truth)}
+	}
+	return []Servlet{
+		mk("SearchItemsByCategory",
+			`select items.name, items.initial_price, categories.name as category
+			 from items, categories
+			 where items.category_id = categories.id and categories.name = 'Computers'`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				items, cats, err := twoTables(db, "items", "categories")
+				if err != nil {
+					return nil, err
+				}
+				inm, ipr, icat := items.Schema.ColumnIndex("name"), items.Schema.ColumnIndex("initial_price"), items.Schema.ColumnIndex("category_id")
+				cid, cnm := cats.Schema.ColumnIndex("id"), cats.Schema.ColumnIndex("name")
+				res := &sqldb.Result{Columns: []string{"name", "initial_price", "category"}}
+				for _, c := range cats.Rows {
+					if c[cnm].S != "Computers" {
+						continue
+					}
+					for _, it := range items.Rows {
+						if sqldb.Equal(it[icat], c[cid]) {
+							res.Rows = append(res.Rows, sqldb.Row{it[inm], it[ipr], c[cnm]})
+						}
+					}
+				}
+				return res, nil
+			}),
+		mk("ViewBidHistory",
+			`select users.nickname, bids.bid, bids.bid_date from users, bids
+			 where bids.user_id = users.id and bids.bid >= 1000
+			 order by bids.bid desc limit 20`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				users, bids, err := twoTables(db, "users", "bids")
+				if err != nil {
+					return nil, err
+				}
+				unick, uid := users.Schema.ColumnIndex("nickname"), users.Schema.ColumnIndex("id")
+				buid, bamt, bdate := bids.Schema.ColumnIndex("user_id"), bids.Schema.ColumnIndex("bid"), bids.Schema.ColumnIndex("bid_date")
+				var rows []sqldb.Row
+				for _, b := range bids.Rows {
+					if b[bamt].Null || b[bamt].F < 1000 {
+						continue
+					}
+					for _, u := range users.Rows {
+						if sqldb.Equal(u[uid], b[buid]) {
+							rows = append(rows, sqldb.Row{u[unick], b[bamt], b[bdate]})
+						}
+					}
+				}
+				sort.SliceStable(rows, func(a, b int) bool { return rows[a][1].F > rows[b][1].F })
+				if len(rows) > 20 {
+					rows = rows[:20]
+				}
+				return &sqldb.Result{Columns: []string{"nickname", "bid", "bid_date"}, Rows: rows}, nil
+			}),
+		mk("BidsPerItem",
+			`select items.name, count(*) as bids from items, bids
+			 where bids.item_id = items.id group by items.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				items, bids, err := twoTables(db, "items", "bids")
+				if err != nil {
+					return nil, err
+				}
+				iid, inm := items.Schema.ColumnIndex("id"), items.Schema.ColumnIndex("name")
+				bitem := bids.Schema.ColumnIndex("item_id")
+				counts := map[string]int64{}
+				var order []string
+				for _, it := range items.Rows {
+					for _, b := range bids.Rows {
+						if sqldb.Equal(b[bitem], it[iid]) {
+							if _, ok := counts[it[inm].S]; !ok {
+								order = append(order, it[inm].S)
+							}
+							counts[it[inm].S]++
+						}
+					}
+				}
+				res := &sqldb.Result{Columns: []string{"name", "bids"}}
+				for _, n := range order {
+					res.Rows = append(res.Rows, sqldb.Row{sqldb.NewText(n), sqldb.NewInt(counts[n])})
+				}
+				return res, nil
+			}),
+		mk("MaxBidPerItem",
+			`select item_id, max(bid) as top_bid from bids group by item_id`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				bids, err := db.Table("bids")
+				if err != nil {
+					return nil, err
+				}
+				bitem, bamt := bids.Schema.ColumnIndex("item_id"), bids.Schema.ColumnIndex("bid")
+				best := map[int64]float64{}
+				var order []int64
+				for _, b := range bids.Rows {
+					k := b[bitem].I
+					if cur, ok := best[k]; !ok || b[bamt].F > cur {
+						if !ok {
+							order = append(order, k)
+						}
+						best[k] = b[bamt].F
+					}
+				}
+				res := &sqldb.Result{Columns: []string{"item_id", "top_bid"}}
+				for _, k := range order {
+					res.Rows = append(res.Rows, sqldb.Row{sqldb.NewInt(k), sqldb.NewFloat(best[k])})
+				}
+				return res, nil
+			}),
+		mk("UsersPerRegion",
+			`select regions.name, count(*) as members from regions, users
+			 where users.region_id = regions.id group by regions.name order by regions.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				regions, users, err := twoTables(db, "regions", "users")
+				if err != nil {
+					return nil, err
+				}
+				rid, rnm := regions.Schema.ColumnIndex("id"), regions.Schema.ColumnIndex("name")
+				ureg := users.Schema.ColumnIndex("region_id")
+				counts := map[string]int64{}
+				for _, r := range regions.Rows {
+					for _, u := range users.Rows {
+						if sqldb.Equal(u[ureg], r[rid]) {
+							counts[r[rnm].S]++
+						}
+					}
+				}
+				var names []string
+				for n := range counts {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				res := &sqldb.Result{Columns: []string{"name", "members"}}
+				for _, n := range names {
+					res.Rows = append(res.Rows, sqldb.Row{sqldb.NewText(n), sqldb.NewInt(counts[n])})
+				}
+				return res, nil
+			}),
+		mk("ReputableUsers",
+			`select nickname, rating from users where rating >= 50 order by rating desc`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				users, err := db.Table("users")
+				if err != nil {
+					return nil, err
+				}
+				unick, urate := users.Schema.ColumnIndex("nickname"), users.Schema.ColumnIndex("rating")
+				var rows []sqldb.Row
+				for _, u := range users.Rows {
+					if !u[urate].Null && u[urate].I >= 50 {
+						rows = append(rows, sqldb.Row{u[unick], u[urate]})
+					}
+				}
+				sort.SliceStable(rows, func(a, b int) bool { return rows[a][1].I > rows[b][1].I })
+				return &sqldb.Result{Columns: []string{"nickname", "rating"}, Rows: rows}, nil
+			}),
+		mk("SearchItemsByName",
+			`select id, name, initial_price from items where name like '%vintage%'`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				items, err := db.Table("items")
+				if err != nil {
+					return nil, err
+				}
+				iid, inm, ipr := items.Schema.ColumnIndex("id"), items.Schema.ColumnIndex("name"), items.Schema.ColumnIndex("initial_price")
+				res := &sqldb.Result{Columns: []string{"id", "name", "initial_price"}}
+				for _, it := range items.Rows {
+					if sqldb.LikeMatch("%vintage%", it[inm].S) {
+						res.Rows = append(res.Rows, sqldb.Row{it[iid], it[inm], it[ipr]})
+					}
+				}
+				return res, nil
+			}),
+		mk("EndingAuctions",
+			`select id, name, end_date from items where end_date <= date '2009-03-01'
+			 order by end_date asc limit 25`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				items, err := db.Table("items")
+				if err != nil {
+					return nil, err
+				}
+				iid, inm, ied := items.Schema.ColumnIndex("id"), items.Schema.ColumnIndex("name"), items.Schema.ColumnIndex("end_date")
+				cutoff := sqldb.MustDate("2009-03-01")
+				var rows []sqldb.Row
+				for _, it := range items.Rows {
+					if c, err := sqldb.Compare(it[ied], cutoff); err == nil && c <= 0 {
+						rows = append(rows, sqldb.Row{it[iid], it[inm], it[ied]})
+					}
+				}
+				sort.SliceStable(rows, func(a, b int) bool { return rows[a][2].I < rows[b][2].I })
+				if len(rows) > 25 {
+					rows = rows[:25]
+				}
+				return &sqldb.Result{Columns: []string{"id", "name", "end_date"}, Rows: rows}, nil
+			}),
+	}
+}
+
+func twoTables(db *sqldb.Database, a, b string) (*sqldb.Table, *sqldb.Table, error) {
+	ta, err := db.Table(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb, err := db.Table(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ta, tb, nil
+}

@@ -1,0 +1,41 @@
+package rubis
+
+import (
+	"context"
+	"testing"
+
+	"unmasque/internal/sqlparser"
+)
+
+func TestServletsMatchGroundTruth(t *testing.T) {
+	db := NewDatabase(11)
+	for _, sv := range Servlets() {
+		sv := sv
+		t.Run(sv.Name, func(t *testing.T) {
+			got, err := sv.Exe.Run(context.Background(), db)
+			if err != nil {
+				t.Fatalf("imperative run: %v", err)
+			}
+			if !got.Populated() {
+				t.Fatal("empty result on the synthetic instance")
+			}
+			stmt, err := sqlparser.Parse(sv.Exe.GroundTruthSQL())
+			if err != nil {
+				t.Fatalf("ground truth parse: %v", err)
+			}
+			want, err := db.Execute(context.Background(), stmt)
+			if err != nil {
+				t.Fatalf("ground truth run: %v", err)
+			}
+			if !got.EqualUnordered(want) {
+				t.Fatalf("imperative (%d rows) and SQL (%d rows) diverge", got.RowCount(), want.RowCount())
+			}
+		})
+	}
+}
+
+func TestServletCount(t *testing.T) {
+	if len(Servlets()) != 8 {
+		t.Errorf("expected 8 servlets, got %d", len(Servlets()))
+	}
+}

@@ -1,0 +1,328 @@
+// Package tpcds provides a store-sales-centric TPC-DS subset: seven
+// dimension/fact tables with PK/FK linkages, a deterministic
+// generator, and seven EQC-compliant hidden queries derived from the
+// benchmark (the paper evaluates seven TPC-DS queries, with details
+// in its technical report — experiment E9 of DESIGN.md).
+package tpcds
+
+import (
+	"fmt"
+	"math/rand"
+
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+	"unmasque/internal/xdata"
+)
+
+// Scale is the row-scale factor (1.0 ≈ the unit experiment size).
+type Scale float64
+
+// Named scales.
+const (
+	ScaleTiny Scale = 0.1
+	ScaleUnit Scale = 1.0
+)
+
+// Rows reports per-table row counts.
+func (s Scale) Rows() map[string]int {
+	f := float64(s)
+	atLeast := func(n float64, min int) int {
+		if int(n) < min {
+			return min
+		}
+		return int(n)
+	}
+	return map[string]int{
+		"date_dim":               731, // two years of days, scale-independent
+		"item":                   atLeast(1000*f, 40),
+		"customer":               atLeast(2000*f, 40),
+		"customer_address":       atLeast(1000*f, 30),
+		"store":                  atLeast(20*f, 6),
+		"household_demographics": 120,
+		"store_sales":            atLeast(40000*f, 1500),
+	}
+}
+
+// Schemas returns the table definitions.
+func Schemas() []sqldb.TableSchema {
+	return []sqldb.TableSchema{
+		{
+			Name: "date_dim",
+			Columns: []sqldb.Column{
+				{Name: "d_date_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "d_date", Type: sqldb.TDate},
+				{Name: "d_year", Type: sqldb.TInt, MinInt: 1990, MaxInt: 2010},
+				{Name: "d_moy", Type: sqldb.TInt, MinInt: 1, MaxInt: 12},
+				{Name: "d_dom", Type: sqldb.TInt, MinInt: 1, MaxInt: 31},
+				{Name: "d_day_name", Type: sqldb.TText, MaxLen: 9},
+			},
+			PrimaryKey: []string{"d_date_sk"},
+		},
+		{
+			Name: "item",
+			Columns: []sqldb.Column{
+				{Name: "i_item_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "i_item_id", Type: sqldb.TText, MaxLen: 16},
+				{Name: "i_brand_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1000},
+				{Name: "i_brand", Type: sqldb.TText, MaxLen: 50},
+				{Name: "i_manufact_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 1000},
+				{Name: "i_manager_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 100},
+				{Name: "i_category_id", Type: sqldb.TInt, MinInt: 1, MaxInt: 10},
+				{Name: "i_category", Type: sqldb.TText, MaxLen: 50},
+				{Name: "i_current_price", Type: sqldb.TFloat, Precision: 2, MinInt: 1, MaxInt: 300},
+			},
+			PrimaryKey: []string{"i_item_sk"},
+		},
+		{
+			Name: "customer_address",
+			Columns: []sqldb.Column{
+				{Name: "ca_address_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "ca_city", Type: sqldb.TText, MaxLen: 60},
+				{Name: "ca_state", Type: sqldb.TText, MaxLen: 2},
+				{Name: "ca_zip", Type: sqldb.TText, MaxLen: 10},
+				{Name: "ca_gmt_offset", Type: sqldb.TInt, MinInt: -12, MaxInt: 12},
+			},
+			PrimaryKey: []string{"ca_address_sk"},
+		},
+		{
+			Name: "customer",
+			Columns: []sqldb.Column{
+				{Name: "c_customer_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "c_customer_id", Type: sqldb.TText, MaxLen: 16},
+				{Name: "c_first_name", Type: sqldb.TText, MaxLen: 20},
+				{Name: "c_last_name", Type: sqldb.TText, MaxLen: 30},
+				{Name: "c_birth_year", Type: sqldb.TInt, MinInt: 1930, MaxInt: 2000},
+				{Name: "c_current_addr_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+			},
+			PrimaryKey:  []string{"c_customer_sk"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "c_current_addr_sk", RefTable: "customer_address", RefColumn: "ca_address_sk"}},
+		},
+		{
+			Name: "store",
+			Columns: []sqldb.Column{
+				{Name: "s_store_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "s_store_id", Type: sqldb.TText, MaxLen: 16},
+				{Name: "s_store_name", Type: sqldb.TText, MaxLen: 50},
+				{Name: "s_number_employees", Type: sqldb.TInt, MinInt: 50, MaxInt: 1000},
+				{Name: "s_floor_space", Type: sqldb.TInt, MinInt: 1000, MaxInt: 100000},
+				{Name: "s_city", Type: sqldb.TText, MaxLen: 60},
+				{Name: "s_state", Type: sqldb.TText, MaxLen: 2},
+			},
+			PrimaryKey: []string{"s_store_sk"},
+		},
+		{
+			Name: "household_demographics",
+			Columns: []sqldb.Column{
+				{Name: "hd_demo_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "hd_dep_count", Type: sqldb.TInt, MinInt: 0, MaxInt: 9},
+				{Name: "hd_vehicle_count", Type: sqldb.TInt, MinInt: 0, MaxInt: 4},
+			},
+			PrimaryKey: []string{"hd_demo_sk"},
+		},
+		{
+			Name: "store_sales",
+			Columns: []sqldb.Column{
+				{Name: "ss_sold_date_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "ss_item_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "ss_customer_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "ss_store_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "ss_hdemo_sk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "ss_ticket_number", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 40},
+				{Name: "ss_quantity", Type: sqldb.TInt, MinInt: 1, MaxInt: 100},
+				{Name: "ss_list_price", Type: sqldb.TFloat, Precision: 2, MinInt: 1, MaxInt: 300},
+				{Name: "ss_sales_price", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 300},
+				{Name: "ss_ext_sales_price", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 30000},
+				{Name: "ss_ext_discount_amt", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 30000},
+				{Name: "ss_net_profit", Type: sqldb.TFloat, Precision: 2, MinInt: -10000, MaxInt: 20000},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "ss_sold_date_sk", RefTable: "date_dim", RefColumn: "d_date_sk"},
+				{Column: "ss_item_sk", RefTable: "item", RefColumn: "i_item_sk"},
+				{Column: "ss_customer_sk", RefTable: "customer", RefColumn: "c_customer_sk"},
+				{Column: "ss_store_sk", RefTable: "store", RefColumn: "s_store_sk"},
+				{Column: "ss_hdemo_sk", RefTable: "household_demographics", RefColumn: "hd_demo_sk"},
+			},
+		},
+	}
+}
+
+var (
+	categories = []string{"Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Women", "Children"}
+	dayNames   = []string{"Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"}
+	states     = []string{"CA", "TX", "NY", "WA", "IL", "GA"}
+	storeNames = []string{"ese", "ation", "able", "ought", "bar", "cally"}
+)
+
+// NewDatabase builds a deterministic instance.
+func NewDatabase(scale Scale, seed int64) *sqldb.Database {
+	db := sqldb.NewDatabase()
+	for _, s := range Schemas() {
+		if err := db.CreateTable(s); err != nil {
+			panic(err)
+		}
+	}
+	rows := scale.Rows()
+	rng := rand.New(rand.NewSource(seed))
+	i, f, s := sqldb.NewInt, sqldb.NewFloat, sqldb.NewText
+
+	base := sqldb.MustDate("1998-01-01").I
+	for d := 0; d < rows["date_dim"]; d++ {
+		dv := sqldb.NewDate(base + int64(d))
+		year := 1998 + d/365
+		moy := 1 + (d%365)/31
+		if moy > 12 {
+			moy = 12
+		}
+		ins(db, "date_dim", i(int64(d+1)), dv, i(int64(year)), i(int64(moy)), i(int64(1+d%28)), s(dayNames[d%7]))
+	}
+	for it := 1; it <= rows["item"]; it++ {
+		catID := 1 + rng.Intn(10)
+		brandID := 1 + rng.Intn(1000)
+		ins(db, "item",
+			i(int64(it)), s(fmt.Sprintf("ITEM%012d", it)), i(int64(brandID)),
+			s(fmt.Sprintf("brand%d", brandID)), i(int64(1+rng.Intn(1000))), i(int64(1+rng.Intn(100))),
+			i(int64(catID)), s(categories[catID-1]), f(1+float64(rng.Intn(29900))/100))
+	}
+	for a := 1; a <= rows["customer_address"]; a++ {
+		ins(db, "customer_address",
+			i(int64(a)), s(fmt.Sprintf("city%d", rng.Intn(80))), s(states[rng.Intn(len(states))]),
+			s(fmt.Sprintf("%05d", rng.Intn(99999))), i(int64(rng.Intn(25)-12)))
+	}
+	for c := 1; c <= rows["customer"]; c++ {
+		ins(db, "customer",
+			i(int64(c)), s(fmt.Sprintf("CUST%012d", c)), s(fmt.Sprintf("first%d", rng.Intn(500))),
+			s(fmt.Sprintf("last%d", rng.Intn(500))), i(int64(1930+rng.Intn(71))),
+			i(int64(1+rng.Intn(rows["customer_address"]))))
+	}
+	for st := 1; st <= rows["store"]; st++ {
+		ins(db, "store",
+			i(int64(st)), s(fmt.Sprintf("STORE%09d", st)), s(storeNames[st%len(storeNames)]),
+			i(int64(50+rng.Intn(950))), i(int64(1000+rng.Intn(99000))),
+			s(fmt.Sprintf("city%d", rng.Intn(40))), s(states[rng.Intn(len(states))]))
+	}
+	for h := 1; h <= rows["household_demographics"]; h++ {
+		ins(db, "household_demographics", i(int64(h)), i(int64(h%10)), i(int64(h%5)))
+	}
+	for ss := 1; ss <= rows["store_sales"]; ss++ {
+		qty := 1 + rng.Intn(100)
+		list := 1 + float64(rng.Intn(29900))/100
+		sale := list * (0.5 + rng.Float64()/2)
+		ins(db, "store_sales",
+			i(int64(1+rng.Intn(rows["date_dim"]))), i(int64(1+rng.Intn(rows["item"]))),
+			i(int64(1+rng.Intn(rows["customer"]))), i(int64(1+rng.Intn(rows["store"]))),
+			i(int64(1+rng.Intn(rows["household_demographics"]))), i(int64(ss)),
+			i(int64(qty)), f(list), f(sale), f(sale*float64(qty)),
+			f(float64(rng.Intn(3000))/100), f(sale*float64(qty)*0.2-100))
+	}
+	return db
+}
+
+func ins(db *sqldb.Database, table string, vals ...sqldb.Value) {
+	if err := db.Insert(table, vals...); err != nil {
+		panic(fmt.Sprintf("tpcds generator: %v", err))
+	}
+}
+
+// HiddenQueries returns the seven EQC-compliant TPC-DS derivatives
+// (labels reference the originating benchmark queries).
+func HiddenQueries() map[string]string {
+	return map[string]string{
+		"DS3": `
+			select d_year, i_brand_id, i_brand, sum(ss_ext_sales_price) as sum_agg
+			from date_dim, store_sales, item
+			where d_date_sk = ss_sold_date_sk
+			  and ss_item_sk = i_item_sk
+			  and i_manufact_id = 128
+			  and d_moy = 11
+			group by d_year, i_brand_id, i_brand
+			order by d_year, sum_agg desc, i_brand_id`,
+		"DS7": `
+			select i_item_id, avg(ss_quantity) as agg1, avg(ss_list_price) as agg2,
+			       avg(ss_ext_sales_price) as agg3
+			from store_sales, item, household_demographics
+			where ss_item_sk = i_item_sk
+			  and ss_hdemo_sk = hd_demo_sk
+			  and hd_dep_count = 3
+			group by i_item_id
+			order by i_item_id
+			limit 100`,
+		"DS19": `
+			select i_brand_id, i_brand, sum(ss_ext_sales_price) as ext_price
+			from date_dim, store_sales, item
+			where d_date_sk = ss_sold_date_sk
+			  and ss_item_sk = i_item_sk
+			  and i_manager_id = 8
+			  and d_moy = 11
+			  and d_year = 1998
+			group by i_brand_id, i_brand
+			order by ext_price desc, i_brand_id
+			limit 10`,
+		"DS42": `
+			select i_category_id, i_category, sum(ss_ext_sales_price) as total
+			from date_dim, store_sales, item
+			where d_date_sk = ss_sold_date_sk
+			  and ss_item_sk = i_item_sk
+			  and d_moy = 11
+			  and d_year = 1998
+			group by i_category_id, i_category
+			order by total desc
+			limit 100`,
+		"DS52": `
+			select i_brand_id, i_brand, sum(ss_ext_sales_price) as ext_price
+			from date_dim, store_sales, item
+			where d_date_sk = ss_sold_date_sk
+			  and ss_item_sk = i_item_sk
+			  and d_moy = 12
+			  and d_year = 1998
+			group by i_brand_id, i_brand
+			order by ext_price desc, i_brand_id
+			limit 100`,
+		"DS55": `
+			select i_brand_id, i_brand, sum(ss_ext_sales_price) as ext_price
+			from date_dim, store_sales, item
+			where d_date_sk = ss_sold_date_sk
+			  and ss_item_sk = i_item_sk
+			  and i_manager_id = 28
+			  and d_moy = 11
+			  and d_year = 1999
+			group by i_brand_id, i_brand
+			order by ext_price desc, i_brand_id
+			limit 100`,
+		"DS96": `
+			select count(*) as cnt
+			from store_sales, household_demographics, store
+			where ss_hdemo_sk = hd_demo_sk
+			  and ss_store_sk = s_store_sk
+			  and hd_dep_count = 4
+			  and s_store_name = 'ese'`,
+	}
+}
+
+// QueryOrder lists the queries in presentation order.
+func QueryOrder() []string {
+	return []string{"DS3", "DS7", "DS19", "DS42", "DS52", "DS55", "DS96"}
+}
+
+// PlantWitnesses guarantees populated results for the given queries.
+func PlantWitnesses(db *sqldb.Database, queries map[string]string) error {
+	schemas := Schemas()
+	const keyBase = 60_000_000
+	offset := int64(0)
+	for name, sql := range queries {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", name, err)
+		}
+		analysis, err := xdata.Analyze(stmt, schemas)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", name, err)
+		}
+		for w := 0; w < 3; w++ {
+			if err := analysis.PlantWitness(db, keyBase+offset, w, nil); err != nil {
+				return fmt.Errorf("query %s witness %d: %w", name, w, err)
+			}
+			offset++
+		}
+	}
+	return nil
+}

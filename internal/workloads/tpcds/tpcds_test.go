@@ -1,0 +1,63 @@
+package tpcds
+
+import (
+	"context"
+	"testing"
+
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+)
+
+func TestSchemasConsistent(t *testing.T) {
+	db := sqldb.NewDatabase()
+	for _, s := range Schemas() {
+		if err := db.CreateTable(s); err != nil {
+			t.Fatalf("create %s: %v", s.Name, err)
+		}
+	}
+	for _, s := range Schemas() {
+		for _, fk := range s.ForeignKeys {
+			ref, err := db.Table(fk.RefTable)
+			if err != nil {
+				t.Errorf("%s: FK to missing table %s", s.Name, fk.RefTable)
+				continue
+			}
+			if ref.Schema.ColumnIndex(fk.RefColumn) < 0 {
+				t.Errorf("%s: FK to missing column %s.%s", s.Name, fk.RefTable, fk.RefColumn)
+			}
+		}
+	}
+}
+
+func TestQueriesRunPopulated(t *testing.T) {
+	db := NewDatabase(ScaleTiny, 3)
+	if err := PlantWitnesses(db, HiddenQueries()); err != nil {
+		t.Fatal(err)
+	}
+	for name, sql := range HiddenQueries() {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		res, err := db.Execute(context.Background(), stmt)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.Populated() {
+			t.Errorf("%s unpopulated", name)
+		}
+	}
+	if len(QueryOrder()) != len(HiddenQueries()) {
+		t.Error("QueryOrder out of sync")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewDatabase(ScaleTiny, 9).TotalRows()
+	b := NewDatabase(ScaleTiny, 9).TotalRows()
+	if a != b {
+		t.Errorf("nondeterministic generation: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,215 @@
+package tpch
+
+// HiddenQueries returns the 12 EQC-compliant TPC-H derivatives used
+// for the Figure 9 extraction experiments. Queries whose original
+// benchmark form uses out-of-scope constructs (nested sub-queries,
+// EXISTS/IN, CASE expressions, disjunctions) are reduced to their
+// single-block conjunctive cores, preserving the tables, join graph,
+// grouping and aggregation structure — the same methodology the paper
+// applies when selecting its "EQC-compliant" suite.
+func HiddenQueries() map[string]string {
+	return map[string]string{
+		// Q1: pricing summary report (full SPJGA with the trilinear
+		// sum_charge function exercising the 3-column solver).
+		"Q1": `
+			select l_returnflag, l_linestatus,
+			       sum(l_quantity) as sum_qty,
+			       sum(l_extendedprice) as sum_base_price,
+			       sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+			       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+			       avg(l_quantity) as avg_qty,
+			       avg(l_extendedprice) as avg_price,
+			       avg(l_discount) as avg_disc,
+			       count(*) as count_order
+			from lineitem
+			where l_shipdate <= date '1998-09-02'
+			group by l_returnflag, l_linestatus
+			order by l_returnflag, l_linestatus`,
+
+		// Q3: shipping priority (the paper's running example).
+		"Q3": `
+			select l_orderkey,
+			       sum(l_extendedprice * (1 - l_discount)) as revenue,
+			       o_orderdate, o_shippriority
+			from customer, orders, lineitem
+			where c_mktsegment = 'BUILDING'
+			  and c_custkey = o_custkey
+			  and l_orderkey = o_orderkey
+			  and o_orderdate < date '1995-03-15'
+			  and l_shipdate > date '1995-03-15'
+			group by l_orderkey, o_orderdate, o_shippriority
+			order by revenue desc, o_orderdate
+			limit 10`,
+
+		// Q4: order priority checking (EXISTS sub-query dropped).
+		"Q4": `
+			select o_orderpriority, count(*) as order_count
+			from orders
+			where o_orderdate >= date '1993-07-01'
+			  and o_orderdate <= date '1993-09-30'
+			group by o_orderpriority
+			order by o_orderpriority`,
+
+		// Q5: local supplier volume — six tables and a join clique on
+		// the nation keys (c_nationkey = s_nationkey = n_nationkey).
+		"Q5": `
+			select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+			from customer, orders, lineitem, supplier, nation, region
+			where c_custkey = o_custkey
+			  and l_orderkey = o_orderkey
+			  and l_suppkey = s_suppkey
+			  and c_nationkey = s_nationkey
+			  and s_nationkey = n_nationkey
+			  and n_regionkey = r_regionkey
+			  and r_name = 'ASIA'
+			  and o_orderdate >= date '1994-01-01'
+			  and o_orderdate <= date '1994-12-31'
+			group by n_name
+			order by revenue desc`,
+
+		// Q6: forecasting revenue change (pure ungrouped aggregate
+		// with a bilinear function and a between filter).
+		"Q6": `
+			select sum(l_extendedprice * l_discount) as revenue
+			from lineitem
+			where l_shipdate >= date '1994-01-01'
+			  and l_shipdate <= date '1994-12-31'
+			  and l_discount between 0.05 and 0.07
+			  and l_quantity < 24`,
+
+		// Q10: returned item reporting (nested removed; limit kept).
+		"Q10": `
+			select c_custkey, c_name,
+			       sum(l_extendedprice * (1 - l_discount)) as revenue,
+			       c_acctbal, n_name, c_address, c_phone
+			from customer, orders, lineitem, nation
+			where c_custkey = o_custkey
+			  and l_orderkey = o_orderkey
+			  and c_nationkey = n_nationkey
+			  and o_orderdate >= date '1993-10-01'
+			  and o_orderdate <= date '1993-12-31'
+			  and l_returnflag = 'R'
+			group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+			order by revenue desc
+			limit 20`,
+
+		// Q12: shipping modes and order priority (CASE dropped).
+		"Q12": `
+			select l_shipmode, count(*) as line_count
+			from orders, lineitem
+			where o_orderkey = l_orderkey
+			  and l_commitdate >= date '1994-01-01'
+			  and l_receiptdate <= date '1994-12-31'
+			group by l_shipmode
+			order by l_shipmode`,
+
+		// Q14: promotion effect (CASE dropped; prefix LIKE kept).
+		"Q14": `
+			select sum(l_extendedprice * (1 - l_discount)) as promo_revenue
+			from lineitem, part
+			where l_partkey = p_partkey
+			  and p_type like 'PROMO%'
+			  and l_shipdate >= date '1995-09-01'
+			  and l_shipdate <= date '1995-09-30'`,
+
+		// Q16: parts/supplier relationship (NOT IN and count distinct
+		// dropped).
+		"Q16": `
+			select p_brand, p_type, p_size, count(*) as supplier_cnt
+			from partsupp, part
+			where p_partkey = ps_partkey
+			  and p_size >= 10
+			group by p_brand, p_type, p_size
+			order by p_brand, p_type, p_size`,
+
+		// Q18: large volume customer (nested HAVING-IN dropped).
+		"Q18": `
+			select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+			       sum(l_quantity) as total_qty
+			from customer, orders, lineitem
+			where c_custkey = o_custkey
+			  and o_orderkey = l_orderkey
+			  and o_totalprice >= 250000
+			group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+			order by o_totalprice desc, o_orderdate
+			limit 100`,
+
+		// Q19: discounted revenue (the disjunctive arms reduced to a
+		// single conjunctive branch).
+		"Q19": `
+			select sum(l_extendedprice * (1 - l_discount)) as revenue
+			from lineitem, part
+			where p_partkey = l_partkey
+			  and p_brand = 'Brand#12'
+			  and p_container = 'SM BOX'
+			  and l_quantity between 1 and 11
+			  and l_shipmode = 'AIR'`,
+
+		// Q21: suppliers who kept orders waiting (nested removed).
+		"Q21": `
+			select s_name, count(*) as numwait
+			from supplier, lineitem, orders, nation
+			where s_suppkey = l_suppkey
+			  and o_orderkey = l_orderkey
+			  and o_orderstatus = 'F'
+			  and s_nationkey = n_nationkey
+			  and n_name = 'SAUDI ARABIA'
+			  and l_receiptdate > date '1995-01-01'
+			group by s_name
+			order by s_name
+			limit 100`,
+	}
+}
+
+// QueryOrder lists the Figure 9 queries in presentation order.
+func QueryOrder() []string {
+	return []string{"Q1", "Q3", "Q4", "Q5", "Q6", "Q10", "Q12", "Q14", "Q16", "Q18", "Q19", "Q21"}
+}
+
+// RegalQueries returns the 11 REGAL-template-compliant SPJA queries
+// (RQ1–RQ11) of the Figure 8 comparison: single or two-table queries
+// with numeric filters, grouping and basic aggregates — the fragment
+// both tools can express.
+func RegalQueries() map[string]string {
+	return map[string]string{
+		"RQ1":  `select c_nationkey, count(*) as cnt from customer group by c_nationkey`,
+		"RQ2":  `select sum(o_totalprice) as total from orders where o_shippriority = 0`,
+		"RQ3":  `select o_custkey, sum(o_totalprice) as total from orders group by o_custkey`,
+		"RQ4":  `select c_name, o_totalprice from customer, orders where c_custkey = o_custkey and o_totalprice >= 100000`,
+		"RQ5":  `select n_name, count(*) as cnt from nation, supplier where n_nationkey = s_nationkey group by n_name`,
+		"RQ6":  `select s_nationkey, avg(s_acctbal) as bal from supplier group by s_nationkey`,
+		"RQ7":  `select p_brand, max(p_retailprice) as price from part group by p_brand`,
+		"RQ8":  `select c_mktsegment, count(*) as cnt, avg(c_acctbal) as bal from customer group by c_mktsegment`,
+		"RQ9":  `select ps_suppkey, sum(ps_availqty) as qty from partsupp, supplier where ps_suppkey = s_suppkey and s_acctbal >= 0 group by ps_suppkey`,
+		"RQ10": `select o_orderpriority, count(*) as cnt from orders where o_totalprice <= 150000 group by o_orderpriority`,
+		"RQ11": `select n_regionkey, count(*) as cnt from nation, customer where n_nationkey = c_nationkey group by n_regionkey`,
+	}
+}
+
+// RegalOrder lists the Figure 8 queries in presentation order.
+func RegalOrder() []string {
+	return []string{"RQ1", "RQ2", "RQ3", "RQ4", "RQ5", "RQ6", "RQ7", "RQ8", "RQ9", "RQ10", "RQ11"}
+}
+
+// HavingQueries returns the Section 7 exercise set: EQC queries with
+// having predicates (filter and having attribute sets disjoint).
+func HavingQueries() map[string]string {
+	return map[string]string{
+		"H1": `
+			select o_custkey, sum(o_totalprice) as total
+			from orders
+			group by o_custkey
+			having sum(o_totalprice) >= 400000`,
+		"H2": `
+			select l_orderkey, avg(l_quantity) as avg_qty
+			from lineitem
+			group by l_orderkey
+			having avg(l_quantity) >= 25`,
+		"H3": `
+			select o_custkey, sum(o_totalprice) as total
+			from orders
+			where o_shippriority = 0
+			group by o_custkey
+			having sum(o_totalprice) >= 300000 and sum(o_totalprice) <= 2000000`,
+	}
+}

@@ -1,0 +1,144 @@
+// Package tpch provides a scaled-down TPC-H substrate: the full
+// eight-table schema (61 columns with PK/FK linkages), a
+// deterministic data generator, and the EQC-compliant hidden-query
+// suite evaluated in the paper (12 SPJGAOL derivatives for Figure 9
+// plus the 11 REGAL-template-compliant RQ queries of Figure 8).
+//
+// The paper runs on 5 GB–1 TB PostgreSQL instances; here database
+// volume maps to a row-scale factor (see Scale) because extraction
+// behaviour depends on schema shape, value domains and predicate
+// selectivity, not on absolute bytes.
+package tpch
+
+import "unmasque/internal/sqldb"
+
+func days(s string) int64 { return sqldb.MustDate(s).I }
+
+// Schemas returns the eight TPC-H table definitions with domain
+// metadata aligned to the generator's value ranges.
+func Schemas() []sqldb.TableSchema {
+	dateMin, dateMax := days("1992-01-01"), days("1998-12-31")
+	return []sqldb.TableSchema{
+		{
+			Name: "region",
+			Columns: []sqldb.Column{
+				{Name: "r_regionkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "r_name", Type: sqldb.TText, MaxLen: 25},
+				{Name: "r_comment", Type: sqldb.TText, MaxLen: 152},
+			},
+			PrimaryKey: []string{"r_regionkey"},
+		},
+		{
+			Name: "nation",
+			Columns: []sqldb.Column{
+				{Name: "n_nationkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "n_name", Type: sqldb.TText, MaxLen: 25},
+				{Name: "n_regionkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "n_comment", Type: sqldb.TText, MaxLen: 152},
+			},
+			PrimaryKey:  []string{"n_nationkey"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "n_regionkey", RefTable: "region", RefColumn: "r_regionkey"}},
+		},
+		{
+			Name: "supplier",
+			Columns: []sqldb.Column{
+				{Name: "s_suppkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "s_name", Type: sqldb.TText, MaxLen: 25},
+				{Name: "s_address", Type: sqldb.TText, MaxLen: 40},
+				{Name: "s_nationkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "s_phone", Type: sqldb.TText, MaxLen: 15},
+				{Name: "s_acctbal", Type: sqldb.TFloat, Precision: 2, MinInt: -1000, MaxInt: 10000},
+				{Name: "s_comment", Type: sqldb.TText, MaxLen: 101},
+			},
+			PrimaryKey:  []string{"s_suppkey"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "s_nationkey", RefTable: "nation", RefColumn: "n_nationkey"}},
+		},
+		{
+			Name: "part",
+			Columns: []sqldb.Column{
+				{Name: "p_partkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "p_name", Type: sqldb.TText, MaxLen: 55},
+				{Name: "p_mfgr", Type: sqldb.TText, MaxLen: 25},
+				{Name: "p_brand", Type: sqldb.TText, MaxLen: 10},
+				{Name: "p_type", Type: sqldb.TText, MaxLen: 25},
+				{Name: "p_size", Type: sqldb.TInt, MinInt: 1, MaxInt: 50},
+				{Name: "p_container", Type: sqldb.TText, MaxLen: 10},
+				{Name: "p_retailprice", Type: sqldb.TFloat, Precision: 2, MinInt: 800, MaxInt: 2100},
+				{Name: "p_comment", Type: sqldb.TText, MaxLen: 23},
+			},
+			PrimaryKey: []string{"p_partkey"},
+		},
+		{
+			Name: "partsupp",
+			Columns: []sqldb.Column{
+				{Name: "ps_partkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "ps_suppkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "ps_availqty", Type: sqldb.TInt, MinInt: 1, MaxInt: 9999},
+				{Name: "ps_supplycost", Type: sqldb.TFloat, Precision: 2, MinInt: 1, MaxInt: 1000},
+				{Name: "ps_comment", Type: sqldb.TText, MaxLen: 199},
+			},
+			PrimaryKey: []string{"ps_partkey", "ps_suppkey"},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "ps_partkey", RefTable: "part", RefColumn: "p_partkey"},
+				{Column: "ps_suppkey", RefTable: "supplier", RefColumn: "s_suppkey"},
+			},
+		},
+		{
+			Name: "customer",
+			Columns: []sqldb.Column{
+				{Name: "c_custkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "c_name", Type: sqldb.TText, MaxLen: 25},
+				{Name: "c_address", Type: sqldb.TText, MaxLen: 40},
+				{Name: "c_nationkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "c_phone", Type: sqldb.TText, MaxLen: 15},
+				{Name: "c_acctbal", Type: sqldb.TFloat, Precision: 2, MinInt: -1000, MaxInt: 10000},
+				{Name: "c_mktsegment", Type: sqldb.TText, MaxLen: 10},
+				{Name: "c_comment", Type: sqldb.TText, MaxLen: 117},
+			},
+			PrimaryKey:  []string{"c_custkey"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "c_nationkey", RefTable: "nation", RefColumn: "n_nationkey"}},
+		},
+		{
+			Name: "orders",
+			Columns: []sqldb.Column{
+				{Name: "o_orderkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "o_custkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "o_orderstatus", Type: sqldb.TText, MaxLen: 1},
+				{Name: "o_totalprice", Type: sqldb.TFloat, Precision: 2, MinInt: 800, MaxInt: 600000},
+				{Name: "o_orderdate", Type: sqldb.TDate, MinInt: dateMin, MaxInt: dateMax},
+				{Name: "o_orderpriority", Type: sqldb.TText, MaxLen: 15},
+				{Name: "o_clerk", Type: sqldb.TText, MaxLen: 15},
+				{Name: "o_shippriority", Type: sqldb.TInt, MinInt: 0, MaxInt: 1},
+				{Name: "o_comment", Type: sqldb.TText, MaxLen: 79},
+			},
+			PrimaryKey:  []string{"o_orderkey"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "o_custkey", RefTable: "customer", RefColumn: "c_custkey"}},
+		},
+		{
+			Name: "lineitem",
+			Columns: []sqldb.Column{
+				{Name: "l_orderkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "l_partkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "l_suppkey", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "l_linenumber", Type: sqldb.TInt, MinInt: 1, MaxInt: 7},
+				{Name: "l_quantity", Type: sqldb.TFloat, Precision: 2, MinInt: 1, MaxInt: 50},
+				{Name: "l_extendedprice", Type: sqldb.TFloat, Precision: 2, MinInt: 800, MaxInt: 105000},
+				{Name: "l_discount", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 1},
+				{Name: "l_tax", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 1},
+				{Name: "l_returnflag", Type: sqldb.TText, MaxLen: 1},
+				{Name: "l_linestatus", Type: sqldb.TText, MaxLen: 1},
+				{Name: "l_shipdate", Type: sqldb.TDate, MinInt: dateMin, MaxInt: dateMax},
+				{Name: "l_commitdate", Type: sqldb.TDate, MinInt: dateMin, MaxInt: dateMax},
+				{Name: "l_receiptdate", Type: sqldb.TDate, MinInt: dateMin, MaxInt: dateMax},
+				{Name: "l_shipinstruct", Type: sqldb.TText, MaxLen: 25},
+				{Name: "l_shipmode", Type: sqldb.TText, MaxLen: 10},
+				{Name: "l_comment", Type: sqldb.TText, MaxLen: 44},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "l_orderkey", RefTable: "orders", RefColumn: "o_orderkey"},
+				{Column: "l_partkey", RefTable: "part", RefColumn: "p_partkey"},
+				{Column: "l_suppkey", RefTable: "supplier", RefColumn: "s_suppkey"},
+			},
+		},
+	}
+}

@@ -1,0 +1,137 @@
+package tpch
+
+import (
+	"context"
+	"testing"
+
+	"unmasque/internal/app"
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+)
+
+func TestSchemasAreConsistent(t *testing.T) {
+	db := sqldb.NewDatabase()
+	for _, s := range Schemas() {
+		if err := db.CreateTable(s); err != nil {
+			t.Fatalf("create %s: %v", s.Name, err)
+		}
+	}
+	// Every FK must reference an existing table/column.
+	for _, s := range Schemas() {
+		for _, fk := range s.ForeignKeys {
+			ref, err := db.Table(fk.RefTable)
+			if err != nil {
+				t.Errorf("%s FK references missing table %s", s.Name, fk.RefTable)
+				continue
+			}
+			if ref.Schema.ColumnIndex(fk.RefColumn) < 0 {
+				t.Errorf("%s FK references missing column %s.%s", s.Name, fk.RefTable, fk.RefColumn)
+			}
+			if s.ColumnIndex(fk.Column) < 0 {
+				t.Errorf("%s FK source column %s missing", s.Name, fk.Column)
+			}
+		}
+	}
+	// The schema graph must include the classic TPC-H join edges.
+	g := db.SchemaGraph()
+	if len(g.Edges) < 8 {
+		t.Errorf("schema graph too sparse: %d edges", len(g.Edges))
+	}
+}
+
+func TestGeneratorDeterminismAndScale(t *testing.T) {
+	a := NewDatabase(ScaleTiny, 7)
+	b := NewDatabase(ScaleTiny, 7)
+	if a.TotalRows() != b.TotalRows() {
+		t.Error("same seed should generate identical sizes")
+	}
+	ta, _ := a.Table("lineitem")
+	tb, _ := b.Table("lineitem")
+	for i := 0; i < 10; i++ {
+		for j := range ta.Rows[i] {
+			if ta.Rows[i][j] != tb.Rows[i][j] {
+				t.Fatalf("row %d differs between same-seed runs", i)
+			}
+		}
+	}
+	small := NewDatabase(ScaleTiny, 7).TotalRows()
+	big := NewDatabase(Scale5GB, 7).TotalRows()
+	if big <= small {
+		t.Errorf("scaling broken: %d vs %d", small, big)
+	}
+	// Lineitem should dominate the footprint (paper: ~80%).
+	rows := Scale5GB.Rows()
+	if rows["lineitem"] < rows["orders"]*3 {
+		t.Errorf("lineitem share too small: %v", rows)
+	}
+}
+
+func TestAllHiddenQueriesParseAndRun(t *testing.T) {
+	db := NewDatabase(ScaleTiny, 3)
+	all := map[string]string{}
+	for n, q := range HiddenQueries() {
+		all[n] = q
+	}
+	for n, q := range RegalQueries() {
+		all[n] = q
+	}
+	for n, q := range HavingQueries() {
+		all[n] = q
+	}
+	if err := PlantWitnesses(db, all); err != nil {
+		t.Fatalf("witness planting: %v", err)
+	}
+	for name, sql := range all {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+			continue
+		}
+		res, err := db.Execute(context.Background(), stmt)
+		if err != nil {
+			t.Errorf("%s does not execute: %v", name, err)
+			continue
+		}
+		if !res.Populated() {
+			t.Errorf("%s yields an empty result even after witness planting", name)
+		}
+	}
+}
+
+func TestQueryOrderMatchesSuite(t *testing.T) {
+	hq := HiddenQueries()
+	for _, n := range QueryOrder() {
+		if _, ok := hq[n]; !ok {
+			t.Errorf("QueryOrder lists unknown query %s", n)
+		}
+	}
+	if len(QueryOrder()) != len(hq) {
+		t.Errorf("QueryOrder covers %d of %d queries", len(QueryOrder()), len(hq))
+	}
+	rq := RegalQueries()
+	for _, n := range RegalOrder() {
+		if _, ok := rq[n]; !ok {
+			t.Errorf("RegalOrder lists unknown query %s", n)
+		}
+	}
+}
+
+func TestHiddenQueriesAsExecutables(t *testing.T) {
+	db := NewDatabase(ScaleTiny, 3)
+	if err := PlantWitnesses(db, HiddenQueries()); err != nil {
+		t.Fatal(err)
+	}
+	for name, sql := range HiddenQueries() {
+		exe, err := app.NewSQLExecutable(name, sql)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := exe.Run(context.Background(), db)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Populated() {
+			t.Errorf("%s unpopulated", name)
+		}
+	}
+}

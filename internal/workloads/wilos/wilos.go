@@ -1,0 +1,628 @@
+// Package wilos reproduces the paper's Wilos experiment (Section 6.3,
+// Table 3): the Hibernate-based process-orchestration application
+// whose data-access functions are re-written as imperative Go code
+// over the Wilos schema. The paper evaluates 22 in-scope functions
+// out of the 33 QBS snippets; this package provides the nine Table 3
+// functions (named after their file and line as in the paper) plus
+// thirteen further in-scope functions.
+package wilos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"unmasque/internal/app"
+	"unmasque/internal/sqldb"
+)
+
+// Schemas returns the process-model tables.
+func Schemas() []sqldb.TableSchema {
+	id := func(name string) sqldb.Column {
+		return sqldb.Column{Name: name, Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30}
+	}
+	text := func(name string, n int) sqldb.Column {
+		return sqldb.Column{Name: name, Type: sqldb.TText, MaxLen: n}
+	}
+	return []sqldb.TableSchema{
+		{
+			Name:       "projects",
+			Columns:    []sqldb.Column{id("id"), text("name", 60), {Name: "launched", Type: sqldb.TBool}},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "phases",
+			Columns: []sqldb.Column{
+				id("id"), id("project_id"), text("name", 60), text("state", 20),
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "project_id", RefTable: "projects", RefColumn: "id"}},
+		},
+		{
+			Name: "iterations",
+			Columns: []sqldb.Column{
+				id("id"), id("phase_id"), text("name", 60),
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "phase_id", RefTable: "phases", RefColumn: "id"}},
+		},
+		{
+			Name: "activities",
+			Columns: []sqldb.Column{
+				id("id"), id("iteration_id"), text("name", 60), text("state", 20),
+				{Name: "workload", Type: sqldb.TInt, MinInt: 0, MaxInt: 200},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "iteration_id", RefTable: "iterations", RefColumn: "id"}},
+		},
+		{
+			Name: "concrete_activities",
+			Columns: []sqldb.Column{
+				id("id"), id("activity_id"), text("name", 60),
+				{Name: "progress", Type: sqldb.TInt, MinInt: 0, MaxInt: 100},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "activity_id", RefTable: "activities", RefColumn: "id"}},
+		},
+		{
+			Name: "participants",
+			Columns: []sqldb.Column{
+				id("id"), id("project_id"), text("name", 60), text("email", 60),
+				{Name: "active", Type: sqldb.TBool},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "project_id", RefTable: "projects", RefColumn: "id"}},
+		},
+		{
+			Name:       "roles",
+			Columns:    []sqldb.Column{id("id"), text("name", 60), text("kind", 20)},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "role_descriptors",
+			Columns: []sqldb.Column{
+				id("id"), id("role_id"), id("project_id"), text("name", 60),
+			},
+			PrimaryKey: []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "role_id", RefTable: "roles", RefColumn: "id"},
+				{Column: "project_id", RefTable: "projects", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "concrete_role_descriptors",
+			Columns: []sqldb.Column{
+				id("id"), id("role_descriptor_id"), id("participant_id"), text("name", 60),
+			},
+			PrimaryKey: []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "role_descriptor_id", RefTable: "role_descriptors", RefColumn: "id"},
+				{Column: "participant_id", RefTable: "participants", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "guidances",
+			Columns: []sqldb.Column{
+				id("id"), id("activity_id"), text("name", 60), text("gtype", 20),
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "activity_id", RefTable: "activities", RefColumn: "id"}},
+		},
+	}
+}
+
+var (
+	states = []string{"created", "started", "finished", "suspended"}
+	gtypes = []string{"checklist", "concept", "example", "guideline"}
+	kinds  = []string{"performer", "reviewer", "manager"}
+)
+
+// NewDatabase builds the synthetic 10 MB-analogue instance.
+func NewDatabase(seed int64) *sqldb.Database {
+	db := sqldb.NewDatabase()
+	for _, s := range Schemas() {
+		if err := db.CreateTable(s); err != nil {
+			panic(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	i, s, b := sqldb.NewInt, sqldb.NewText, sqldb.NewBool
+	const (
+		nProjects   = 12
+		nPhases     = 40
+		nIterations = 90
+		nActivities = 260
+		nConcrete   = 300
+		nPeople     = 80
+		nRoles      = 10
+		nRoleDesc   = 60
+		nConcreteRD = 120
+		nGuidance   = 200
+	)
+	for p := 1; p <= nProjects; p++ {
+		ins(db, "projects", i(int64(p)), s(fmt.Sprintf("project %d", p)), b(p%3 != 0))
+	}
+	for p := 1; p <= nPhases; p++ {
+		ins(db, "phases", i(int64(p)), i(int64(1+rng.Intn(nProjects))),
+			s(fmt.Sprintf("phase %d", p)), s(states[rng.Intn(len(states))]))
+	}
+	for it := 1; it <= nIterations; it++ {
+		ins(db, "iterations", i(int64(it)), i(int64(1+rng.Intn(nPhases))), s(fmt.Sprintf("iteration %d", it)))
+	}
+	for a := 1; a <= nActivities; a++ {
+		ins(db, "activities", i(int64(a)), i(int64(1+rng.Intn(nIterations))),
+			s(fmt.Sprintf("activity %d", a)), s(states[rng.Intn(len(states))]), i(int64(rng.Intn(200))))
+	}
+	for c := 1; c <= nConcrete; c++ {
+		ins(db, "concrete_activities", i(int64(c)), i(int64(1+rng.Intn(nActivities))),
+			s(fmt.Sprintf("concrete %d", c)), i(int64(rng.Intn(101))))
+	}
+	for p := 1; p <= nPeople; p++ {
+		ins(db, "participants", i(int64(p)), i(int64(1+rng.Intn(nProjects))),
+			s(fmt.Sprintf("person %d", p)), s(fmt.Sprintf("p%d@wilos.org", p)), b(p%5 != 0))
+	}
+	for r := 1; r <= nRoles; r++ {
+		ins(db, "roles", i(int64(r)), s(fmt.Sprintf("role %d", r)), s(kinds[rng.Intn(len(kinds))]))
+	}
+	for rd := 1; rd <= nRoleDesc; rd++ {
+		ins(db, "role_descriptors", i(int64(rd)), i(int64(1+rng.Intn(nRoles))),
+			i(int64(1+rng.Intn(nProjects))), s(fmt.Sprintf("descriptor %d", rd)))
+	}
+	for c := 1; c <= nConcreteRD; c++ {
+		ins(db, "concrete_role_descriptors", i(int64(c)), i(int64(1+rng.Intn(nRoleDesc))),
+			i(int64(1+rng.Intn(nPeople))), s(fmt.Sprintf("crd %d", c)))
+	}
+	for g := 1; g <= nGuidance; g++ {
+		ins(db, "guidances", i(int64(g)), i(int64(1+rng.Intn(nActivities))),
+			s(fmt.Sprintf("guidance %d", g)), s(gtypes[rng.Intn(len(gtypes))]))
+	}
+	return db
+}
+
+func ins(db *sqldb.Database, table string, vals ...sqldb.Value) {
+	if err := db.Insert(table, vals...); err != nil {
+		panic(fmt.Sprintf("wilos generator: %v", err))
+	}
+}
+
+// Function couples one imperative routine with its paper-style label.
+type Function struct {
+	Name   string
+	Table3 bool // appears among the nine detailed Table 3 rows
+	Exe    *app.ImperativeExecutable
+}
+
+// helper: hash-join two tables on integer columns, returning joined
+// index pairs — written the way a Hibernate-session loop would walk
+// associations.
+func joinPairs(left *sqldb.Table, lcol string, right *sqldb.Table, rcol string) [][2]int {
+	li := left.Schema.ColumnIndex(lcol)
+	ri := right.Schema.ColumnIndex(rcol)
+	byKey := map[int64][]int{}
+	for idx, r := range right.Rows {
+		if !r[ri].Null {
+			byKey[r[ri].I] = append(byKey[r[ri].I], idx)
+		}
+	}
+	var out [][2]int
+	for lidx, l := range left.Rows {
+		if l[li].Null {
+			continue
+		}
+		for _, ridx := range byKey[l[li].I] {
+			out = append(out, [2]int{lidx, ridx})
+		}
+	}
+	return out
+}
+
+// groupCount is the ubiquitous "count children per parent name"
+// shape.
+func groupCount(parent *sqldb.Table, nameCol string, pairs [][2]int, parentSide int) *sqldb.Result {
+	ni := parent.Schema.ColumnIndex(nameCol)
+	counts := map[string]int64{}
+	for _, pr := range pairs {
+		name := parent.Rows[pr[parentSide]][ni].S
+		counts[name]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	res := &sqldb.Result{Columns: []string{"name", "cnt"}}
+	for _, n := range names {
+		res.Rows = append(res.Rows, sqldb.Row{sqldb.NewText(n), sqldb.NewInt(counts[n])})
+	}
+	return res
+}
+
+// Functions returns the 22 in-scope Wilos functions. The nine Table 3
+// rows keep the paper's file/line labels.
+func Functions() []Function {
+	mk := func(name string, table3 bool, truth string, fn app.ImperativeFunc) Function {
+		return Function{Name: name, Table3: table3, Exe: app.NewImperativeExecutable("wilos/"+name, fn, truth)}
+	}
+	two := func(db *sqldb.Database, a, b string) (*sqldb.Table, *sqldb.Table, error) {
+		ta, err := db.Table(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		tb, err := db.Table(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ta, tb, nil
+	}
+	return []Function{
+		// ---- the nine Table 3 functions ----
+		mk("ActivityService(347)", true,
+			`select iterations.name, count(*) as cnt from iterations, activities
+			 where activities.iteration_id = iterations.id
+			 group by iterations.name order by iterations.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				its, acts, err := two(db, "iterations", "activities")
+				if err != nil {
+					return nil, err
+				}
+				return groupCount(its, "name", joinPairs(its, "id", acts, "iteration_id"), 0), nil
+			}),
+		mk("GuidanceService(168)", true,
+			`select activities.name, count(*) as cnt from activities, guidances
+			 where guidances.activity_id = activities.id group by activities.name
+			 order by activities.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				acts, gs, err := two(db, "activities", "guidances")
+				if err != nil {
+					return nil, err
+				}
+				res := groupCount(acts, "name", joinPairs(acts, "id", gs, "activity_id"), 0)
+				return res, nil
+			}),
+		mk("ProjectService(297)", true,
+			`select projects.name, count(*) as cnt from projects, phases
+			 where phases.project_id = projects.id and phases.state = 'started'
+			 group by projects.name order by projects.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				prj, ph, err := two(db, "projects", "phases")
+				if err != nil {
+					return nil, err
+				}
+				st := ph.Schema.ColumnIndex("state")
+				var filtered [][2]int
+				for _, pr := range joinPairs(prj, "id", ph, "project_id") {
+					if ph.Rows[pr[1]][st].S == "started" {
+						filtered = append(filtered, pr)
+					}
+				}
+				return groupCount(prj, "name", filtered, 0), nil
+			}),
+		mk("ConcreteActivityService(133)", true,
+			`select activities.name, count(*) as cnt from activities, concrete_activities
+			 where concrete_activities.activity_id = activities.id group by activities.name
+			 order by activities.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				acts, cas, err := two(db, "activities", "concrete_activities")
+				if err != nil {
+					return nil, err
+				}
+				return groupCount(acts, "name", joinPairs(acts, "id", cas, "activity_id"), 0), nil
+			}),
+		mk("ConcreteRoleDescriptorService(181)", true,
+			`select role_descriptors.name, count(*) as cnt
+			 from role_descriptors, concrete_role_descriptors
+			 where concrete_role_descriptors.role_descriptor_id = role_descriptors.id
+			 group by role_descriptors.name order by role_descriptors.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				rds, crds, err := two(db, "role_descriptors", "concrete_role_descriptors")
+				if err != nil {
+					return nil, err
+				}
+				return groupCount(rds, "name", joinPairs(rds, "id", crds, "role_descriptor_id"), 0), nil
+			}),
+		mk("IterationService(103)", true,
+			`select phases.name, count(*) as cnt from phases, iterations
+			 where iterations.phase_id = phases.id group by phases.name order by phases.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				ph, its, err := two(db, "phases", "iterations")
+				if err != nil {
+					return nil, err
+				}
+				return groupCount(ph, "name", joinPairs(ph, "id", its, "phase_id"), 0), nil
+			}),
+		mk("ParticipantService(266)", true,
+			`select projects.name, count(*) as cnt from projects, participants
+			 where participants.project_id = projects.id and participants.active = true
+			 group by projects.name order by projects.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				prj, people, err := two(db, "projects", "participants")
+				if err != nil {
+					return nil, err
+				}
+				act := people.Schema.ColumnIndex("active")
+				var filtered [][2]int
+				for _, pr := range joinPairs(prj, "id", people, "project_id") {
+					if people.Rows[pr[1]][act].Bool() {
+						filtered = append(filtered, pr)
+					}
+				}
+				return groupCount(prj, "name", filtered, 0), nil
+			}),
+		mk("PhaseService(98)", true,
+			`select projects.name, count(*) as cnt from projects, phases
+			 where phases.project_id = projects.id group by projects.name order by projects.name`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				prj, ph, err := two(db, "projects", "phases")
+				if err != nil {
+					return nil, err
+				}
+				return groupCount(prj, "name", joinPairs(prj, "id", ph, "project_id"), 0), nil
+			}),
+		mk("RoleDao(15)", true,
+			`select count(*) as cnt from roles where kind = 'performer'`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				roles, err := db.Table("roles")
+				if err != nil {
+					return nil, err
+				}
+				ki := roles.Schema.ColumnIndex("kind")
+				var n int64
+				for _, r := range roles.Rows {
+					if r[ki].S == "performer" {
+						n++
+					}
+				}
+				res := &sqldb.Result{Columns: []string{"cnt"}}
+				// Zero aggregates surface as the paper's "null result".
+				if n > 0 {
+					res.Rows = append(res.Rows, sqldb.Row{sqldb.NewInt(n)})
+				}
+				return res, nil
+			}),
+
+		// ---- thirteen further in-scope functions ----
+		mk("ProjectDao.getAll", false,
+			`select id, name from projects order by name`,
+			scanOrdered("projects", []string{"id", "name"}, "name", false, 0)),
+		mk("PhaseDao.byState", false,
+			`select id, name from phases where state = 'finished'`,
+			scanFiltered("phases", []string{"id", "name"}, "state", "finished")),
+		mk("ActivityDao.started", false,
+			`select id, name, workload from activities where state = 'started'`,
+			scanFiltered("activities", []string{"id", "name", "workload"}, "state", "started")),
+		mk("ActivityDao.heavy", false,
+			`select id, name, workload from activities where workload >= 150 order by workload desc`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				acts, err := db.Table("activities")
+				if err != nil {
+					return nil, err
+				}
+				id, nm, wl := acts.Schema.ColumnIndex("id"), acts.Schema.ColumnIndex("name"), acts.Schema.ColumnIndex("workload")
+				var rows []sqldb.Row
+				for _, r := range acts.Rows {
+					if !r[wl].Null && r[wl].I >= 150 {
+						rows = append(rows, sqldb.Row{r[id], r[nm], r[wl]})
+					}
+				}
+				sort.SliceStable(rows, func(a, b int) bool { return rows[a][2].I > rows[b][2].I })
+				return &sqldb.Result{Columns: []string{"id", "name", "workload"}, Rows: rows}, nil
+			}),
+		mk("ConcreteActivityDao.avgProgress", false,
+			`select avg(progress) as avg_progress from concrete_activities`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				cas, err := db.Table("concrete_activities")
+				if err != nil {
+					return nil, err
+				}
+				pi := cas.Schema.ColumnIndex("progress")
+				var sum, n float64
+				for _, r := range cas.Rows {
+					if !r[pi].Null {
+						sum += r[pi].AsFloat()
+						n++
+					}
+				}
+				if n == 0 {
+					return &sqldb.Result{Columns: []string{"avg_progress"}}, nil
+				}
+				return &sqldb.Result{Columns: []string{"avg_progress"},
+					Rows: []sqldb.Row{{sqldb.NewFloat(sum / n)}}}, nil
+			}),
+		mk("ParticipantDao.inactive", false,
+			`select id, name, email from participants where active = false`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				people, err := db.Table("participants")
+				if err != nil {
+					return nil, err
+				}
+				id, nm, em := people.Schema.ColumnIndex("id"), people.Schema.ColumnIndex("name"), people.Schema.ColumnIndex("email")
+				ac := people.Schema.ColumnIndex("active")
+				res := &sqldb.Result{Columns: []string{"id", "name", "email"}}
+				for _, r := range people.Rows {
+					if !r[ac].Bool() {
+						res.Rows = append(res.Rows, sqldb.Row{r[id], r[nm], r[em]})
+					}
+				}
+				return res, nil
+			}),
+		mk("RoleDao.list", false,
+			`select name, kind from roles order by name`,
+			scanOrdered("roles", []string{"name", "kind"}, "name", false, 0)),
+		mk("GuidanceDao.checklists", false,
+			`select id, name from guidances where gtype = 'checklist'`,
+			scanFiltered("guidances", []string{"id", "name"}, "gtype", "checklist")),
+		mk("IterationDao.forPhases", false,
+			`select iterations.id, iterations.name, phases.name as phase
+			 from iterations, phases where iterations.phase_id = phases.id`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				its, err := db.Table("iterations")
+				if err != nil {
+					return nil, err
+				}
+				ph, err := db.Table("phases")
+				if err != nil {
+					return nil, err
+				}
+				iid, inm := its.Schema.ColumnIndex("id"), its.Schema.ColumnIndex("name")
+				pnm := ph.Schema.ColumnIndex("name")
+				res := &sqldb.Result{Columns: []string{"id", "name", "phase"}}
+				for _, pr := range joinPairs(its, "phase_id", ph, "id") {
+					res.Rows = append(res.Rows, sqldb.Row{
+						its.Rows[pr[0]][iid], its.Rows[pr[0]][inm], ph.Rows[pr[1]][pnm]})
+				}
+				return res, nil
+			}),
+		mk("ProjectDao.launched", false,
+			`select id, name from projects where launched = true`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				prj, err := db.Table("projects")
+				if err != nil {
+					return nil, err
+				}
+				id, nm := prj.Schema.ColumnIndex("id"), prj.Schema.ColumnIndex("name")
+				la := prj.Schema.ColumnIndex("launched")
+				res := &sqldb.Result{Columns: []string{"id", "name"}}
+				for _, r := range prj.Rows {
+					if r[la].Bool() {
+						res.Rows = append(res.Rows, sqldb.Row{r[id], r[nm]})
+					}
+				}
+				return res, nil
+			}),
+		mk("ActivityDao.totalWorkload", false,
+			`select sum(workload) as total from activities`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				acts, err := db.Table("activities")
+				if err != nil {
+					return nil, err
+				}
+				wl := acts.Schema.ColumnIndex("workload")
+				var sum int64
+				seen := false
+				for _, r := range acts.Rows {
+					if !r[wl].Null {
+						sum += r[wl].I
+						seen = true
+					}
+				}
+				res := &sqldb.Result{Columns: []string{"total"}}
+				if seen {
+					res.Rows = append(res.Rows, sqldb.Row{sqldb.NewInt(sum)})
+				}
+				return res, nil
+			}),
+		mk("ConcreteRoleDescriptorDao.forPeople", false,
+			`select participants.name, concrete_role_descriptors.name as descriptor
+			 from participants, concrete_role_descriptors
+			 where concrete_role_descriptors.participant_id = participants.id`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				people, err := db.Table("participants")
+				if err != nil {
+					return nil, err
+				}
+				crds, err := db.Table("concrete_role_descriptors")
+				if err != nil {
+					return nil, err
+				}
+				pnm := people.Schema.ColumnIndex("name")
+				cnm := crds.Schema.ColumnIndex("name")
+				res := &sqldb.Result{Columns: []string{"name", "descriptor"}}
+				for _, pr := range joinPairs(people, "id", crds, "participant_id") {
+					res.Rows = append(res.Rows, sqldb.Row{people.Rows[pr[0]][pnm], crds.Rows[pr[1]][cnm]})
+				}
+				return res, nil
+			}),
+		mk("GuidanceDao.perType", false,
+			`select gtype, count(*) as cnt from guidances group by gtype order by gtype`,
+			func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+				gs, err := db.Table("guidances")
+				if err != nil {
+					return nil, err
+				}
+				gt := gs.Schema.ColumnIndex("gtype")
+				counts := map[string]int64{}
+				for _, r := range gs.Rows {
+					counts[r[gt].S]++
+				}
+				var names []string
+				for n := range counts {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				res := &sqldb.Result{Columns: []string{"gtype", "cnt"}}
+				for _, n := range names {
+					res.Rows = append(res.Rows, sqldb.Row{sqldb.NewText(n), sqldb.NewInt(counts[n])})
+				}
+				return res, nil
+			}),
+	}
+}
+
+// scanFiltered builds an imperative scan with one text equality.
+func scanFiltered(table string, cols []string, filterCol, filterVal string) app.ImperativeFunc {
+	return func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+		t, err := db.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		fi := t.Schema.ColumnIndex(filterCol)
+		idxs := make([]int, len(cols))
+		for i, c := range cols {
+			idxs[i] = t.Schema.ColumnIndex(c)
+		}
+		res := &sqldb.Result{Columns: cols}
+		for _, r := range t.Rows {
+			if r[fi].Null || r[fi].S != filterVal {
+				continue
+			}
+			row := make(sqldb.Row, len(idxs))
+			for i, ci := range idxs {
+				row[i] = r[ci]
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		return res, nil
+	}
+}
+
+// scanOrdered builds an imperative full scan with ordering and an
+// optional limit (limit 0 = none).
+func scanOrdered(table string, cols []string, orderCol string, desc bool, limit int) app.ImperativeFunc {
+	return func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+		t, err := db.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		idxs := make([]int, len(cols))
+		oi := -1
+		for i, c := range cols {
+			idxs[i] = t.Schema.ColumnIndex(c)
+			if c == orderCol {
+				oi = i
+			}
+		}
+		res := &sqldb.Result{Columns: cols}
+		for _, r := range t.Rows {
+			row := make(sqldb.Row, len(idxs))
+			for i, ci := range idxs {
+				row[i] = r[ci]
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			c, err := sqldb.Compare(res.Rows[a][oi], res.Rows[b][oi])
+			if err != nil {
+				return false
+			}
+			if desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		if limit > 0 && len(res.Rows) > limit {
+			res.Rows = res.Rows[:limit]
+		}
+		return res, nil
+	}
+}

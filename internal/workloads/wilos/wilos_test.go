@@ -1,0 +1,51 @@
+package wilos
+
+import (
+	"context"
+	"testing"
+
+	"unmasque/internal/sqlparser"
+)
+
+func TestFunctionsMatchGroundTruth(t *testing.T) {
+	db := NewDatabase(7)
+	for _, fn := range Functions() {
+		fn := fn
+		t.Run(fn.Name, func(t *testing.T) {
+			got, err := fn.Exe.Run(context.Background(), db)
+			if err != nil {
+				t.Fatalf("imperative run: %v", err)
+			}
+			if !got.Populated() {
+				t.Fatal("empty result on the synthetic instance")
+			}
+			stmt, err := sqlparser.Parse(fn.Exe.GroundTruthSQL())
+			if err != nil {
+				t.Fatalf("ground truth parse: %v", err)
+			}
+			want, err := db.Execute(context.Background(), stmt)
+			if err != nil {
+				t.Fatalf("ground truth run: %v", err)
+			}
+			if !got.EqualUnordered(want) {
+				t.Fatalf("imperative (%d rows) and SQL (%d rows) diverge", got.RowCount(), want.RowCount())
+			}
+		})
+	}
+}
+
+func TestFunctionCounts(t *testing.T) {
+	fns := Functions()
+	if len(fns) != 22 {
+		t.Errorf("paper reports 22 in-scope Wilos functions; got %d", len(fns))
+	}
+	table3 := 0
+	for _, f := range fns {
+		if f.Table3 {
+			table3++
+		}
+	}
+	if table3 != 9 {
+		t.Errorf("Table 3 lists 9 functions; got %d", table3)
+	}
+}

@@ -1,0 +1,761 @@
+// Package xdata generates small targeted test databases in the
+// spirit of the XData grading tool the paper uses for its second
+// verification stage: given a candidate query, it builds a suite of
+// instances that expose subtle semantic mutants — off-by-one filter
+// bounds, wrong LIKE patterns, missing/extra grouping columns, wrong
+// aggregate functions, flipped sort directions and wrong limits.
+// Running both the candidate and the hidden application on the suite
+// and comparing results kills such mutants.
+//
+// The package also provides the witness-planting primitive used by
+// workload generators and the extraction checker: inserting one chain
+// of joined rows that satisfies every predicate of a query.
+package xdata
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"unmasque/internal/sqldb"
+)
+
+// Analysis is the predicate structure of a candidate query, derived
+// from its AST.
+type Analysis struct {
+	Stmt    *sqldb.SelectStmt
+	Tables  []string
+	Schemas map[string]sqldb.TableSchema
+
+	// compOf maps each join column to its component id; components
+	// lists member columns.
+	compOf     map[sqldb.ColRef]int
+	components [][]sqldb.ColRef
+
+	// Constraints per non-join column.
+	cons map[sqldb.ColRef]*constraint
+}
+
+type constraint struct {
+	hasLo, hasHi bool
+	lo, hi       sqldb.Value
+	textEq       string
+	hasTextEq    bool
+	like         string
+	hasLike      bool
+	boolEq       *bool
+
+	// Disjunctive forms (the extractor's Section 9 extension):
+	// interval unions and string IN-sets.
+	segments []segment
+	textIn   []string
+}
+
+type segment struct{ lo, hi sqldb.Value }
+
+// Analyze inspects the candidate query. Schemas must cover every
+// table in the from clause.
+func Analyze(stmt *sqldb.SelectStmt, schemas []sqldb.TableSchema) (*Analysis, error) {
+	a := &Analysis{
+		Stmt:    stmt,
+		Schemas: map[string]sqldb.TableSchema{},
+		compOf:  map[sqldb.ColRef]int{},
+		cons:    map[sqldb.ColRef]*constraint{},
+	}
+	for _, s := range schemas {
+		a.Schemas[strings.ToLower(s.Name)] = s
+	}
+	for _, t := range stmt.From {
+		t = strings.ToLower(t)
+		if _, ok := a.Schemas[t]; !ok {
+			return nil, fmt.Errorf("xdata: no schema for table %s", t)
+		}
+		a.Tables = append(a.Tables, t)
+	}
+	// Resolve unqualified columns against the from tables.
+	resolve := func(c *sqldb.ColumnExpr) (sqldb.ColRef, error) {
+		if c.Table != "" {
+			return sqldb.ColRef{Table: strings.ToLower(c.Table), Column: strings.ToLower(c.Column)}, nil
+		}
+		for _, t := range a.Tables {
+			if a.Schemas[t].ColumnIndex(c.Column) >= 0 {
+				return sqldb.ColRef{Table: t, Column: strings.ToLower(c.Column)}, nil
+			}
+		}
+		return sqldb.ColRef{}, fmt.Errorf("xdata: cannot resolve column %s", c.Column)
+	}
+
+	// Union-find for join components.
+	parent := map[sqldb.ColRef]sqldb.ColRef{}
+	var find func(x sqldb.ColRef) sqldb.ColRef
+	find = func(x sqldb.ColRef) sqldb.ColRef {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+
+	for _, conj := range sqldb.Conjuncts(stmt.Where) {
+		switch e := conj.(type) {
+		case *sqldb.BinaryExpr:
+			if e.Op == sqldb.OpOr {
+				if err := a.addDisjunct(conj, resolve); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			lc, lok := e.L.(*sqldb.ColumnExpr)
+			rc, rok := e.R.(*sqldb.ColumnExpr)
+			if e.Op == sqldb.OpEq && lok && rok {
+				l, err := resolve(lc)
+				if err != nil {
+					return nil, err
+				}
+				r, err := resolve(rc)
+				if err != nil {
+					return nil, err
+				}
+				if l.Table != r.Table {
+					lr, rr := find(l), find(r)
+					if lr != rr {
+						parent[lr] = rr
+					}
+					continue
+				}
+			}
+			if lok && !rok {
+				lit, ok := e.R.(*sqldb.LiteralExpr)
+				if !ok {
+					return nil, fmt.Errorf("xdata: unsupported predicate %s", conj)
+				}
+				col, err := resolve(lc)
+				if err != nil {
+					return nil, err
+				}
+				a.addComparison(col, e.Op, lit.Val)
+				continue
+			}
+			return nil, fmt.Errorf("xdata: unsupported predicate %s", conj)
+		case *sqldb.BetweenExpr:
+			c, ok := e.X.(*sqldb.ColumnExpr)
+			if !ok {
+				return nil, fmt.Errorf("xdata: unsupported between %s", conj)
+			}
+			lo, lok := e.Lo.(*sqldb.LiteralExpr)
+			hi, hok := e.Hi.(*sqldb.LiteralExpr)
+			if !lok || !hok {
+				return nil, fmt.Errorf("xdata: non-literal between bounds in %s", conj)
+			}
+			col, err := resolve(c)
+			if err != nil {
+				return nil, err
+			}
+			a.addComparison(col, sqldb.OpGe, lo.Val)
+			a.addComparison(col, sqldb.OpLe, hi.Val)
+		case *sqldb.LikeExpr:
+			c, ok := e.X.(*sqldb.ColumnExpr)
+			if !ok || e.Not {
+				return nil, fmt.Errorf("xdata: unsupported like %s", conj)
+			}
+			col, err := resolve(c)
+			if err != nil {
+				return nil, err
+			}
+			con := a.constraintFor(col)
+			con.hasLike = true
+			con.like = e.Pattern
+		default:
+			return nil, fmt.Errorf("xdata: unsupported predicate %T", conj)
+		}
+	}
+
+	// Materialize components.
+	comps := map[sqldb.ColRef][]sqldb.ColRef{}
+	for v := range parent {
+		r := find(v)
+		comps[r] = append(comps[r], v)
+	}
+	for _, members := range comps {
+		id := len(a.components)
+		a.components = append(a.components, members)
+		for _, m := range members {
+			a.compOf[m] = id
+		}
+	}
+	return a, nil
+}
+
+func (a *Analysis) constraintFor(col sqldb.ColRef) *constraint {
+	c, ok := a.cons[col]
+	if !ok {
+		c = &constraint{}
+		a.cons[col] = c
+	}
+	return c
+}
+
+func (a *Analysis) addComparison(col sqldb.ColRef, op sqldb.BinOp, v sqldb.Value) {
+	c := a.constraintFor(col)
+	if v.Typ == sqldb.TText {
+		if op == sqldb.OpEq {
+			c.hasTextEq = true
+			c.textEq = v.S
+		}
+		return
+	}
+	if v.Typ == sqldb.TBool {
+		if op == sqldb.OpEq {
+			b := v.Bool()
+			c.boolEq = &b
+		}
+		return
+	}
+	one := sqldb.NewInt(1)
+	switch op {
+	case sqldb.OpEq:
+		c.hasLo, c.lo = true, v
+		c.hasHi, c.hi = true, v
+	case sqldb.OpGe:
+		c.hasLo, c.lo = true, v
+	case sqldb.OpGt:
+		if nv, err := sqldb.Add(v, one); err == nil {
+			c.hasLo, c.lo = true, nv
+		}
+	case sqldb.OpLe:
+		c.hasHi, c.hi = true, v
+	case sqldb.OpLt:
+		if nv, err := sqldb.Sub(v, one); err == nil {
+			c.hasHi, c.hi = true, nv
+		}
+	}
+}
+
+// addDisjunct folds a single-column OR tree (between / eq arms) into
+// a disjunctive constraint; mixed-column disjunctions are rejected.
+func (a *Analysis) addDisjunct(e sqldb.Expr, resolve func(*sqldb.ColumnExpr) (sqldb.ColRef, error)) error {
+	var arms []sqldb.Expr
+	var flatten func(sqldb.Expr)
+	flatten = func(x sqldb.Expr) {
+		if b, ok := x.(*sqldb.BinaryExpr); ok && b.Op == sqldb.OpOr {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		arms = append(arms, x)
+	}
+	flatten(e)
+	var col sqldb.ColRef
+	haveCol := false
+	var segs []segment
+	var texts []string
+	for _, arm := range arms {
+		switch x := arm.(type) {
+		case *sqldb.BetweenExpr:
+			c, ok := x.X.(*sqldb.ColumnExpr)
+			if !ok {
+				return fmt.Errorf("xdata: unsupported disjunct %s", arm)
+			}
+			lo, lok := x.Lo.(*sqldb.LiteralExpr)
+			hi, hok := x.Hi.(*sqldb.LiteralExpr)
+			if !lok || !hok {
+				return fmt.Errorf("xdata: non-literal disjunct bounds in %s", arm)
+			}
+			ref, err := resolve(c)
+			if err != nil {
+				return err
+			}
+			if haveCol && ref != col {
+				return fmt.Errorf("xdata: multi-column disjunction %s unsupported", e)
+			}
+			col, haveCol = ref, true
+			segs = append(segs, segment{lo: lo.Val, hi: hi.Val})
+		case *sqldb.BinaryExpr:
+			c, ok := x.L.(*sqldb.ColumnExpr)
+			lit, lok := x.R.(*sqldb.LiteralExpr)
+			if !ok || !lok || x.Op != sqldb.OpEq {
+				return fmt.Errorf("xdata: unsupported disjunct %s", arm)
+			}
+			ref, err := resolve(c)
+			if err != nil {
+				return err
+			}
+			if haveCol && ref != col {
+				return fmt.Errorf("xdata: multi-column disjunction %s unsupported", e)
+			}
+			col, haveCol = ref, true
+			if lit.Val.Typ == sqldb.TText {
+				texts = append(texts, lit.Val.S)
+			} else {
+				segs = append(segs, segment{lo: lit.Val, hi: lit.Val})
+			}
+		default:
+			return fmt.Errorf("xdata: unsupported disjunct %T", arm)
+		}
+	}
+	con := a.constraintFor(col)
+	con.segments = append(con.segments, segs...)
+	con.textIn = append(con.textIn, texts...)
+	return nil
+}
+
+// SatisfyingValue picks the variant-th value satisfying the column's
+// constraints.
+func (a *Analysis) SatisfyingValue(col sqldb.ColRef, variant int) (sqldb.Value, error) {
+	def, err := a.Schemas[col.Table].Column(col.Column)
+	if err != nil {
+		return sqldb.Value{}, err
+	}
+	c := a.cons[col]
+	if c != nil && len(c.textIn) > 0 {
+		return sqldb.NewText(c.textIn[variant%len(c.textIn)]), nil
+	}
+	if c != nil && len(c.segments) > 0 {
+		seg := c.segments[variant%len(c.segments)]
+		return numericBetween(def, seg.lo, seg.hi, variant/len(c.segments))
+	}
+	switch def.Type {
+	case sqldb.TText:
+		if c != nil && c.hasTextEq {
+			return sqldb.NewText(c.textEq), nil
+		}
+		if c != nil && c.hasLike {
+			return expandLike(c.like, variant, def.TextMaxLen())
+		}
+		return sqldb.NewText(freshText(variant, def.TextMaxLen())), nil
+	case sqldb.TBool:
+		if c != nil && c.boolEq != nil {
+			return sqldb.NewBool(*c.boolEq), nil
+		}
+		return sqldb.NewBool(variant%2 == 0), nil
+	case sqldb.TInt, sqldb.TDate, sqldb.TFloat:
+		lo := sqldb.NewInt(def.DomainMin())
+		hi := sqldb.NewInt(def.DomainMax())
+		if def.Type == sqldb.TDate {
+			lo, hi = sqldb.NewDate(def.DomainMin()), sqldb.NewDate(def.DomainMax())
+		}
+		if c != nil && c.hasLo {
+			lo = c.lo
+		}
+		if c != nil && c.hasHi {
+			hi = c.hi
+		}
+		return numericBetween(def, lo, hi, variant)
+	default:
+		return sqldb.Value{}, fmt.Errorf("xdata: unsupported type for %s", col)
+	}
+}
+
+// ViolatingValue picks a value violating the column's constraints;
+// ok=false when the column is unconstrained.
+func (a *Analysis) ViolatingValue(col sqldb.ColRef) (sqldb.Value, bool, error) {
+	c := a.cons[col]
+	if c == nil {
+		return sqldb.Value{}, false, nil
+	}
+	def, err := a.Schemas[col.Table].Column(col.Column)
+	if err != nil {
+		return sqldb.Value{}, false, err
+	}
+	one := sqldb.NewInt(1)
+	switch {
+	case len(c.textIn) > 0:
+		probe := "zz-absent"
+		for containsStr(c.textIn, probe) {
+			probe += "z"
+		}
+		if len(probe) > def.TextMaxLen() {
+			return sqldb.Value{}, false, nil
+		}
+		return sqldb.NewText(probe), true, nil
+	case len(c.segments) >= 2:
+		// A value in the gap between the first two intervals.
+		gap, err := sqldb.Add(c.segments[0].hi, one)
+		if err != nil {
+			return sqldb.Value{}, false, err
+		}
+		if cmp, err := sqldb.Compare(gap, c.segments[1].lo); err == nil && cmp < 0 {
+			return coerceNumeric(def, gap), true, nil
+		}
+		return sqldb.Value{}, false, nil
+	case c.hasTextEq:
+		if len(c.textEq)+1 <= def.TextMaxLen() {
+			return sqldb.NewText(c.textEq + "!"), true, nil
+		}
+		if len(c.textEq) == 0 {
+			return sqldb.NewText("x"), true, nil
+		}
+		// No length headroom: flip the first character instead.
+		alt := byte('x')
+		if c.textEq[0] == alt {
+			alt = 'y'
+		}
+		return sqldb.NewText(string(alt) + c.textEq[1:]), true, nil
+	case c.hasLike:
+		mqs := sqldb.StripPercent(c.like)
+		if mqs == "" {
+			return sqldb.Value{}, false, nil
+		}
+		return sqldb.NewText(""), true, nil
+	case c.boolEq != nil:
+		return sqldb.NewBool(!*c.boolEq), true, nil
+	case c.hasLo:
+		v, err := sqldb.Sub(c.lo, one)
+		if err != nil {
+			return sqldb.Value{}, false, err
+		}
+		return coerceNumeric(def, v), true, nil
+	case c.hasHi:
+		v, err := sqldb.Add(c.hi, one)
+		if err != nil {
+			return sqldb.Value{}, false, err
+		}
+		return coerceNumeric(def, v), true, nil
+	}
+	return sqldb.Value{}, false, nil
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func coerceNumeric(def sqldb.Column, v sqldb.Value) sqldb.Value {
+	if def.Type == sqldb.TFloat && v.Typ == sqldb.TInt {
+		return sqldb.NewFloat(float64(v.I))
+	}
+	if def.Type == sqldb.TDate && v.Typ == sqldb.TInt {
+		return sqldb.NewDate(v.I)
+	}
+	return v
+}
+
+// numericBetween picks lo + variant (clamped) inside [lo, hi].
+func numericBetween(def sqldb.Column, lo, hi sqldb.Value, variant int) (sqldb.Value, error) {
+	switch def.Type {
+	case sqldb.TFloat:
+		l, h := lo.AsFloat(), hi.AsFloat()
+		v := l + float64(variant)
+		if v > h {
+			step := 1.0
+			span := h - l
+			if span <= 0 {
+				v = l
+			} else {
+				v = l + float64(variant)*step
+				for v > h {
+					v -= span
+				}
+			}
+		}
+		return sqldb.RoundTo(sqldb.NewFloat(v), def.FloatPrecision()), nil
+	default:
+		l, h := lo.I, hi.I
+		v := l + int64(variant)
+		if v > h {
+			span := h - l + 1
+			if span <= 0 {
+				v = l
+			} else {
+				v = l + int64(variant)%span
+			}
+		}
+		if def.Type == sqldb.TDate {
+			return sqldb.NewDate(v), nil
+		}
+		return sqldb.NewInt(v), nil
+	}
+}
+
+// freshText builds a variant-distinct string within the column's
+// length budget; for single-character columns the variants cycle
+// through the alphabet.
+func freshText(variant, maxLen int) string {
+	s := fmt.Sprintf("w%d", variant)
+	if len(s) <= maxLen {
+		return s
+	}
+	out := make([]byte, maxLen)
+	for i := range out {
+		out[i] = byte('a' + (variant+i)%26)
+	}
+	return string(out)
+}
+
+// expandLike renders a concrete match for a LIKE pattern.
+func expandLike(pattern string, variant, maxLen int) (sqldb.Value, error) {
+	var b strings.Builder
+	first := true
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '%':
+			if first && variant > 0 {
+				fmt.Fprintf(&b, "%d", variant)
+			}
+			first = false
+		case '_':
+			b.WriteByte(byte('a' + (variant+i)%26))
+		default:
+			b.WriteByte(pattern[i])
+		}
+	}
+	s := b.String()
+	if len(s) > maxLen {
+		return sqldb.Value{}, fmt.Errorf("xdata: expansion of %q exceeds length %d", pattern, maxLen)
+	}
+	return sqldb.NewText(s), nil
+}
+
+// PlantWitness inserts one chain of joined rows satisfying every
+// predicate, with join keys set to key and per-column overrides
+// applied. Overridden columns are the caller's responsibility
+// (boundary probing intentionally plants violating values).
+func (a *Analysis) PlantWitness(db *sqldb.Database, key int64, variant int, overrides map[sqldb.ColRef]sqldb.Value) error {
+	for _, t := range a.Tables {
+		schema := a.Schemas[t]
+		tbl, err := db.Table(t)
+		if err != nil {
+			return err
+		}
+		row := make([]sqldb.Value, len(schema.Columns))
+		for ci, cdef := range schema.Columns {
+			col := sqldb.ColRef{Table: t, Column: cdef.Name}
+			if v, ok := overrides[col]; ok {
+				row[ci] = v
+				continue
+			}
+			if _, joined := a.compOf[col]; joined {
+				row[ci] = sqldb.NewInt(key)
+				continue
+			}
+			v, err := a.SatisfyingValue(col, variant)
+			if err != nil {
+				return err
+			}
+			row[ci] = v
+		}
+		if err := tbl.Insert(row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emptyInstance builds a database holding only the analysis tables
+// (empty).
+func (a *Analysis) emptyInstance() (*sqldb.Database, error) {
+	db := sqldb.NewDatabase()
+	for _, t := range a.Tables {
+		if err := db.CreateTable(a.Schemas[t]); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Instance couples a generated database with the mutant class it
+// targets.
+type Instance struct {
+	Label string
+	DB    *sqldb.Database
+}
+
+// Generate builds the verification suite for the candidate query.
+func Generate(stmt *sqldb.SelectStmt, schemas []sqldb.TableSchema, seed int64) ([]Instance, error) {
+	a, err := Analyze(stmt, schemas)
+	if err != nil {
+		return nil, err
+	}
+	var out []Instance
+	add := func(label string, build func(db *sqldb.Database) error) error {
+		db, err := a.emptyInstance()
+		if err != nil {
+			return err
+		}
+		if err := build(db); err != nil {
+			return err
+		}
+		out = append(out, Instance{Label: label, DB: db})
+		return nil
+	}
+
+	// 1. Base witnesses: several distinct joined chains.
+	if err := add("witnesses", func(db *sqldb.Database) error {
+		for k := int64(1); k <= 4; k++ {
+			if err := a.PlantWitness(db, k, int(k), nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// 2. Filter boundaries: for each constrained column, witnesses at
+	// the bound plus a violating neighbour (kills off-by-one bounds).
+	for col, c := range a.cons {
+		col, c := col, c
+		if err := add("boundary:"+col.String(), func(db *sqldb.Database) error {
+			variant := 0
+			if c.hasLo {
+				if err := a.PlantWitness(db, 1, variant, map[sqldb.ColRef]sqldb.Value{col: c.lo}); err != nil {
+					return err
+				}
+			}
+			if c.hasHi {
+				if err := a.PlantWitness(db, 2, variant, map[sqldb.ColRef]sqldb.Value{col: c.hi}); err != nil {
+					return err
+				}
+			}
+			if v, ok, err := a.ViolatingValue(col); err != nil {
+				return err
+			} else if ok {
+				if err := a.PlantWitness(db, 3, variant, map[sqldb.ColRef]sqldb.Value{col: v}); err != nil {
+					return err
+				}
+			}
+			if c.hasLike {
+				// Near-miss strings for pattern mutants.
+				mqs := sqldb.StripPercent(c.like)
+				if len(mqs) > 0 {
+					miss := "x" + mqs[1:]
+					if err := a.PlantWitness(db, 4, variant, map[sqldb.ColRef]sqldb.Value{col: sqldb.NewText(miss)}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Group collapse: pairs of witnesses sharing grouping values
+	// but differing elsewhere (kills missing group columns and wrong
+	// aggregates).
+	if len(stmt.GroupBy) > 0 {
+		if err := add("group-collapse", func(db *sqldb.Database) error {
+			for k := int64(1); k <= 2; k++ {
+				// Same variant => same non-key values => same groups;
+				// different keys multiply rows per group when keys are
+				// not grouped.
+				if err := a.PlantWitness(db, k, 0, nil); err != nil {
+					return err
+				}
+			}
+			if err := a.PlantWitness(db, 3, 1, nil); err != nil {
+				return err
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// 4. Aggregate separation: witnesses with spread values (the k
+	// identical / 1 distinct pattern kills min/max/sum/avg/count
+	// swaps). Keys stay distinct — sharing one key across witnesses
+	// would make the join product exponential in the table count.
+	if err := add("agg-separate", func(db *sqldb.Database) error {
+		for k := int64(1); k <= 5; k++ {
+			v := 0
+			if k == 5 {
+				v = 3
+			}
+			if err := a.PlantWitness(db, k, v, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// 5. Order flip + limit: many distinct witnesses with spread
+	// values (kills direction and off-by-one limit mutants).
+	n := int64(6)
+	if stmt.Limit > 0 {
+		n = stmt.Limit + 2
+	}
+	if n > 64 {
+		n = 64
+	}
+	if err := add("order-limit", func(db *sqldb.Database) error {
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Perm(int(n))
+		for i := int64(0); i < n; i++ {
+			if err := a.PlantWitness(db, i+1, order[i], nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	return out, nil
+}
+
+// RandomInstance builds a randomized database of roughly rows rows
+// per table: a handful of guaranteed witnesses plus noise rows mixing
+// satisfying, violating and random values — the "randomized large
+// databases" of the paper's first checker stage, scaled by rows.
+func (a *Analysis) RandomInstance(rows int, rng *rand.Rand) (*sqldb.Database, error) {
+	db, err := a.emptyInstance()
+	if err != nil {
+		return nil, err
+	}
+	witnesses := 3 + rows/10
+	for k := 0; k < witnesses; k++ {
+		if err := a.PlantWitness(db, int64(k+1), rng.Intn(50), nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range a.Tables {
+		schema := a.Schemas[t]
+		tbl, err := db.Table(t)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < rows; i++ {
+			row := make([]sqldb.Value, len(schema.Columns))
+			for ci, cdef := range schema.Columns {
+				col := sqldb.ColRef{Table: t, Column: cdef.Name}
+				if _, joined := a.compOf[col]; joined {
+					// Sparse keys: a wide range keeps random join
+					// fan-out low (deep join chains would otherwise
+					// blow up multiplicatively), while the planted
+					// witnesses guarantee matches.
+					row[ci] = sqldb.NewInt(int64(1 + rng.Intn(8*(rows+witnesses))))
+					continue
+				}
+				switch r := rng.Intn(4); r {
+				case 0:
+					if v, ok, err := a.ViolatingValue(col); err == nil && ok {
+						row[ci] = v
+						continue
+					}
+					fallthrough
+				default:
+					v, err := a.SatisfyingValue(col, rng.Intn(100))
+					if err != nil {
+						return nil, err
+					}
+					row[ci] = v
+				}
+			}
+			if err := tbl.Insert(row...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,249 @@
+package xdata
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+)
+
+func testSchemas() []sqldb.TableSchema {
+	return []sqldb.TableSchema{
+		{
+			Name: "parent",
+			Columns: []sqldb.Column{
+				{Name: "pk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "label", Type: sqldb.TText, MaxLen: 20},
+				{Name: "score", Type: sqldb.TInt, MinInt: 0, MaxInt: 1000},
+			},
+			PrimaryKey: []string{"pk"},
+		},
+		{
+			Name: "child",
+			Columns: []sqldb.Column{
+				{Name: "fk", Type: sqldb.TInt, MinInt: 1, MaxInt: 1 << 30},
+				{Name: "amount", Type: sqldb.TFloat, Precision: 2, MinInt: 0, MaxInt: 10000},
+				{Name: "tag", Type: sqldb.TText, MaxLen: 20},
+				{Name: "created", Type: sqldb.TDate, MinInt: sqldb.MustDate("2000-01-01").I, MaxInt: sqldb.MustDate("2020-12-31").I},
+			},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "fk", RefTable: "parent", RefColumn: "pk"}},
+		},
+	}
+}
+
+const testQuery = `
+	select label, sum(amount) as total
+	from parent, child
+	where pk = fk
+	  and score between 10 and 90
+	  and tag like '%hot%'
+	  and amount >= 5.50
+	  and created <= date '2015-06-30'
+	group by label
+	order by total desc
+	limit 5`
+
+func analyzed(t *testing.T) *Analysis {
+	t.Helper()
+	stmt := sqlparser.MustParse(testQuery)
+	a, err := Analyze(stmt, testSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnalyzeFindsJoinAndConstraints(t *testing.T) {
+	a := analyzed(t)
+	if len(a.Tables) != 2 {
+		t.Fatalf("tables: %v", a.Tables)
+	}
+	if len(a.components) != 1 {
+		t.Fatalf("join components: %d", len(a.components))
+	}
+	score := sqldb.ColRef{Table: "parent", Column: "score"}
+	c := a.cons[score]
+	if c == nil || !c.hasLo || !c.hasHi || c.lo.I != 10 || c.hi.I != 90 {
+		t.Errorf("score constraint: %+v", c)
+	}
+	tag := sqldb.ColRef{Table: "child", Column: "tag"}
+	if a.cons[tag] == nil || !a.cons[tag].hasLike {
+		t.Error("like constraint lost")
+	}
+}
+
+func TestSatisfyingValuesSatisfy(t *testing.T) {
+	a := analyzed(t)
+	stmt := a.Stmt
+	db, err := a.emptyInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 5; w++ {
+		if err := a.PlantWitness(db, int64(w+1), w, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Execute(context.Background(), stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Populated() {
+		t.Fatal("witnesses do not satisfy the query")
+	}
+}
+
+func TestViolatingValuesViolate(t *testing.T) {
+	a := analyzed(t)
+	for col, c := range a.cons {
+		v, ok, err := a.ViolatingValue(col)
+		if err != nil {
+			t.Fatalf("%s: %v", col, err)
+		}
+		if !ok {
+			continue
+		}
+		// Planting a witness with the violating override must keep the
+		// query result empty.
+		db, err := a.emptyInstance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.PlantWitness(db, 1, 0, map[sqldb.ColRef]sqldb.Value{col: v}); err != nil {
+			t.Fatalf("%s: %v", col, err)
+		}
+		res, err := db.Execute(context.Background(), a.Stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Populated() {
+			t.Errorf("violating value %v for %s still satisfies the query (constraint %+v)", v, col, c)
+		}
+	}
+}
+
+func TestGenerateSuiteRunsCandidate(t *testing.T) {
+	stmt := sqlparser.MustParse(testQuery)
+	instances, err := Generate(stmt, testSchemas(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) < 4 {
+		t.Fatalf("suite too small: %d instances", len(instances))
+	}
+	labels := map[string]bool{}
+	populatedSomewhere := false
+	for _, inst := range instances {
+		labels[inst.Label] = true
+		res, err := inst.DB.Execute(context.Background(), stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Label, err)
+		}
+		if res.Populated() {
+			populatedSomewhere = true
+		}
+	}
+	if !populatedSomewhere {
+		t.Error("no instance exercises the query's populated path")
+	}
+	for _, want := range []string{"witnesses", "agg-separate", "order-limit"} {
+		if !labels[want] {
+			t.Errorf("suite misses instance %q (have %v)", want, labels)
+		}
+	}
+}
+
+// TestGenerateKillsMutants: each targeted instance class must
+// distinguish the candidate query from a representative mutant.
+func TestGenerateKillsMutants(t *testing.T) {
+	stmt := sqlparser.MustParse(testQuery)
+	mutants := map[string]string{
+		"off-by-one bound": `
+			select label, sum(amount) as total from parent, child
+			where pk = fk and score between 11 and 90 and tag like '%hot%'
+			  and amount >= 5.50 and created <= date '2015-06-30'
+			group by label order by total desc limit 5`,
+		"wrong aggregate": `
+			select label, avg(amount) as total from parent, child
+			where pk = fk and score between 10 and 90 and tag like '%hot%'
+			  and amount >= 5.50 and created <= date '2015-06-30'
+			group by label order by total desc limit 5`,
+		"dropped filter": `
+			select label, sum(amount) as total from parent, child
+			where pk = fk and score between 10 and 90 and tag like '%hot%'
+			  and created <= date '2015-06-30'
+			group by label order by total desc limit 5`,
+		"wrong limit": `
+			select label, sum(amount) as total from parent, child
+			where pk = fk and score between 10 and 90 and tag like '%hot%'
+			  and amount >= 5.50 and created <= date '2015-06-30'
+			group by label order by total desc limit 4`,
+	}
+	instances, err := Generate(stmt, testSchemas(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, msql := range mutants {
+		mut := sqlparser.MustParse(msql)
+		killed := false
+		for _, inst := range instances {
+			want, err := inst.DB.Execute(context.Background(), stmt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := inst.DB.Execute(context.Background(), mut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.EqualUnordered(got) {
+				killed = true
+				break
+			}
+		}
+		if !killed {
+			t.Errorf("mutant %q survives the generated suite", name)
+		}
+	}
+}
+
+func TestRandomInstancePopulated(t *testing.T) {
+	a := analyzed(t)
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db, err := a.RandomInstance(40, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Execute(context.Background(), a.Stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Populated() {
+			t.Errorf("seed %d: random instance lost the witnesses", seed)
+		}
+	}
+}
+
+func TestAnalyzeRejectsOutOfScope(t *testing.T) {
+	for _, q := range []string{
+		"select a from t where a = 1 or b = 2",
+		"select a from t where not (a = 1)",
+		"select a from t where a is null",
+	} {
+		stmt, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Fatalf("%q should parse: %v", q, err)
+		}
+		if _, err := Analyze(stmt, []sqldb.TableSchema{{
+			Name: "t",
+			Columns: []sqldb.Column{
+				{Name: "a", Type: sqldb.TInt},
+				{Name: "b", Type: sqldb.TInt},
+			},
+		}}); err == nil {
+			t.Errorf("%q: expected analysis rejection", q)
+		}
+	}
+}

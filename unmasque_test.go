@@ -1,0 +1,144 @@
+package unmasque_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"unmasque"
+)
+
+// buildShopDB constructs a small database through the public facade
+// only, as an external adopter would.
+func buildShopDB(t testing.TB) *unmasque.Database {
+	t.Helper()
+	db := unmasque.NewDatabase()
+	if err := db.CreateTable(unmasque.TableSchema{
+		Name: "products",
+		Columns: []unmasque.Column{
+			{Name: "pid", Type: unmasque.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "name", Type: unmasque.TText, MaxLen: 30},
+			{Name: "price", Type: unmasque.TFloat, Precision: 2, MinInt: 0, MaxInt: 1000},
+		},
+		PrimaryKey: []string{"pid"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(unmasque.TableSchema{
+		Name: "sales",
+		Columns: []unmasque.Column{
+			{Name: "sid", Type: unmasque.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "pid", Type: unmasque.TInt, MinInt: 1, MaxInt: 1 << 30},
+			{Name: "qty", Type: unmasque.TInt, MinInt: 1, MaxInt: 100},
+		},
+		PrimaryKey:  []string{"sid"},
+		ForeignKeys: []unmasque.ForeignKey{{Column: "pid", RefTable: "products", RefColumn: "pid"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 20; p++ {
+		if err := db.Insert("products",
+			unmasque.NewInt(int64(p)),
+			unmasque.NewText(fmt.Sprintf("product%d", p)),
+			unmasque.NewFloat(float64(p)*7.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 1; s <= 200; s++ {
+		if err := db.Insert("sales",
+			unmasque.NewInt(int64(s)),
+			unmasque.NewInt(int64(1+s%20)),
+			unmasque.NewInt(int64(1+s%9))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestPublicAPIEndToEnd exercises the facade exactly as the README
+// quickstart does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := buildShopDB(t)
+	hidden := `
+		select name, sum(qty) as units
+		from products, sales
+		where products.pid = sales.pid and price >= 14.50
+		group by name
+		order by units desc
+		limit 5`
+	exe := unmasque.MustSQLExecutable("sales-report", hidden)
+	ext, err := unmasque.Extract(exe, db, unmasque.DefaultConfig())
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if !ext.CheckerVerified {
+		t.Error("checker did not verify")
+	}
+	want, err := exe.Run(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Execute(context.Background(), ext.Query)
+	if err != nil {
+		t.Fatalf("extracted query: %v\n%s", err, ext.SQL)
+	}
+	if !want.EqualUnordered(got) {
+		t.Fatalf("results differ\n%s", ext.SQL)
+	}
+	if ext.Limit != 5 || len(ext.OrderBy) != 1 || !ext.OrderBy[0].Desc {
+		t.Errorf("structural extraction: limit=%d order=%v", ext.Limit, ext.OrderBy)
+	}
+}
+
+// TestPublicAPIImperative covers the imperative entry point.
+func TestPublicAPIImperative(t *testing.T) {
+	db := buildShopDB(t)
+	exe := unmasque.NewImperativeExecutable("cheap-products",
+		func(ctx context.Context, db *unmasque.Database) (*unmasque.Result, error) {
+			products, err := db.Table("products")
+			if err != nil {
+				return nil, err
+			}
+			res := &unmasque.Result{Columns: []string{"name", "price"}}
+			for _, r := range products.Rows {
+				if r[2].AsFloat() <= 30 {
+					res.Rows = append(res.Rows, unmasque.Row{r[1], r[2]})
+				}
+			}
+			return res, nil
+		}, "")
+	ext, err := unmasque.Extract(exe, db, unmasque.DefaultConfig())
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	f := ext.Filters
+	if len(f) != 1 || !f[0].HasHi || f[0].Hi.AsFloat() != 29 {
+		// price grid is 0.01; <=30 over the 7.25 multiples means the
+		// observed boundary is the largest populated grid point at or
+		// below 30 — accept either 29.00 (int grid) or 30.00.
+		if len(f) != 1 || !f[0].HasHi || f[0].Hi.AsFloat() > 30 || f[0].Hi.AsFloat() < 29 {
+			t.Errorf("filter extraction: %+v", f)
+		}
+	}
+}
+
+// TestPublicAPIRegalBaseline covers the QRE baseline export.
+func TestPublicAPIRegalBaseline(t *testing.T) {
+	db := buildShopDB(t)
+	stmt := unmasque.MustParse("select pid, qty from sales where qty >= 5")
+	target, err := db.Execute(context.Background(), stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := unmasque.RegalReverseEngineer(db, target, unmasque.DefaultRegalConfig())
+	if out.Query == nil {
+		t.Fatalf("baseline found no candidate: %s", out.Reason)
+	}
+	got, err := db.Execute(context.Background(), out.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualUnordered(target) {
+		t.Error("baseline candidate not instance-equivalent")
+	}
+}
