@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# ci.sh — the repository's full verification gate.
+#
+# Runs, in order: build, formatting check, go vet, the project's own
+# linter (internal/analysis via cmd/unmasquelint), the full test suite
+# under the race detector. Any failure stops the gate.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build"
+go build ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== unmasquelint"
+go run ./cmd/unmasquelint ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "ci: all checks passed"

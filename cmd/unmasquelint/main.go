@@ -1,0 +1,138 @@
+// Command unmasquelint is the project's analysis driver. It has two
+// modes, mirroring the two tiers of internal/analysis:
+//
+// Lint mode (default): typecheck the module and run the custom Go
+// analyzers (GL001–GL004) over every non-test package.
+//
+//	unmasquelint            # lint the module rooted at the cwd
+//	unmasquelint ./...      # same (spelled like go vet)
+//	unmasquelint path/to/mod
+//
+// Query mode: statically verify a SQL query against a workload schema
+// using the EQC verifier (EQC-* rules).
+//
+//	unmasquelint -query "select ... from lineitem ..." -schema tpch
+//	unmasquelint -query ... -schema rubis -disjunction
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"unmasque/internal/analysis/eqcverify"
+	"unmasque/internal/analysis/golint"
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+	"unmasque/internal/workloads/enki"
+	"unmasque/internal/workloads/job"
+	"unmasque/internal/workloads/rubis"
+	"unmasque/internal/workloads/tpcds"
+	"unmasque/internal/workloads/tpch"
+	"unmasque/internal/workloads/wilos"
+)
+
+// workloadSchemas maps -schema names to schema providers.
+var workloadSchemas = map[string]func() []sqldb.TableSchema{
+	"tpch":  tpch.Schemas,
+	"tpcds": tpcds.Schemas,
+	"job":   job.Schemas,
+	"rubis": rubis.Schemas,
+	"enki":  enki.Schemas,
+	"wilos": wilos.Schemas,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("unmasquelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	query := fs.String("query", "", "SQL query to verify against the extractable class (query mode)")
+	schema := fs.String("schema", "", "workload schema for -query: "+strings.Join(schemaNames(), ", "))
+	disjunction := fs.Bool("disjunction", false, "admit single-column disjunctive filters (Section 9 extension)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *query != "" {
+		return runQueryMode(*query, *schema, *disjunction, stdout, stderr)
+	}
+	if *schema != "" || *disjunction {
+		fmt.Fprintln(stderr, "unmasquelint: -schema and -disjunction require -query")
+		return 2
+	}
+	return runLintMode(fs.Args(), stdout, stderr)
+}
+
+func schemaNames() []string {
+	names := make([]string, 0, len(workloadSchemas))
+	for n := range workloadSchemas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// runQueryMode parses the query and reports EQC diagnostics with
+// clause spans pointing into the query text.
+func runQueryMode(query, schema string, disjunction bool, stdout, stderr *os.File) int {
+	provider, ok := workloadSchemas[schema]
+	if !ok {
+		fmt.Fprintf(stderr, "unmasquelint: -query needs -schema, one of: %s\n",
+			strings.Join(schemaNames(), ", "))
+		return 2
+	}
+	stmt, spans, err := sqlparser.ParseWithSpans(query)
+	if err != nil {
+		fmt.Fprintf(stderr, "unmasquelint: %v\n", err)
+		return 2
+	}
+	diags := eqcverify.Verify(stmt, provider(), eqcverify.Options{AllowDisjunction: disjunction})
+	for _, d := range diags {
+		loc := ""
+		if s := spans.Clause(d.Clause); !s.Empty() {
+			loc = fmt.Sprintf(" (bytes %d-%d)", s.Start, s.End)
+		}
+		fmt.Fprintf(stdout, "%s [%s]%s %s: %s\n", d.Rule, d.Clause, loc, d.Span, d.Msg)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stdout, "%d finding(s): query is outside the extractable class\n", len(diags))
+		return 1
+	}
+	fmt.Fprintln(stdout, "ok: query is inside the extractable class")
+	return 0
+}
+
+// runLintMode lints the module rooted at the given path (default cwd;
+// a go-vet-style "./..." argument means the same).
+func runLintMode(args []string, stdout, stderr *os.File) int {
+	root := "."
+	switch len(args) {
+	case 0:
+	case 1:
+		if args[0] != "./..." {
+			root = strings.TrimSuffix(args[0], "/...")
+		}
+	default:
+		fmt.Fprintln(stderr, "unmasquelint: at most one package path argument")
+		return 2
+	}
+	findings, err := golint.LintDir(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "unmasquelint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stdout, "%d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,725 @@
+// Package eqcverify statically verifies that a single-block query —
+// parsed from text or assembled by the extraction pipeline — lies
+// inside the paper's Extractable Query Class (EQC). The extractor's
+// correctness guarantee is only meaningful for in-class queries, yet
+// nothing else in the system checks class membership of an extraction
+// result: an extractor bug could emit an out-of-class query whose
+// result happens to match on the test instance. This package is the
+// mechanical oracle closing that gap; core.Extract runs it as an
+// opt-in post-extraction guard (Config.VerifyEQC) and the extraction
+// suites enable it unconditionally.
+//
+// The invariants checked, with their stable rule IDs (catalogued in
+// DESIGN.md §6):
+//
+//   - EQC-T01/EQC-C01: tables and columns exist in the schema.
+//   - EQC-J01: every equi-join predicate lies on a declared PK–FK or
+//     implied FK–FK edge of the schema graph.
+//   - EQC-J02: the join predicates connect all FROM tables (no cross
+//     products).
+//   - EQC-W01..W04: the WHERE residue is a conjunction of atomic
+//     filter predicates on non-key columns, with operators legal for
+//     the column type; disjunctive single-column predicates are
+//     admitted only under Options.AllowDisjunction (the Section 9
+//     extension).
+//   - EQC-P01..P03: projections are multi-linear functions of base
+//     columns, aggregates are outermost and never nested, and in an
+//     aggregated query every plain output depends only on grouping
+//     columns.
+//   - EQC-G01: GROUP BY entries are plain columns.
+//   - EQC-H01..H03: HAVING is a conjunction of agg(column) cmp
+//     literal atoms, on non-grouping columns, attribute-disjoint from
+//     the filter predicates.
+//   - EQC-O01: every ORDER BY key refers to a projected output.
+//   - EQC-L01: an explicit LIMIT is at least 3 (the paper's
+//     geometric limit probe needs |R| >= 3 to distinguish a limit
+//     from a small result).
+package eqcverify
+
+import (
+	"fmt"
+	"strings"
+
+	"unmasque/internal/sqldb"
+)
+
+// Rule IDs. These are stable identifiers: tests, the lint driver and
+// DESIGN.md refer to them by value, so they must not be renumbered.
+const (
+	RuleUnknownTable  = "EQC-T01" // FROM references a table absent from the schema
+	RuleUnknownColumn = "EQC-C01" // column reference unresolvable or ambiguous
+	RuleJoinEdge      = "EQC-J01" // equi-join not on a schema-graph key edge
+	RuleJoinConnected = "EQC-J02" // join predicates leave the FROM tables disconnected
+	RuleFilterConj    = "EQC-W01" // WHERE residue is not conjunctive (or illegal disjunction)
+	RuleFilterKey     = "EQC-W02" // filter predicate on a key column
+	RuleFilterOp      = "EQC-W03" // operator outside EQC for the column type
+	RuleFilterForm    = "EQC-W04" // filter atom is not column-versus-literal
+	RuleProjLinear    = "EQC-P01" // projection is not multi-linear in base columns
+	RuleProjAgg       = "EQC-P02" // aggregate nested or not outermost
+	RuleProjGrouping  = "EQC-P03" // plain output of an aggregated query off the grouping set
+	RuleGroupByForm   = "EQC-G01" // GROUP BY entry is not a plain column
+	RuleHavingForm    = "EQC-H01" // HAVING atom is not agg(column) cmp literal
+	RuleHavingGrouped = "EQC-H02" // HAVING aggregates a grouping column
+	RuleHavingOverlap = "EQC-H03" // HAVING and filter attribute sets intersect
+	RuleOrderProj     = "EQC-O01" // ORDER BY key is not a projected output
+	RuleLimitMin      = "EQC-L01" // LIMIT below 3
+)
+
+// Options tunes the verified class.
+type Options struct {
+	// AllowDisjunction admits the Section 9 extension: a WHERE
+	// conjunct may be a disjunction of equality/range atoms over one
+	// non-key column (the shape Config.ExtractDisjunction emits).
+	AllowDisjunction bool
+}
+
+// Diagnostic is one EQC violation.
+type Diagnostic struct {
+	Rule   string // stable rule ID (EQC-…)
+	Clause string // query clause: "from", "where", "select", "group by", "having", "order by", "limit"
+	Span   string // SQL rendering of the offending construct
+	Msg    string // human-readable explanation
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s [%s] %s: %s", d.Rule, d.Clause, d.Span, d.Msg)
+}
+
+// Error wraps a non-empty diagnostic list as a single error.
+func Error(diags []Diagnostic) error {
+	if len(diags) == 0 {
+		return nil
+	}
+	parts := make([]string, len(diags))
+	for i, d := range diags {
+		parts[i] = d.String()
+	}
+	return fmt.Errorf("query outside the extractable class: %s", strings.Join(parts, "; "))
+}
+
+// Verify checks stmt against the EQC grammar over the given table
+// schemas and returns every violation found (empty means in-class).
+// The schemas may cover more tables than the statement references;
+// the schema graph is derived with the same FK closure the extractor
+// uses, so PK–FK and implied FK–FK joins are both admitted.
+func Verify(stmt *sqldb.SelectStmt, schemas []sqldb.TableSchema, opt Options) []Diagnostic {
+	v := &verifier{
+		opt:     opt,
+		stmt:    stmt,
+		schemas: map[string]sqldb.TableSchema{},
+	}
+	for _, s := range schemas {
+		v.schemas[strings.ToLower(s.Name)] = s
+	}
+	v.graph = map[string]bool{}
+	for _, e := range sqldb.BuildSchemaGraph(schemas).Edges {
+		v.graph[e.Canonical().String()] = true
+	}
+	v.run()
+	return v.diags
+}
+
+type verifier struct {
+	opt     Options
+	stmt    *sqldb.SelectStmt
+	schemas map[string]sqldb.TableSchema
+	graph   map[string]bool // canonical SchemaEdge strings
+
+	from      []string // resolved FROM tables (lowercased, known only)
+	diags     []Diagnostic
+	joinEdges []sqldb.SchemaEdge
+	filterSet map[sqldb.ColRef]bool
+	groupSet  map[sqldb.ColRef]bool
+}
+
+func (v *verifier) report(rule, clause string, span fmt.Stringer, format string, args ...any) {
+	text := ""
+	if span != nil {
+		text = span.String()
+	}
+	v.diags = append(v.diags, Diagnostic{
+		Rule:   rule,
+		Clause: clause,
+		Span:   text,
+		Msg:    fmt.Sprintf(format, args...),
+	})
+}
+
+type literalSpan string
+
+func (s literalSpan) String() string { return string(s) }
+
+func (v *verifier) run() {
+	v.filterSet = map[sqldb.ColRef]bool{}
+	v.groupSet = map[sqldb.ColRef]bool{}
+	v.checkFrom()
+	v.checkWhere()
+	v.checkConnectivity()
+	v.checkGroupBy() // before select: P03 needs the grouping set
+	v.checkSelect()
+	v.checkHaving()
+	v.checkOrderBy()
+	v.checkLimit()
+}
+
+// --- resolution -----------------------------------------------------
+
+// resolve maps a column reference to its owning table, reporting
+// EQC-C01 on failure. clause names the enclosing clause for the
+// diagnostic.
+func (v *verifier) resolve(c *sqldb.ColumnExpr, clause string) (sqldb.ColRef, bool) {
+	tbl := strings.ToLower(c.Table)
+	col := strings.ToLower(c.Column)
+	if tbl != "" {
+		s, ok := v.schemas[tbl]
+		if !ok || !v.inFrom(tbl) {
+			v.report(RuleUnknownColumn, clause, c, "table %s is not in the from clause", tbl)
+			return sqldb.ColRef{}, false
+		}
+		if s.ColumnIndex(col) < 0 {
+			v.report(RuleUnknownColumn, clause, c, "table %s has no column %s", tbl, col)
+			return sqldb.ColRef{}, false
+		}
+		return sqldb.ColRef{Table: tbl, Column: col}, true
+	}
+	found := ""
+	for _, t := range v.from {
+		if v.schemas[t].ColumnIndex(col) >= 0 {
+			if found != "" {
+				v.report(RuleUnknownColumn, clause, c, "column %s is ambiguous (%s, %s)", col, found, t)
+				return sqldb.ColRef{}, false
+			}
+			found = t
+		}
+	}
+	if found == "" {
+		v.report(RuleUnknownColumn, clause, c, "unknown column %s", col)
+		return sqldb.ColRef{}, false
+	}
+	return sqldb.ColRef{Table: found, Column: col}, true
+}
+
+func (v *verifier) inFrom(table string) bool {
+	for _, t := range v.from {
+		if t == table {
+			return true
+		}
+	}
+	return false
+}
+
+// column returns the schema definition behind a resolved reference.
+func (v *verifier) column(ref sqldb.ColRef) sqldb.Column {
+	col, _ := v.schemas[ref.Table].Column(ref.Column)
+	return col
+}
+
+func (v *verifier) isKey(ref sqldb.ColRef) bool {
+	return v.schemas[ref.Table].IsKey(ref.Column)
+}
+
+// --- clause checks --------------------------------------------------
+
+func (v *verifier) checkFrom() {
+	for _, raw := range v.stmt.From {
+		name := strings.ToLower(raw)
+		if _, ok := v.schemas[name]; !ok {
+			v.report(RuleUnknownTable, "from", literalSpan(name), "table %s does not exist in the schema", name)
+			continue
+		}
+		v.from = append(v.from, name)
+	}
+}
+
+func (v *verifier) checkWhere() {
+	for _, conjunct := range sqldb.Conjuncts(v.stmt.Where) {
+		if ref, ok := v.asJoinPredicate(conjunct); ok {
+			edge := ref.Canonical()
+			if !v.graph[edge.String()] {
+				v.report(RuleJoinEdge, "where", conjunct,
+					"equi-join is not on a declared PK-FK/FK-FK edge of the schema graph")
+			}
+			v.joinEdges = append(v.joinEdges, edge)
+			continue
+		}
+		v.checkFilterAtom(conjunct)
+	}
+}
+
+// asJoinPredicate recognizes col = col between two distinct tables.
+func (v *verifier) asJoinPredicate(e sqldb.Expr) (sqldb.SchemaEdge, bool) {
+	b, ok := e.(*sqldb.BinaryExpr)
+	if !ok || b.Op != sqldb.OpEq {
+		return sqldb.SchemaEdge{}, false
+	}
+	lc, lok := b.L.(*sqldb.ColumnExpr)
+	rc, rok := b.R.(*sqldb.ColumnExpr)
+	if !lok || !rok {
+		return sqldb.SchemaEdge{}, false
+	}
+	lref, lok := v.resolve(lc, "where")
+	rref, rok := v.resolve(rc, "where")
+	if !lok || !rok {
+		// Unresolvable columns were already reported; swallow the atom.
+		return sqldb.SchemaEdge{}, true
+	}
+	if lref.Table == rref.Table {
+		return sqldb.SchemaEdge{}, false
+	}
+	return sqldb.SchemaEdge{A: lref, B: rref}, true
+}
+
+// checkFilterAtom validates one non-join conjunct of WHERE.
+func (v *verifier) checkFilterAtom(e sqldb.Expr) {
+	switch x := e.(type) {
+	case *sqldb.BinaryExpr:
+		if x.Op == sqldb.OpOr {
+			v.checkDisjunction(e)
+			return
+		}
+		if x.Op == sqldb.OpAnd {
+			// Conjuncts() flattened ANDs already; a nested AND can only
+			// appear under OR/NOT and is handled there.
+			for _, c := range sqldb.Conjuncts(x) {
+				v.checkFilterAtom(c)
+			}
+			return
+		}
+		if x.Op == sqldb.OpNe {
+			v.report(RuleFilterOp, "where", e, "operator <> is outside EQC")
+			return
+		}
+		if !x.Op.IsComparison() {
+			v.report(RuleFilterForm, "where", e, "filter predicate must be a comparison")
+			return
+		}
+		col, lit := v.splitColLiteral(x.L, x.R)
+		if col == nil {
+			v.report(RuleFilterForm, "where", e, "filter must compare a column with a literal")
+			return
+		}
+		ref, ok := v.resolve(col, "where")
+		if !ok {
+			return
+		}
+		if lit == nil {
+			v.report(RuleFilterForm, "where", e,
+				"filter on %s must compare against a literal", ref)
+			return
+		}
+		v.recordFilter(ref, e)
+		v.checkFilterOperator(ref, x.Op, e)
+	case *sqldb.BetweenExpr:
+		col, ok := x.X.(*sqldb.ColumnExpr)
+		if !ok || !isLiteral(x.Lo) || !isLiteral(x.Hi) {
+			v.report(RuleFilterForm, "where", e, "between must range a column over literals")
+			return
+		}
+		ref, ok := v.resolve(col, "where")
+		if !ok {
+			return
+		}
+		v.recordFilter(ref, e)
+		if t := v.column(ref).Type; t == sqldb.TText || t == sqldb.TBool {
+			v.report(RuleFilterOp, "where", e, "between is outside EQC for %s columns", t)
+		}
+	case *sqldb.LikeExpr:
+		col, ok := x.X.(*sqldb.ColumnExpr)
+		if !ok {
+			v.report(RuleFilterForm, "where", e, "like must test a column")
+			return
+		}
+		ref, ok := v.resolve(col, "where")
+		if !ok {
+			return
+		}
+		if x.Not {
+			v.report(RuleFilterOp, "where", e, "not like is outside EQC")
+			return
+		}
+		v.recordFilter(ref, e)
+		if v.column(ref).Type != sqldb.TText {
+			v.report(RuleFilterOp, "where", e, "like applies only to text columns")
+		}
+	case *sqldb.NotExpr:
+		v.report(RuleFilterOp, "where", e, "negation is outside EQC")
+	case *sqldb.IsNullExpr:
+		v.report(RuleFilterOp, "where", e, "null tests are outside EQC")
+	default:
+		v.report(RuleFilterForm, "where", e, "predicate form is outside EQC")
+	}
+}
+
+// checkDisjunction validates an OR tree: admitted only under
+// AllowDisjunction, and then only as equality/range atoms over a
+// single non-key column (the disjoint-interval / IN-set shape the
+// disjunction extension extracts).
+func (v *verifier) checkDisjunction(e sqldb.Expr) {
+	if !v.opt.AllowDisjunction {
+		v.report(RuleFilterConj, "where", e,
+			"where must be conjunctive (disjunction extraction is disabled)")
+		return
+	}
+	var ref sqldb.ColRef
+	first := true
+	okAll := true
+	var walk func(sqldb.Expr)
+	walk = func(d sqldb.Expr) {
+		if b, ok := d.(*sqldb.BinaryExpr); ok && b.Op == sqldb.OpOr {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		var col *sqldb.ColumnExpr
+		switch a := d.(type) {
+		case *sqldb.BinaryExpr:
+			if a.Op != sqldb.OpEq {
+				// Disjoint intervals render as = or between; anything
+				// else is not a shape the extension produces.
+				v.report(RuleFilterConj, "where", e,
+					"disjunction arms must be equalities or between ranges")
+				okAll = false
+				return
+			}
+			c, lit := v.splitColLiteral(a.L, a.R)
+			if c == nil || lit == nil {
+				v.report(RuleFilterForm, "where", d, "disjunction arm must compare a column with a literal")
+				okAll = false
+				return
+			}
+			col = c
+		case *sqldb.BetweenExpr:
+			c, ok := a.X.(*sqldb.ColumnExpr)
+			if !ok || !isLiteral(a.Lo) || !isLiteral(a.Hi) {
+				v.report(RuleFilterForm, "where", d, "disjunction arm must range a column over literals")
+				okAll = false
+				return
+			}
+			col = c
+		default:
+			v.report(RuleFilterConj, "where", e, "disjunction arms must be equalities or between ranges")
+			okAll = false
+			return
+		}
+		r, ok := v.resolve(col, "where")
+		if !ok {
+			okAll = false
+			return
+		}
+		if first {
+			ref, first = r, false
+			return
+		}
+		if r != ref {
+			v.report(RuleFilterConj, "where", e,
+				"disjunction spans columns %s and %s; EQC admits single-column disjunctions only", ref, r)
+			okAll = false
+		}
+	}
+	walk(e)
+	if okAll && !first {
+		v.recordFilter(ref, e)
+	}
+}
+
+// recordFilter notes a filter attribute and applies the non-key rule.
+func (v *verifier) recordFilter(ref sqldb.ColRef, span sqldb.Expr) {
+	v.filterSet[ref] = true
+	if v.isKey(ref) {
+		v.report(RuleFilterKey, "where", span,
+			"filter on key column %s; EQC filters apply to non-key attributes only", ref)
+	}
+}
+
+// checkFilterOperator enforces per-type operator legality.
+func (v *verifier) checkFilterOperator(ref sqldb.ColRef, op sqldb.BinOp, span sqldb.Expr) {
+	switch v.column(ref).Type {
+	case sqldb.TText:
+		if op != sqldb.OpEq {
+			v.report(RuleFilterOp, "where", span,
+				"text column %s admits only equality and like predicates", ref)
+		}
+	case sqldb.TBool:
+		if op != sqldb.OpEq {
+			v.report(RuleFilterOp, "where", span,
+				"boolean column %s admits only equality predicates", ref)
+		}
+	}
+}
+
+// splitColLiteral matches col-vs-literal in either orientation.
+func (v *verifier) splitColLiteral(l, r sqldb.Expr) (*sqldb.ColumnExpr, sqldb.Expr) {
+	if c, ok := l.(*sqldb.ColumnExpr); ok && isLiteral(r) {
+		return c, r
+	}
+	if c, ok := r.(*sqldb.ColumnExpr); ok && isLiteral(l) {
+		return c, l
+	}
+	if c, ok := l.(*sqldb.ColumnExpr); ok {
+		return c, nil
+	}
+	if c, ok := r.(*sqldb.ColumnExpr); ok {
+		return c, nil
+	}
+	return nil, nil
+}
+
+func isLiteral(e sqldb.Expr) bool {
+	switch x := e.(type) {
+	case *sqldb.LiteralExpr:
+		return true
+	case *sqldb.NegExpr:
+		return isLiteral(x.X)
+	default:
+		return false
+	}
+}
+
+// checkConnectivity verifies the join predicates connect every FROM
+// table (union-find over the recorded join edges).
+func (v *verifier) checkConnectivity() {
+	if len(v.from) < 2 {
+		return
+	}
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	for _, t := range v.from {
+		find(t)
+	}
+	for _, e := range v.joinEdges {
+		if v.inFrom(e.A.Table) && v.inFrom(e.B.Table) {
+			union(e.A.Table, e.B.Table)
+		}
+	}
+	root := find(v.from[0])
+	for _, t := range v.from[1:] {
+		if find(t) != root {
+			v.report(RuleJoinConnected, "where", literalSpan(strings.Join(v.from, ", ")),
+				"join predicates do not connect table %s; EQC requires a connected join graph", t)
+			return
+		}
+	}
+}
+
+func (v *verifier) checkGroupBy() {
+	for _, g := range v.stmt.GroupBy {
+		c, ok := g.(*sqldb.ColumnExpr)
+		if !ok {
+			v.report(RuleGroupByForm, "group by", g, "group by entries must be plain columns")
+			continue
+		}
+		if ref, ok := v.resolve(c, "group by"); ok {
+			v.groupSet[ref] = true
+		}
+	}
+}
+
+func (v *verifier) checkSelect() {
+	hasAgg := false
+	for _, it := range v.stmt.Items {
+		if _, ok := it.Expr.(*sqldb.AggExpr); ok || sqldb.HasAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	for _, it := range v.stmt.Items {
+		if agg, ok := it.Expr.(*sqldb.AggExpr); ok {
+			if agg.Star {
+				continue // count(*)
+			}
+			if sqldb.HasAggregate(agg.Arg) {
+				v.report(RuleProjAgg, "select", it.Expr, "aggregates cannot nest")
+				continue
+			}
+			v.checkMultiLinear(agg.Arg, it.Expr)
+			continue
+		}
+		if sqldb.HasAggregate(it.Expr) {
+			v.report(RuleProjAgg, "select", it.Expr,
+				"the aggregate must be the outermost operator of an output expression")
+			continue
+		}
+		v.checkMultiLinear(it.Expr, it.Expr)
+		if hasAgg {
+			for _, c := range sqldb.ColumnsOf(it.Expr) {
+				ref, ok := v.resolve(c, "select")
+				if !ok {
+					continue
+				}
+				if !v.groupSet[ref] {
+					v.report(RuleProjGrouping, "select", it.Expr,
+						"plain output depends on %s, which is not a grouping column", ref)
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkMultiLinear verifies the scalar expression is a multi-linear
+// polynomial over base columns: sums/differences of products in which
+// no column appears twice, constant coefficients, and division only
+// by literals. degreeOf returns, per column, an upper bound on the
+// degree within any monomial; nil signals an already-reported error.
+func (v *verifier) checkMultiLinear(e sqldb.Expr, span sqldb.Expr) {
+	v.degreeOf(e, span)
+}
+
+func (v *verifier) degreeOf(e sqldb.Expr, span sqldb.Expr) map[sqldb.ColRef]int {
+	switch x := e.(type) {
+	case nil:
+		return map[sqldb.ColRef]int{}
+	case *sqldb.LiteralExpr:
+		return map[sqldb.ColRef]int{}
+	case *sqldb.ColumnExpr:
+		ref, ok := v.resolve(x, "select")
+		if !ok {
+			return map[sqldb.ColRef]int{}
+		}
+		return map[sqldb.ColRef]int{ref: 1}
+	case *sqldb.NegExpr:
+		return v.degreeOf(x.X, span)
+	case *sqldb.BinaryExpr:
+		switch x.Op {
+		case sqldb.OpAdd, sqldb.OpSub:
+			l := v.degreeOf(x.L, span)
+			r := v.degreeOf(x.R, span)
+			for ref, d := range r {
+				if d > l[ref] {
+					l[ref] = d
+				}
+			}
+			return l
+		case sqldb.OpMul:
+			l := v.degreeOf(x.L, span)
+			r := v.degreeOf(x.R, span)
+			for ref, d := range r {
+				l[ref] += d
+			}
+			for ref, d := range l {
+				if d > 1 {
+					v.report(RuleProjLinear, "select", span,
+						"column %s appears with degree %d; projections must be multi-linear", ref, d)
+					return map[sqldb.ColRef]int{}
+				}
+			}
+			return l
+		case sqldb.OpDiv:
+			if len(sqldb.ColumnsOf(x.R)) > 0 {
+				v.report(RuleProjLinear, "select", span,
+					"division by a column is outside EQC's multi-linear projection class")
+				return map[sqldb.ColRef]int{}
+			}
+			return v.degreeOf(x.L, span)
+		default:
+			v.report(RuleProjLinear, "select", span,
+				"operator %s is not part of a multi-linear projection", x.Op)
+			return map[sqldb.ColRef]int{}
+		}
+	default:
+		v.report(RuleProjLinear, "select", span,
+			"expression form is not a multi-linear projection")
+		return map[sqldb.ColRef]int{}
+	}
+}
+
+func (v *verifier) checkHaving() {
+	if v.stmt.Having == nil {
+		return
+	}
+	for _, conjunct := range sqldb.Conjuncts(v.stmt.Having) {
+		b, ok := conjunct.(*sqldb.BinaryExpr)
+		if !ok || !b.Op.IsComparison() || b.Op == sqldb.OpNe {
+			v.report(RuleHavingForm, "having", conjunct,
+				"having atoms must compare an aggregate with a literal")
+			continue
+		}
+		var agg *sqldb.AggExpr
+		var lit sqldb.Expr
+		if a, ok := b.L.(*sqldb.AggExpr); ok {
+			agg, lit = a, b.R
+		} else if a, ok := b.R.(*sqldb.AggExpr); ok {
+			agg, lit = a, b.L
+		}
+		if agg == nil || !isLiteral(lit) {
+			v.report(RuleHavingForm, "having", conjunct,
+				"having atoms must compare an aggregate with a literal")
+			continue
+		}
+		if agg.Star {
+			continue // count(*) constraints carry no attribute
+		}
+		col, ok := agg.Arg.(*sqldb.ColumnExpr)
+		if !ok {
+			v.report(RuleHavingForm, "having", conjunct,
+				"having aggregates must apply to a single column")
+			continue
+		}
+		ref, ok := v.resolve(col, "having")
+		if !ok {
+			continue
+		}
+		if v.groupSet[ref] {
+			v.report(RuleHavingGrouped, "having", conjunct,
+				"having aggregates grouping column %s; EQC having applies to non-grouping attributes", ref)
+		}
+		if v.filterSet[ref] {
+			v.report(RuleHavingOverlap, "having", conjunct,
+				"column %s carries both a filter and a having predicate; EQC requires disjoint attribute sets", ref)
+		}
+	}
+}
+
+func (v *verifier) checkOrderBy() {
+	for _, k := range v.stmt.OrderBy {
+		if v.matchesOutput(k.Expr) {
+			continue
+		}
+		v.report(RuleOrderProj, "order by", k.Expr,
+			"order key does not appear in the projection; EQC requires order by ⊆ projection")
+	}
+}
+
+// matchesOutput mirrors the executor's output-column matching: a bare
+// column naming an output (alias or natural name), a structurally
+// identical expression, or a column expression matching a projected
+// column up to qualification.
+func (v *verifier) matchesOutput(e sqldb.Expr) bool {
+	if c, ok := e.(*sqldb.ColumnExpr); ok && c.Table == "" {
+		for _, it := range v.stmt.Items {
+			if strings.EqualFold(it.OutputName(), c.Column) {
+				return true
+			}
+		}
+	}
+	es := e.String()
+	for _, it := range v.stmt.Items {
+		if it.Expr.String() == es {
+			return true
+		}
+		if c, ok := e.(*sqldb.ColumnExpr); ok {
+			if ic, ok2 := it.Expr.(*sqldb.ColumnExpr); ok2 && strings.EqualFold(ic.Column, c.Column) &&
+				(c.Table == "" || strings.EqualFold(ic.Table, c.Table)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (v *verifier) checkLimit() {
+	if v.stmt.Limit > 0 && v.stmt.Limit < 3 {
+		v.report(RuleLimitMin, "limit", literalSpan(fmt.Sprintf("limit %d", v.stmt.Limit)),
+			"limit %d is below 3; the extraction class requires limit >= 3", v.stmt.Limit)
+	}
+}

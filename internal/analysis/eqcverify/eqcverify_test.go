@@ -1,0 +1,168 @@
+package eqcverify_test
+
+import (
+	"strings"
+	"testing"
+
+	"unmasque/internal/analysis/eqcverify"
+	"unmasque/internal/sqlparser"
+	"unmasque/internal/workloads/tpch"
+)
+
+// verify parses sql against the TPC-H schema and runs the verifier.
+func verify(t *testing.T, sql string, opt eqcverify.Options) []eqcverify.Diagnostic {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return eqcverify.Verify(stmt, tpch.Schemas(), opt)
+}
+
+// wantClean asserts the query is in-class.
+func wantClean(t *testing.T, sql string, opt eqcverify.Options) {
+	t.Helper()
+	if diags := verify(t, sql, opt); len(diags) != 0 {
+		t.Errorf("expected in-class, got diagnostics:\n%q\n%v", sql, diags)
+	}
+}
+
+// wantRule asserts at least one diagnostic with the given rule ID and
+// no diagnostics with other IDs (each fixture isolates one violation).
+func wantRule(t *testing.T, sql, rule string, opt eqcverify.Options) {
+	t.Helper()
+	diags := verify(t, sql, opt)
+	if len(diags) == 0 {
+		t.Fatalf("expected %s, got no diagnostics:\n%q", rule, sql)
+	}
+	for _, d := range diags {
+		if d.Rule != rule {
+			t.Errorf("expected only %s, got %v:\n%q", rule, diags, sql)
+			return
+		}
+	}
+}
+
+func TestInClassQueries(t *testing.T) {
+	for name, sql := range map[string]string{
+		"filter": `select l_orderkey, l_quantity from lineitem
+			where l_quantity <= 24 and l_shipdate between date '1994-01-01' and date '1994-12-31'`,
+		"join": `select c_name, o_orderdate from customer, orders
+			where c_custkey = o_custkey and o_totalprice > 100`,
+		"three-way": `select c_name, l_extendedprice from customer, orders, lineitem
+			where c_custkey = o_custkey and o_orderkey = l_orderkey`,
+		"fk-fk": `select ps_availqty from partsupp, lineitem
+			where ps_partkey = l_partkey and ps_suppkey = l_suppkey`,
+		"aggregate": `select l_returnflag, sum(l_quantity), count(*) from lineitem
+			group by l_returnflag having sum(l_extendedprice) > 100`,
+		"multilinear": `select sum(l_extendedprice * (1 - l_discount)) from lineitem
+			where l_shipdate <= date '1998-09-02' group by l_returnflag`,
+		"orderlimit": `select c_name, c_acctbal from customer
+			where c_acctbal >= 0 order by c_acctbal desc, c_name limit 10`,
+		"order-by-alias": `select l_returnflag, sum(l_quantity) as sum_qty from lineitem
+			group by l_returnflag order by sum_qty desc`,
+		"like": `select p_partkey from part where p_name like '%green%'`,
+	} {
+		t.Run(name, func(t *testing.T) { wantClean(t, sql, eqcverify.Options{}) })
+	}
+}
+
+func TestDisjunctionOption(t *testing.T) {
+	sql := `select l_orderkey from lineitem
+		where l_shipmode = 'AIR' or l_shipmode = 'RAIL'`
+	// Single-column disjunctions are legal exactly when the extension
+	// is enabled.
+	wantClean(t, sql, eqcverify.Options{AllowDisjunction: true})
+	wantRule(t, sql, eqcverify.RuleFilterConj, eqcverify.Options{})
+
+	ranges := `select l_orderkey from lineitem
+		where l_quantity between 1 and 10 or l_quantity between 20 and 30`
+	wantClean(t, ranges, eqcverify.Options{AllowDisjunction: true})
+
+	// Even with the extension, cross-column disjunction stays illegal.
+	cross := `select l_orderkey from lineitem
+		where l_quantity = 1 or l_discount = 0.05`
+	wantRule(t, cross, eqcverify.RuleFilterConj, eqcverify.Options{AllowDisjunction: true})
+}
+
+// TestRuleCatalogue seeds exactly one violation per rule ID and
+// asserts the verifier reports it by that ID.
+func TestRuleCatalogue(t *testing.T) {
+	opt := eqcverify.Options{}
+	cases := []struct {
+		rule string
+		sql  string
+	}{
+		{eqcverify.RuleUnknownTable, `select 1 from warehouse`},
+		{eqcverify.RuleUnknownColumn, `select l_colour from lineitem`},
+		{eqcverify.RuleJoinEdge, `select 1 from lineitem, orders
+			where l_quantity = o_totalprice`},
+		{eqcverify.RuleJoinConnected, `select 1 from customer, lineitem
+			where c_acctbal > 0 and l_quantity > 0`},
+		{eqcverify.RuleFilterConj, `select 1 from lineitem
+			where l_quantity = 1 or l_discount = 0.05`},
+		{eqcverify.RuleFilterKey, `select 1 from lineitem where l_orderkey = 5`},
+		{eqcverify.RuleFilterOp, `select 1 from customer where c_name < 'M'`},
+		{eqcverify.RuleFilterForm, `select 1 from lineitem where l_quantity = l_tax`},
+		{eqcverify.RuleProjLinear, `select l_quantity * l_quantity from lineitem`},
+		{eqcverify.RuleProjAgg, `select sum(l_quantity) + 1 from lineitem`},
+		{eqcverify.RuleProjGrouping, `select l_returnflag, sum(l_quantity) from lineitem
+			group by l_linestatus`},
+		{eqcverify.RuleGroupByForm, `select sum(l_quantity) from lineitem
+			group by l_quantity + 1`},
+		{eqcverify.RuleHavingForm, `select sum(l_quantity) from lineitem
+			group by l_returnflag having l_quantity > 5`},
+		{eqcverify.RuleHavingGrouped, `select sum(l_extendedprice) from lineitem
+			group by l_quantity having sum(l_quantity) > 5`},
+		{eqcverify.RuleHavingOverlap, `select sum(l_extendedprice) from lineitem
+			where l_extendedprice > 100
+			group by l_returnflag having sum(l_extendedprice) > 1000`},
+		{eqcverify.RuleOrderProj, `select l_orderkey from lineitem order by l_shipdate`},
+		{eqcverify.RuleLimitMin, `select l_orderkey from lineitem limit 2`},
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		seen[c.rule] = true
+		t.Run(c.rule, func(t *testing.T) { wantRule(t, c.sql, c.rule, opt) })
+	}
+	// <> is also an operator violation, via a distinct code path.
+	t.Run("EQC-W03-ne", func(t *testing.T) {
+		wantRule(t, `select 1 from lineitem where l_quantity <> 5`, eqcverify.RuleFilterOp, opt)
+	})
+}
+
+func TestDiagnosticRendering(t *testing.T) {
+	diags := verify(t, `select l_orderkey from lineitem limit 2`, eqcverify.Options{})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if d.Rule != eqcverify.RuleLimitMin || d.Clause != "limit" || d.Span != "limit 2" {
+		t.Errorf("unexpected diagnostic fields: %+v", d)
+	}
+	err := eqcverify.Error(diags)
+	if err == nil || !strings.Contains(err.Error(), "EQC-L01") {
+		t.Errorf("Error() should mention the rule ID, got %v", err)
+	}
+	if eqcverify.Error(nil) != nil {
+		t.Errorf("Error(nil) should be nil")
+	}
+}
+
+// TestMultipleViolations checks diagnostics accumulate rather than
+// stopping at the first failure.
+func TestMultipleViolations(t *testing.T) {
+	diags := verify(t, `select l_orderkey from lineitem
+		where l_orderkey = 5 order by l_shipdate limit 2`, eqcverify.Options{})
+	rules := map[string]bool{}
+	for _, d := range diags {
+		rules[d.Rule] = true
+	}
+	for _, want := range []string{
+		eqcverify.RuleFilterKey, eqcverify.RuleOrderProj, eqcverify.RuleLimitMin,
+	} {
+		if !rules[want] {
+			t.Errorf("missing %s in %v", want, diags)
+		}
+	}
+}

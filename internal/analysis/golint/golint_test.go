@@ -1,0 +1,282 @@
+package golint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unmasque/internal/analysis/golint"
+)
+
+// writeTree materializes a module tree under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// seededModule builds a small module exercising every rule: each
+// violation is tagged with a “want:RULE” comment on its line, and
+// legal constructs carry none. The module name differs from the real
+// repo on purpose — the rules must key on path suffixes, not on the
+// module name.
+func seededModule(t *testing.T) string {
+	return writeTree(t, map[string]string{
+		"go.mod": "module example.com/app\n\ngo 1.22\n",
+		"internal/sqldb/db.go": `package sqldb
+
+type Row []int
+
+type Table struct {
+	Name string
+	Rows []Row
+}
+
+func (t *Table) SnapshotRows() []Row { return t.Rows }
+
+type Database struct{ tables map[string]*Table }
+
+func (d *Database) CreateTable(name string) error { return nil }
+func (d *Database) DropTable(name string) error   { return nil }
+func (d *Database) RenameTable(a, b string) error { return nil }
+func (d *Database) Insert(name string, r Row) error { return nil }
+func (d *Database) Table(name string) *Table      { return d.tables[name] }
+func (d *Database) Clone() *Database              { return &Database{} }
+`,
+		"internal/core/session.go": `package core
+
+import (
+	"errors"
+	"fmt"
+
+	"example.com/app/internal/sqldb"
+)
+
+type Session struct {
+	source *sqldb.Database
+	silo   *sqldb.Database
+}
+
+// badPanic must trip GL001.
+func badPanic(x int) int {
+	if x < 0 {
+		panic("negative") // want:GL001
+	}
+	return x
+}
+
+// MustPositive is a Must* wrapper: its panic is exempt.
+func MustPositive(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+// badInsert mutates the source database: GL002.
+func (s *Session) badInsert() error {
+	return s.source.Insert("t", sqldb.Row{1}) // want:GL002
+}
+
+// badRename renames the source without restoring it: GL002.
+func (s *Session) badRename() error {
+	return s.source.RenameTable("t", "u") // want:GL002
+}
+
+// renamePaired performs rename + restore: legal.
+func (s *Session) renamePaired() error {
+	if err := s.source.RenameTable("t", "u"); err != nil {
+		return err
+	}
+	return s.source.RenameTable("u", "t")
+}
+
+// siloMutation mutates the working clone: legal.
+func (s *Session) siloMutation() error {
+	return s.silo.Insert("t", sqldb.Row{1})
+}
+
+// badWrap passes an error through %v: GL003.
+func badWrap() error {
+	err := errors.New("boom")
+	return fmt.Errorf("step failed: %v", err) // want:GL003
+}
+
+// goodWrap uses %w: legal.
+func goodWrap() error {
+	err := errors.New("boom")
+	return fmt.Errorf("step failed: %w", err)
+}
+
+// badRows reaches into table internals: GL004.
+func badRows(tbl *sqldb.Table) int {
+	return len(tbl.Rows) // want:GL004
+}
+
+// goodRows uses the accessor: legal.
+func goodRows(tbl *sqldb.Table) int {
+	return len(tbl.SnapshotRows())
+}
+`,
+		"internal/workloads/gen/gen.go": `package gen
+
+import "example.com/app/internal/sqldb"
+
+// Workload generators may panic on impossible static inputs.
+func MustScale(n int) int {
+	if n <= 0 {
+		panic("bad scale")
+	}
+	return n
+}
+
+func generate(n int) int {
+	if n > 1000 {
+		panic("too large") // exempt: internal/workloads
+	}
+	return n
+}
+
+// scanRows models imperative application code, which reads table
+// storage directly; internal/workloads is exempt from GL004.
+func scanRows(tbl *sqldb.Table) int {
+	return len(tbl.Rows)
+}
+`,
+		"cmd/tool/main.go": `package main
+
+func main() {
+	panic("cli crash is fine") // exempt: package main
+}
+`,
+	})
+}
+
+// wantedFindings scans the seeded sources for want:RULE markers.
+func wantedFindings(t *testing.T, root string) map[string]int {
+	t.Helper()
+	want := map[string]int{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for i, line := range strings.Split(string(data), "\n") {
+			if idx := strings.Index(line, "want:"); idx >= 0 {
+				rule := strings.TrimSpace(line[idx+len("want:"):])
+				want[filepath.ToSlash(rel)+":"+itoa(i+1)+":"+rule]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestSeededViolations(t *testing.T) {
+	root := seededModule(t)
+	findings, err := golint.LintDir(root)
+	if err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	got := map[string]int{}
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[filepath.ToSlash(rel)+":"+itoa(f.Pos.Line)+":"+f.Rule]++
+	}
+	want := wantedFindings(t, root)
+	for k := range want {
+		if got[k] == 0 {
+			t.Errorf("expected finding %s did not fire", k)
+		}
+	}
+	for k := range got {
+		if want[k] == 0 {
+			t.Errorf("unexpected finding %s", k)
+		}
+	}
+}
+
+// TestRuleIDsCovered keeps the seeded module honest: every rule in
+// the catalogue must have at least one seeded violation.
+func TestRuleIDsCovered(t *testing.T) {
+	root := seededModule(t)
+	want := wantedFindings(t, root)
+	for _, rule := range []string{
+		golint.RulePanic, golint.RuleSourceMut, golint.RuleErrWrap, golint.RuleTableAccess,
+	} {
+		found := false
+		for k := range want {
+			if strings.HasSuffix(k, ":"+rule) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("seeded module has no violation for %s", rule)
+		}
+	}
+}
+
+// TestSelfLint runs the linter over the repository itself; the tree
+// must be clean (this is also enforced by ci.sh via cmd/unmasquelint).
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecking the full module is not a -short test")
+	}
+	findings, err := golint.LintDir(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestLintDirErrors(t *testing.T) {
+	t.Run("no-gomod", func(t *testing.T) {
+		if _, err := golint.LintDir(t.TempDir()); err == nil {
+			t.Error("expected error for missing go.mod")
+		}
+	})
+	t.Run("broken-source", func(t *testing.T) {
+		root := writeTree(t, map[string]string{
+			"go.mod":  "module example.com/broken\n\ngo 1.22\n",
+			"main.go": "package broken\n\nfunc f() int { return undefinedSymbol }\n",
+		})
+		if _, err := golint.LintDir(root); err == nil {
+			t.Error("expected typecheck error")
+		}
+	})
+}

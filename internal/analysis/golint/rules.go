@@ -1,0 +1,270 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// sqldbPathSuffix identifies the storage package by import-path
+// suffix, so the rules also apply inside seeded test modules with a
+// different module name.
+const sqldbPathSuffix = "internal/sqldb"
+
+// isWorkloadPkg reports whether the package holds workload/data
+// generators, which are allowed to panic on impossible inputs.
+func isWorkloadPkg(importPath string) bool {
+	return strings.Contains(importPath, "internal/workloads")
+}
+
+// isAppSimulation reports whether the package models opaque
+// application code (workload executables and runnable examples),
+// which reads the database without the extractor's discipline.
+func isAppSimulation(importPath string) bool {
+	return isWorkloadPkg(importPath) || strings.Contains(importPath, "/examples/")
+}
+
+// isSqldbPkg reports whether the package is the storage engine.
+func isSqldbPkg(importPath string) bool {
+	return importPath == sqldbPathSuffix || strings.HasSuffix(importPath, "/"+sqldbPathSuffix)
+}
+
+// isCorePkg reports whether the package is the extraction pipeline.
+func isCorePkg(importPath string) bool {
+	return importPath == "internal/core" || strings.HasSuffix(importPath, "/internal/core")
+}
+
+// funcsOf walks every function body in the package, handing the
+// enclosing declaration to fn. Bodies of methods and plain functions
+// both included; init and anonymous functions appear under their
+// lexical parent.
+func funcsOf(p *pkg, fn func(decl *ast.FuncDecl)) {
+	for _, f := range p.files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// --- GL001: no panic in library packages ---------------------------
+
+func checkPanic(fset *token.FileSet, p *pkg) []Finding {
+	if p.tpkg.Name() == "main" || isWorkloadPkg(p.importPath) {
+		return nil
+	}
+	var out []Finding
+	funcsOf(p, func(fd *ast.FuncDecl) {
+		if strings.HasPrefix(fd.Name.Name, "Must") {
+			return // eager-validation wrapper; the panic is its contract
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj, ok := p.info.Uses[id].(*types.Builtin); !ok || obj.Name() != "panic" {
+				return true // shadowed identifier, not the builtin
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(call.Pos()),
+				Rule: RulePanic,
+				Msg: fmt.Sprintf("panic in library function %s; return an error (only Must* wrappers, "+
+					"package main and internal/workloads may panic)", fd.Name.Name),
+			})
+			return true
+		})
+	})
+	return out
+}
+
+// --- GL002: core must not mutate the source database ---------------
+
+// databaseMutators are the *sqldb.Database methods that change
+// database state observable by the application.
+var databaseMutators = map[string]bool{
+	"CreateTable": true,
+	"DropTable":   true,
+	"RenameTable": true,
+	"Insert":      true,
+}
+
+func checkSourceMutation(fset *token.FileSet, p *pkg) []Finding {
+	if !isCorePkg(p.importPath) {
+		return nil
+	}
+	var out []Finding
+	funcsOf(p, func(fd *ast.FuncDecl) {
+		type mutation struct {
+			pos    token.Pos
+			method string
+		}
+		var muts []mutation
+		renames := 0
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !databaseMutators[sel.Sel.Name] {
+				return true
+			}
+			if !isSourceField(p, sel.X) || !isDatabaseType(p.info.Types[sel.X].Type) {
+				return true
+			}
+			if sel.Sel.Name == "RenameTable" {
+				renames++
+			}
+			muts = append(muts, mutation{pos: call.Pos(), method: sel.Sel.Name})
+			return true
+		})
+		for _, m := range muts {
+			if m.method == "RenameTable" && renames >= 2 {
+				continue // rename paired with its restoring rename
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(m.pos),
+				Rule: RuleSourceMut,
+				Msg: fmt.Sprintf("%s called on the session's source database in %s; "+
+					"mutate a clone, or pair RenameTable with its restore in the same function",
+					m.method, fd.Name.Name),
+			})
+		}
+	})
+	return out
+}
+
+// isSourceField matches a selector ending in the field name "source"
+// (the Session's handle on D_I). Clones and locals have other names.
+func isSourceField(p *pkg, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "source" {
+		return false
+	}
+	s, ok := p.info.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+// isDatabaseType matches *sqldb.Database (possibly through pointers).
+func isDatabaseType(t types.Type) bool {
+	return isSqldbNamed(t, "Database")
+}
+
+// isSqldbNamed reports whether t (after stripping pointers) is the
+// named type internal/sqldb.<name>.
+func isSqldbNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && isSqldbPkg(obj.Pkg().Path())
+}
+
+// --- GL003: fmt.Errorf must wrap error arguments with %w -----------
+
+func checkErrWrap(fset *token.FileSet, p *pkg) []Finding {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var out []Finding
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if !isPkgFunc(p, call.Fun, "fmt", "Errorf") {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // dynamic format string: out of scope
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				t := p.info.Types[arg].Type
+				if t == nil {
+					continue
+				}
+				if types.Implements(t, errType) {
+					out = append(out, Finding{
+						Pos:  fset.Position(call.Pos()),
+						Rule: RuleErrWrap,
+						Msg:  "fmt.Errorf passes an error without %w; wrap it so errors.Is/As see the cause",
+					})
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isPkgFunc matches a call target of the form <pkg>.<name> where
+// <pkg> resolves to the named standard package.
+func isPkgFunc(p *pkg, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// --- GL004: Table row storage is private to internal/sqldb ---------
+
+func checkTableAccess(fset *token.FileSet, p *pkg) []Finding {
+	// internal/workloads and examples/ are exempt: their imperative
+	// executables stand in for opaque third-party application code,
+	// which reads the database however it likes — the rule protects
+	// the extractor's invariants, not the application simulations.
+	if isSqldbPkg(p.importPath) || isAppSimulation(p.importPath) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Rows" {
+				return true
+			}
+			s, ok := p.info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true // qualified identifiers, methods, other packages' Rows
+			}
+			if !isSqldbNamed(s.Recv(), "Table") {
+				return true // e.g. sqldb.Result.Rows is public API
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(sel.Pos()),
+				Rule: RuleTableAccess,
+				Msg: "direct access to sqldb.Table.Rows outside internal/sqldb; " +
+					"use SnapshotRows/SetRows/RowCount/Get/Set",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -17,6 +17,7 @@ package app
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -97,11 +98,13 @@ func NewSQLExecutable(name, sql string) (*SQLExecutable, error) {
 }
 
 // MustSQLExecutable builds an executable or panics; for statically
-// known workload queries.
+// known workload queries. Library code uses NewSQLExecutable and
+// propagates the error (lint rule GL001 exempts only Must*-named
+// wrappers).
 func MustSQLExecutable(name, sql string) *SQLExecutable {
 	e, err := NewSQLExecutable(name, sql)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("app: MustSQLExecutable(%q): %v", name, err))
 	}
 	return e
 }

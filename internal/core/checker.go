@@ -69,8 +69,11 @@ func (s *Session) check(ext *Extraction) error {
 func (s *Session) compareOn(ext *Extraction, db *sqldb.Database, label string) error {
 	appRes, appErr := s.run(db)
 	qRes, qErr := s.executeStmt(ext.Query, db)
-	if appErr != nil || qErr != nil {
-		return fmt.Errorf("checker instance %q: app err=%v, query err=%v", label, appErr, qErr)
+	if appErr != nil {
+		return fmt.Errorf("checker instance %q: application failed: %w", label, appErr)
+	}
+	if qErr != nil {
+		return fmt.Errorf("checker instance %q: extracted query failed: %w", label, qErr)
 	}
 	// Normalize the "null result" convention: an ungrouped aggregate
 	// over empty input is one all-default row in SQL but an empty

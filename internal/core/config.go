@@ -71,6 +71,14 @@ type Config struct {
 	// SkipChecker disables the final verification module.
 	SkipChecker bool
 
+	// VerifyEQC runs the static extractable-class verifier
+	// (internal/analysis/eqcverify) over the assembled query after the
+	// checker: extraction fails if Q_E falls outside the class the
+	// paper's guarantees cover, even when its results happen to match
+	// the application on every checker instance. The extraction test
+	// suites enable it unconditionally.
+	VerifyEQC bool
+
 	// ExtractDisjunction enables the Section 9 future-work extension:
 	// after conjunctive filter extraction, every candidate column is
 	// re-probed for disjunctive predicates — unions of numeric/date

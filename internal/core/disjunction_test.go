@@ -13,7 +13,7 @@ import (
 )
 
 func disjCfg() core.Config {
-	cfg := core.DefaultConfig()
+	cfg := defaultCfg()
 	cfg.ExtractDisjunction = true
 	return cfg
 }
@@ -165,7 +165,7 @@ func TestDisjunctionOffByDefault(t *testing.T) {
 	db := warehouseDB(t, 30, 120, 300)
 	exe := app.MustSQLExecutable("disj-off",
 		`select o_orderkey from orders where o_totalprice <= 100000 or o_totalprice >= 400000`)
-	_, err := core.Extract(exe, db, core.DefaultConfig())
+	_, err := core.Extract(exe, db, defaultCfg())
 	if err == nil {
 		t.Fatal("disjunctive query must be rejected when the extension is off")
 	}

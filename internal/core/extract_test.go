@@ -147,8 +147,14 @@ func extractHidden(t *testing.T, db *sqldb.Database, sql string, cfg core.Config
 	return ext
 }
 
+// defaultCfg is the configuration every extraction test uses: the
+// paper-faithful defaults plus the static EQC guard, so each suite
+// asserts the extracted query is in-class as well as
+// instance-equivalent.
 func defaultCfg() core.Config {
-	return core.DefaultConfig()
+	cfg := core.DefaultConfig()
+	cfg.VerifyEQC = true
+	return cfg
 }
 
 func TestExtractSimpleProjection(t *testing.T) {

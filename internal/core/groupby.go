@@ -263,7 +263,7 @@ func (s *Session) sourceAlternatives(col sqldb.ColRef, base sqldb.Value, max int
 	}
 	seen := map[string]bool{base.GroupKey(): true}
 	var out []sqldb.Value
-	for _, r := range tbl.Rows {
+	for _, r := range tbl.SnapshotRows() {
 		v := r[ci]
 		if v.Null || seen[v.GroupKey()] {
 			continue

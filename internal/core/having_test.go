@@ -10,7 +10,7 @@ import (
 )
 
 func havingCfg() core.Config {
-	cfg := core.DefaultConfig()
+	cfg := defaultCfg()
 	cfg.ExtractHaving = true
 	return cfg
 }

@@ -17,7 +17,7 @@ import (
 // result against its ground-truth SQL on the original instance.
 func verifyImperative(t *testing.T, db *sqldb.Database, exe *app.ImperativeExecutable) {
 	t.Helper()
-	ext, err := core.Extract(exe, db, core.DefaultConfig())
+	ext, err := core.Extract(exe, db, defaultCfg())
 	if err != nil {
 		t.Fatalf("extraction failed: %v", err)
 	}

@@ -197,24 +197,30 @@ func (s *Session) negateProbe(cols []sqldb.ColRef) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		ci := tbl.Schema.ColumnIndex(c.Column)
-		if ci < 0 {
+		if tbl.Schema.ColumnIndex(c.Column) < 0 {
 			return false, fmt.Errorf("negate: table %s has no column %s", c.Table, c.Column)
 		}
-		for r := range tbl.Rows {
-			v := tbl.Rows[r][ci]
+		for r := 0; r < tbl.RowCount(); r++ {
+			v, err := tbl.Get(r, c.Column)
+			if err != nil {
+				return false, fmt.Errorf("negate %s: %w", c, err)
+			}
 			if v.Null {
 				continue
 			}
 			if v.IsZero() {
-				tbl.Rows[r][ci] = sqldb.NewInt(-1)
+				if err := tbl.Set(r, c.Column, sqldb.NewInt(-1)); err != nil {
+					return false, fmt.Errorf("negate %s: %w", c, err)
+				}
 				continue
 			}
 			n, err := sqldb.Neg(v)
 			if err != nil {
 				return false, fmt.Errorf("negate %s: %w", c, err)
 			}
-			tbl.Rows[r][ci] = n
+			if err := tbl.Set(r, c.Column, n); err != nil {
+				return false, fmt.Errorf("negate %s: %w", c, err)
+			}
 		}
 	}
 	ok, err := s.populated(db)

@@ -8,8 +8,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
+	"unmasque/internal/app"
+	"unmasque/internal/core"
 	"unmasque/internal/sqldb"
 )
 
@@ -138,15 +141,27 @@ func TestJoinGraphFKFKOnly(t *testing.T) {
 	}
 }
 
-// TestJoinGraphCrossProductRejected: a query with NO join between two
-// tables (cross product) is outside EQC's join-graph scope; the join
-// module must simply find no edges and the checker decides overall
-// equivalence.
+// TestJoinGraphNoJoin: a query with NO join between two tables (a
+// cross product) is outside EQC's join-graph scope. The dynamic
+// pipeline still reproduces it — the join module finds no edges and
+// the checker only tests instance equivalence — but the static EQC
+// guard is exactly the layer that rejects it as out-of-class.
 func TestJoinGraphNoJoin(t *testing.T) {
 	db := cliqueDB(t)
+	cfg := defaultCfg()
+	cfg.VerifyEQC = false
 	ext := extractHidden(t, db, `
-		select name from customers, orders`, defaultCfg())
+		select name from customers, orders`, cfg)
 	if len(ext.JoinPredicates) != 0 {
 		t.Errorf("spurious join predicates: %v", joinStrings(ext.JoinPredicates))
+	}
+
+	exe := app.MustSQLExecutable(t.Name(), `select name from customers, orders`)
+	_, err := core.Extract(exe, db, defaultCfg())
+	if err == nil {
+		t.Fatal("EQC guard should reject a cross-product extraction")
+	}
+	if !strings.Contains(err.Error(), "EQC-J02") {
+		t.Errorf("expected EQC-J02 in guard error, got: %v", err)
 	}
 }

@@ -71,15 +71,15 @@ func (s *Session) samplePhase() error {
 		if err != nil {
 			return err
 		}
-		backup := tbl.Rows
-		tbl.Rows = append([]sqldb.Row(nil), backup...)
+		backup := tbl.SnapshotRows()
+		tbl.SetRows(sqldb.CopyRows(backup))
 		tbl.Sample(s.cfg.SampleFraction, s.rng)
 		ok, err := s.populated(s.silo)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			tbl.Rows = backup
+			tbl.SetRows(backup)
 			frozen[name] = true
 		}
 	}
@@ -119,9 +119,9 @@ func (s *Session) partitionPhase() error {
 		}
 		n := tbl.RowCount()
 		half := n / 2
-		backup := tbl.Rows
+		backup := tbl.SnapshotRows()
 
-		tbl.Rows = append([]sqldb.Row(nil), backup[:half]...)
+		tbl.SetRows(sqldb.CopyRows(backup[:half]))
 		ok, err := s.populated(s.silo)
 		if err != nil {
 			return err
@@ -131,7 +131,7 @@ func (s *Session) partitionPhase() error {
 		}
 		// First half failed; Lemma 1 says the second must succeed
 		// for EQC minus having, so no verification run is needed.
-		tbl.Rows = append([]sqldb.Row(nil), backup[half:]...)
+		tbl.SetRows(sqldb.CopyRows(backup[half:]))
 		if !verify {
 			continue
 		}
@@ -142,7 +142,7 @@ func (s *Session) partitionPhase() error {
 		if !ok {
 			// Neither half alone preserves the result (aggregate
 			// constraint spans the split): restore and freeze.
-			tbl.Rows = backup
+			tbl.SetRows(backup)
 			frozen[name] = true
 		}
 	}
@@ -175,7 +175,7 @@ func (s *Session) mergeAndBoost() error {
 		if tbl.RowCount() <= 1 {
 			continue
 		}
-		backup := tbl.Rows
+		backup := tbl.SnapshotRows()
 		collapsed := false
 		for base := 0; base < len(backup) && base < 4 && !collapsed; base++ {
 			for _, strat := range strategies {
@@ -183,7 +183,7 @@ func (s *Session) mergeAndBoost() error {
 				if err != nil {
 					return err
 				}
-				tbl.Rows = []sqldb.Row{row}
+				tbl.SetRows([]sqldb.Row{row})
 				ok, err := s.populated(s.silo)
 				if err != nil {
 					return err
@@ -192,7 +192,7 @@ func (s *Session) mergeAndBoost() error {
 					collapsed = true
 					break
 				}
-				tbl.Rows = backup
+				tbl.SetRows(backup)
 			}
 		}
 		if !collapsed {
@@ -306,8 +306,9 @@ func (s *Session) rowRemovalRefinement(frozen map[string]bool) error {
 			if tbl.RowCount() == 1 {
 				break
 			}
-			backup := tbl.Rows
-			tbl.Rows = append(append([]sqldb.Row(nil), backup[:i]...), backup[i+1:]...)
+			backup := tbl.SnapshotRows()
+			trimmed := append(sqldb.CopyRows(backup[:i]), backup[i+1:]...)
+			tbl.SetRows(trimmed)
 			ok, err := s.populated(s.silo)
 			if err != nil {
 				return err
@@ -315,7 +316,7 @@ func (s *Session) rowRemovalRefinement(frozen map[string]bool) error {
 			if ok {
 				continue // row i removed; same index now holds the next row
 			}
-			tbl.Rows = backup
+			tbl.SetRows(backup)
 			i++
 		}
 	}

@@ -226,7 +226,7 @@ func TestExtractRandomEQCQueries(t *testing.T) {
 		if err != nil || !res.Populated() {
 			t.Fatalf("trial %d: fixture unpopulated (%s)", trial, sql)
 		}
-		ext, err := core.Extract(exe, db, core.DefaultConfig())
+		ext, err := core.Extract(exe, db, defaultCfg())
 		if err != nil {
 			failures++
 			t.Errorf("trial %d: extraction failed: %v\nquery: %s", trial, err, sql)
@@ -266,7 +266,7 @@ func TestExtractRejectsOutOfScope(t *testing.T) {
 		if err != nil || !res.Populated() {
 			t.Fatalf("fixture unpopulated for %q", sql)
 		}
-		ext, err := core.Extract(exe, db, core.DefaultConfig())
+		ext, err := core.Extract(exe, db, defaultCfg())
 		if err == nil {
 			// Acceptable only if genuinely instance-equivalent on the
 			// original database AND checker-verified.

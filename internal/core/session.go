@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"unmasque/internal/analysis/eqcverify"
 	"unmasque/internal/app"
 	"unmasque/internal/sqldb"
 )
@@ -155,6 +156,21 @@ func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, e
 			return nil, moduleErr("checker", err)
 		}
 		ext.CheckerVerified = true
+	}
+	if cfg.VerifyEQC {
+		// Static class membership is orthogonal to the checker's
+		// instance equivalence: the checker compares results, this
+		// guard proves Q_E has the *shape* the paper's identifiability
+		// argument covers. Disjunctive single-column predicates are
+		// in-class exactly when the Section 9 extension extracted them.
+		err := timed(&s.stats.Checker, func() error {
+			diags := eqcverify.Verify(ext.Query, s.source.Schemas(),
+				eqcverify.Options{AllowDisjunction: cfg.ExtractDisjunction})
+			return eqcverify.Error(diags)
+		})
+		if err != nil {
+			return nil, moduleErr("eqc-verify", err)
+		}
 	}
 	s.stats.Total = time.Since(start)
 	s.stats.AppInvocations = s.exe.Invocations()

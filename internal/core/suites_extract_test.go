@@ -24,7 +24,7 @@ func TestExtractTPCDSSuite(t *testing.T) {
 		sql := tpcds.HiddenQueries()[name]
 		t.Run(name, func(t *testing.T) {
 			exe := app.MustSQLExecutable(name, sql)
-			ext, err := core.Extract(exe, db, core.DefaultConfig())
+			ext, err := core.Extract(exe, db, defaultCfg())
 			if err != nil {
 				t.Fatalf("extraction failed: %v", err)
 			}
@@ -48,7 +48,7 @@ func TestExtractJOBSuite(t *testing.T) {
 		sql := job.HiddenQueries()[name]
 		t.Run(name, func(t *testing.T) {
 			exe := app.MustSQLExecutable(name, sql)
-			ext, err := core.Extract(exe, db, core.DefaultConfig())
+			ext, err := core.Extract(exe, db, defaultCfg())
 			if err != nil {
 				t.Fatalf("extraction failed: %v", err)
 			}

@@ -26,7 +26,7 @@ func TestExtractTPCHSuite(t *testing.T) {
 		sql := tpch.HiddenQueries()[name]
 		t.Run(name, func(t *testing.T) {
 			exe := app.MustSQLExecutable(name, sql)
-			ext, err := core.Extract(exe, db, core.DefaultConfig())
+			ext, err := core.Extract(exe, db, defaultCfg())
 			if err != nil {
 				t.Fatalf("extraction failed: %v", err)
 			}
@@ -49,7 +49,7 @@ func TestExtractRegalSuite(t *testing.T) {
 		sql := tpch.RegalQueries()[name]
 		t.Run(name, func(t *testing.T) {
 			exe := app.MustSQLExecutable(name, sql)
-			ext, err := core.Extract(exe, db, core.DefaultConfig())
+			ext, err := core.Extract(exe, db, defaultCfg())
 			if err != nil {
 				t.Fatalf("extraction failed: %v", err)
 			}
@@ -67,7 +67,7 @@ func TestExtractHavingSuite(t *testing.T) {
 	if err := tpch.PlantWitnesses(db, tpch.HavingQueries()); err != nil {
 		t.Fatal(err)
 	}
-	cfg := core.DefaultConfig()
+	cfg := defaultCfg()
 	cfg.ExtractHaving = true
 	for name, sql := range tpch.HavingQueries() {
 		name, sql := name, sql

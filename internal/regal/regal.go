@@ -167,7 +167,7 @@ func (e *engine) search() (*sqldb.SelectStmt, error) {
 // appears in table column ci.
 func (e *engine) valuesContained(oi int, tbl *sqldb.Table, ci int) bool {
 	seen := map[string]bool{}
-	for _, r := range tbl.Rows {
+	for _, r := range tbl.SnapshotRows() {
 		seen[r[ci].GroupKey()] = true
 	}
 	for _, row := range e.target.Rows {
@@ -611,11 +611,12 @@ func resultColumnRange(res *sqldb.Result, oi int) (lo, hi sqldb.Value, any bool)
 // columnRange returns pointers to the min and max values of a column.
 func columnRange(tbl *sqldb.Table, column string) []*sqldb.Value {
 	ci := tbl.Schema.ColumnIndex(column)
-	if ci < 0 || len(tbl.Rows) == 0 {
+	rows := tbl.SnapshotRows()
+	if ci < 0 || len(rows) == 0 {
 		return nil
 	}
-	lo, hi := tbl.Rows[0][ci], tbl.Rows[0][ci]
-	for _, r := range tbl.Rows {
+	lo, hi := rows[0][ci], rows[0][ci]
+	for _, r := range rows {
 		v := r[ci]
 		if v.Null {
 			continue

@@ -1,0 +1,199 @@
+package sqldb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// concurrencyDB builds a two-table database with a PK-FK edge and
+// enough rows that query execution overlaps across goroutines.
+func concurrencyDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	if err := db.CreateTable(TableSchema{
+		Name: "customers",
+		Columns: []Column{
+			{Name: "id", Type: TInt, MinInt: 0, MaxInt: 10000},
+			{Name: "name", Type: TText},
+			{Name: "balance", Type: TFloat, MinInt: 0, MaxInt: 10000},
+		},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(TableSchema{
+		Name: "orders",
+		Columns: []Column{
+			{Name: "id", Type: TInt, MinInt: 0, MaxInt: 100000},
+			{Name: "customer_id", Type: TInt, MinInt: 0, MaxInt: 10000},
+			{Name: "total", Type: TFloat, MinInt: 0, MaxInt: 10000},
+		},
+		PrimaryKey: []string{"id"},
+		ForeignKeys: []ForeignKey{
+			{Column: "customer_id", RefTable: "customers", RefColumn: "id"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := db.Insert("customers",
+			NewInt(int64(i)), NewText(fmt.Sprintf("c%03d", i)), NewFloat(float64(i)*3.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if err := db.Insert("orders",
+			NewInt(int64(i)), NewInt(int64(i%200)), NewFloat(float64(i%97)*1.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestConcurrentReaders exercises the documented concurrency
+// contract under the race detector: any number of readers — query
+// execution, clones, schema and metadata reads — may share a
+// Database. The extractor relies on this when the checker compares E
+// and Q_E and when probe clones are built while the source database
+// serves reads.
+func TestConcurrentReaders(t *testing.T) {
+	db := concurrencyDB(t)
+	queries := []*SelectStmt{
+		{
+			Items: []SelectItem{{Expr: Col("customers", "name")}},
+			From:  []string{"customers"},
+			Where: Bin(OpGt, Col("customers", "balance"), Lit(NewFloat(100))),
+		},
+		{
+			Items: []SelectItem{
+				{Expr: Col("customers", "name")},
+				{Expr: &AggExpr{Fn: AggSum, Arg: Col("orders", "total")}, Alias: "spent"},
+			},
+			From: []string{"customers", "orders"},
+			Where: Bin(OpEq, Col("customers", "id"),
+				Col("orders", "customer_id")),
+			GroupBy: []Expr{Col("customers", "name")},
+		},
+		{
+			Items:   []SelectItem{{Expr: Col("orders", "total")}},
+			From:    []string{"orders"},
+			OrderBy: []OrderKey{{Expr: Col("orders", "total"), Desc: true}},
+			Limit:   25,
+		},
+	}
+
+	const workers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for r := 0; r < rounds; r++ {
+				switch w % 4 {
+				case 0: // query execution
+					res, err := db.Execute(ctx, queries[r%len(queries)])
+					if err != nil {
+						t.Errorf("execute: %v", err)
+						return
+					}
+					if res.RowCount() == 0 {
+						t.Error("expected populated result")
+						return
+					}
+				case 1: // full and partial clones (probe database setup)
+					c := db.Clone()
+					if c.TotalRows() != db.TotalRows() {
+						t.Error("clone lost rows")
+						return
+					}
+					p := db.CloneTables(map[string]bool{"orders": true})
+					if _, err := p.Table("orders"); err != nil {
+						t.Errorf("partial clone: %v", err)
+						return
+					}
+				case 2: // metadata reads
+					if n := len(db.Schemas()); n != 2 {
+						t.Errorf("schemas: %d", n)
+						return
+					}
+					_ = db.SchemaGraph()
+					_ = db.TableNamesBySize()
+				case 3: // snapshot reads
+					tbl, err := db.Table("orders")
+					if err != nil {
+						t.Errorf("table: %v", err)
+						return
+					}
+					rows := tbl.SnapshotRows()
+					if len(rows) == 0 {
+						t.Error("snapshot empty")
+						return
+					}
+					if _, err := tbl.Get(len(rows)-1, "total"); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentCloneMutation: clones taken from a shared source must
+// be fully independent — goroutines mutating their own clones while
+// others read the source is the extractor's negate-probe pattern.
+func TestConcurrentCloneMutation(t *testing.T) {
+	db := concurrencyDB(t)
+	before := db.TotalRows()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := db.Clone()
+			tbl, err := c.Table("orders")
+			if err != nil {
+				t.Errorf("clone table: %v", err)
+				return
+			}
+			// Mutate the clone in place: negate a column, drop rows.
+			for r := 0; r < tbl.RowCount(); r++ {
+				v, err := tbl.Get(r, "customer_id")
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				n, err := Neg(v)
+				if err != nil {
+					t.Errorf("neg: %v", err)
+					return
+				}
+				if err := tbl.Set(r, "customer_id", n); err != nil {
+					t.Errorf("set: %v", err)
+					return
+				}
+			}
+			tbl.SetRows(tbl.SnapshotRows()[:10])
+			if err := c.Insert("orders", NewInt(int64(100000+w)), NewInt(1), NewFloat(1)); err != nil {
+				t.Errorf("insert into clone: %v", err)
+				return
+			}
+			// Source reads stay consistent while clones mutate.
+			if _, err := db.Execute(context.Background(), &SelectStmt{
+				Items: []SelectItem{{Expr: &AggExpr{Fn: AggCount, Star: true}}},
+				From:  []string{"orders"},
+			}); err != nil {
+				t.Errorf("execute on source: %v", err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.TotalRows() != before {
+		t.Errorf("source database changed: %d -> %d rows", before, db.TotalRows())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 )
 
 // Column describes one column of a table, including the domain
@@ -38,11 +39,26 @@ const (
 	DefaultMaxLen    = 64
 )
 
+// defaultDateMinDays/defaultDateMaxDays bound the default date domain
+// [1900-01-01, 2099-12-31] in days since the Unix epoch. They are
+// computed from calendar arithmetic at init, so the library path
+// through DomainMin/DomainMax carries no panic (lint rule GL001).
+var (
+	defaultDateMinDays = epochDays(1900, time.January, 1)
+	defaultDateMaxDays = epochDays(2099, time.December, 31)
+)
+
+// epochDays converts a calendar date to days since the Unix epoch.
+func epochDays(year int, month time.Month, day int) int64 {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return int64(t.Sub(dateEpoch) / (24 * time.Hour))
+}
+
 // DomainMin returns the lower end of the column's value spread.
 func (c Column) DomainMin() int64 {
 	if c.MinInt == 0 && c.MaxInt == 0 {
 		if c.Type == TDate {
-			return mustDays("1900-01-01")
+			return defaultDateMinDays
 		}
 		return DefaultMinInt
 	}
@@ -53,7 +69,7 @@ func (c Column) DomainMin() int64 {
 func (c Column) DomainMax() int64 {
 	if c.MinInt == 0 && c.MaxInt == 0 {
 		if c.Type == TDate {
-			return mustDays("2099-12-31")
+			return defaultDateMaxDays
 		}
 		return DefaultMaxInt
 	}
@@ -74,14 +90,6 @@ func (c Column) TextMaxLen() int {
 		return DefaultMaxLen
 	}
 	return c.MaxLen
-}
-
-func mustDays(s string) int64 {
-	v, err := DateFromString(s)
-	if err != nil {
-		panic(err)
-	}
-	return v.I
 }
 
 // ForeignKey records one key-connecting edge of the schema graph: a

@@ -40,6 +40,25 @@ func (t *Table) Clone() *Table {
 // RowCount returns the number of rows.
 func (t *Table) RowCount() int { return len(t.Rows) }
 
+// SnapshotRows returns the table's current row slice as an opaque
+// restore token: callers outside sqldb hold it only to hand back to
+// SetRows (or to build a trimmed copy with CopyRows) and must not
+// mutate the rows it references. Together with SetRows it is the
+// sanctioned backup/restore protocol of the minimizer's probing loops;
+// direct access to the Rows field from other packages is a lint
+// violation (GL004).
+func (t *Table) SnapshotRows() []Row { return t.Rows }
+
+// SetRows replaces the table's rows wholesale. The slice is adopted,
+// not copied; pass a fresh slice (e.g. from CopyRows) when the caller
+// keeps a snapshot it intends to restore later.
+func (t *Table) SetRows(rows []Row) { t.Rows = rows }
+
+// CopyRows shallow-copies a row slice: a fresh backing array whose
+// elements reference the same Row values. Row-set mutations (sampling,
+// halving, row removal) on the copy leave the original slice intact.
+func CopyRows(rows []Row) []Row { return append([]Row(nil), rows...) }
+
 // Insert appends a row after validating arity and types; NULLs are
 // accepted for any column, and int literals are coerced into float
 // columns.
@@ -60,9 +79,11 @@ func (t *Table) Insert(vals ...Value) error {
 }
 
 // MustInsert inserts and panics on error; for generators and tests.
+// Library code must use Insert and propagate the error (lint rule
+// GL001 exempts only Must*-named wrappers).
 func (t *Table) MustInsert(vals ...Value) {
 	if err := t.Insert(vals...); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("sqldb: MustInsert into %s: %v", t.Schema.Name, err))
 	}
 }
 

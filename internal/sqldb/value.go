@@ -106,11 +106,13 @@ func DateFromString(s string) (Value, error) {
 }
 
 // MustDate parses a YYYY-MM-DD date and panics on failure. It is meant
-// for statically known literals in workload definitions and tests.
+// for statically known literals in workload definitions and tests;
+// library code parses with DateFromString and propagates the error
+// (lint rule GL001 exempts only Must*-named wrappers).
 func MustDate(s string) Value {
 	v, err := DateFromString(s)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("sqldb: MustDate(%q): %v", s, err))
 	}
 	return v
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"unmasque/internal/analysis/eqcverify"
 	"unmasque/internal/sqldb"
 )
 
@@ -104,5 +105,115 @@ func TestPrintedQueriesReExecuteIdentically(t *testing.T) {
 		if !res1.EqualOrdered(res2) {
 			t.Errorf("round-trip changed semantics of %q\nprinted: %s", q, orig.String())
 		}
+	}
+}
+
+// TestMalformedEQCInputs: the parser is deliberately more liberal
+// than the extractable class — these queries all parse, and the
+// static verifier is the layer that rejects each with a specific rule
+// ID. The division of labor matters: parser errors mean "not our SQL
+// dialect", eqcverify diagnostics mean "valid SQL, outside the class
+// the extractor's guarantees cover".
+func TestMalformedEQCInputs(t *testing.T) {
+	schemas := []sqldb.TableSchema{
+		{
+			Name: "orders",
+			Columns: []sqldb.Column{
+				{Name: "id", Type: sqldb.TInt},
+				{Name: "customer_id", Type: sqldb.TInt},
+				{Name: "total", Type: sqldb.TFloat},
+				{Name: "placed", Type: sqldb.TDate},
+			},
+			PrimaryKey: []string{"id"},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "customer_id", RefTable: "customers", RefColumn: "id"},
+			},
+		},
+		{
+			Name: "customers",
+			Columns: []sqldb.Column{
+				{Name: "id", Type: sqldb.TInt},
+				{Name: "name", Type: sqldb.TText},
+			},
+			PrimaryKey: []string{"id"},
+		},
+	}
+	cases := []struct {
+		name string
+		sql  string
+		rule string
+	}{
+		{
+			name: "disjunctive-where",
+			sql:  `select name from customers where name = 'ann' or id = 7`,
+			rule: eqcverify.RuleFilterConj,
+		},
+		{
+			name: "order-by-non-projected",
+			sql:  `select id from orders order by total`,
+			rule: eqcverify.RuleOrderProj,
+		},
+		{
+			name: "limit-2",
+			sql:  `select total from orders limit 2`,
+			rule: eqcverify.RuleLimitMin,
+		},
+		{
+			name: "having-on-grouping-column",
+			sql: `select total, count(*) from orders
+				group by total having sum(total) > 100`,
+			rule: eqcverify.RuleHavingGrouped,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			stmt, err := Parse(c.sql)
+			if err != nil {
+				t.Fatalf("parser must accept %q: %v", c.sql, err)
+			}
+			diags := eqcverify.Verify(stmt, schemas, eqcverify.Options{})
+			for _, d := range diags {
+				if d.Rule == c.rule {
+					return
+				}
+			}
+			t.Errorf("want %s for %q, got %v", c.rule, c.sql, diags)
+		})
+	}
+}
+
+// TestSpans checks ParseWithSpans clause extents against the source
+// text.
+func TestSpans(t *testing.T) {
+	src := "select id from orders where total > 5 group by id having count(*) > 3 order by id limit 10;"
+	_, spans, err := ParseWithSpans(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice := func(s Span) string { return src[s.Start:s.End] }
+	for _, c := range []struct {
+		clause string
+		want   string
+	}{
+		{"select", "select id "},
+		{"from", "from orders "},
+		{"where", "where total > 5 "},
+		{"group by", "group by id "},
+		{"having", "having count(*) > 3 "},
+		{"order by", "order by id "},
+		{"limit", "limit 10"},
+	} {
+		got := slice(spans.Clause(c.clause))
+		if got != c.want {
+			t.Errorf("%s span: got %q, want %q", c.clause, got, c.want)
+		}
+	}
+	// Absent clauses report empty spans.
+	_, sp2, err := ParseWithSpans("select id from orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp2.Clause("where").Empty() || !sp2.Clause("limit").Empty() {
+		t.Errorf("absent clauses must have empty spans: %+v", sp2)
 	}
 }

@@ -1,0 +1,108 @@
+package sqlparser
+
+import "unmasque/internal/sqldb"
+
+// Span is a half-open byte range [Start, End) in the source text.
+type Span struct {
+	Start, End int
+}
+
+// Empty reports whether the span covers no text (clause absent).
+func (s Span) Empty() bool { return s.Start >= s.End }
+
+// Spans records the source extent of each clause of a parsed
+// statement. A zero Span means the clause is absent. Diagnostics from
+// the analysis layer name clauses; these spans let a driver point
+// back into the original query text.
+type Spans struct {
+	Select  Span
+	From    Span
+	Where   Span
+	GroupBy Span
+	Having  Span
+	OrderBy Span
+	Limit   Span
+}
+
+// Clause returns the span for a clause name as used by the analysis
+// layer's diagnostics ("select", "from", "where", "group by",
+// "having", "order by", "limit").
+func (s Spans) Clause(name string) Span {
+	switch name {
+	case "select":
+		return s.Select
+	case "from":
+		return s.From
+	case "where":
+		return s.Where
+	case "group by":
+		return s.GroupBy
+	case "having":
+		return s.Having
+	case "order by":
+		return s.OrderBy
+	case "limit":
+		return s.Limit
+	default:
+		return Span{}
+	}
+}
+
+// ParseWithSpans parses like Parse and additionally reports the byte
+// extent of each clause. The supported dialect is single-block — no
+// subqueries — so clause keywords can only occur at the top level and
+// the spans are computable directly from the token stream.
+func ParseWithSpans(src string) (*sqldb.SelectStmt, Spans, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, Spans{}, err
+	}
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, Spans{}, err
+	}
+	var spans Spans
+	if len(tokens) > 0 {
+		spans.Select.Start = tokens[0].pos
+	}
+	cur := &spans.Select
+	end := len(src)
+	seal := func(at int) {
+		if cur != nil && cur.End == 0 {
+			cur.End = at
+		}
+	}
+	for _, t := range tokens {
+		if t.kind == tkEOF {
+			break
+		}
+		if t.kind == tkSymbol && t.val == ";" {
+			end = t.pos
+			break
+		}
+		var next *Span
+		switch {
+		case t.kind != tkKeyword:
+			continue
+		case t.val == "from":
+			next = &spans.From
+		case t.val == "where":
+			next = &spans.Where
+		case t.val == "group":
+			next = &spans.GroupBy
+		case t.val == "having":
+			next = &spans.Having
+		case t.val == "order":
+			next = &spans.OrderBy
+		case t.val == "limit":
+			next = &spans.Limit
+		default:
+			continue
+		}
+		seal(t.pos)
+		next.Start = t.pos
+		cur = next
+	}
+	seal(end)
+	return stmt, spans, nil
+}
