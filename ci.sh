@@ -3,7 +3,9 @@
 #
 # Runs, in order: build, formatting check, go vet, the project's own
 # linter (internal/analysis via cmd/unmasquelint), the full test suite
-# under the race detector. Any failure stops the gate.
+# under the race detector, every fuzz target in smoke mode, and a
+# coverage gate on the two load-bearing packages. Any failure stops
+# the gate.
 set -eu
 
 cd "$(dirname "$0")"
@@ -27,5 +29,36 @@ go run ./cmd/unmasquelint ./...
 
 echo "== go test -race"
 go test -race ./...
+
+# Fuzz smoke: each native fuzz target runs briefly so a regression in
+# a fuzzed invariant (parser round-trip, LIKE matcher, expression
+# evaluator) fails CI even before a long fuzzing campaign would.
+echo "== fuzz smoke (5s per target)"
+go test -fuzz='^FuzzParse$' -fuzztime=5s -run='^$' ./internal/sqlparser
+go test -fuzz='^FuzzLike$' -fuzztime=5s -run='^$' ./internal/sqldb
+go test -fuzz='^FuzzExprEval$' -fuzztime=5s -run='^$' ./internal/sqldb
+
+# Coverage gate: internal/core and internal/sqldb must stay at or
+# above the recorded baselines (measured before the scheduler PR,
+# minus a small buffer for counting noise).
+echo "== coverage gate"
+cover_pct() {
+    go test -cover "$1" | awk '{for (i=1; i<=NF; i++) if ($i ~ /^[0-9.]+%$/) {sub(/%/, "", $i); print $i; exit}}'
+}
+check_cover() {
+    pkg=$1; floor=$2
+    pct=$(cover_pct "$pkg")
+    if [ -z "$pct" ]; then
+        echo "coverage: could not measure $pkg" >&2
+        exit 1
+    fi
+    echo "coverage: $pkg $pct% (floor $floor%)"
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+        echo "coverage: $pkg dropped below $floor%" >&2
+        exit 1
+    fi
+}
+check_cover ./internal/core 77.0
+check_cover ./internal/sqldb 81.0
 
 echo "ci: all checks passed"

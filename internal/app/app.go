@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,13 +27,65 @@ import (
 )
 
 // Executable is the black-box application E.
+//
+// Concurrency contract: the extractor's probe scheduler may call Run
+// from multiple goroutines at once, each invocation with its own
+// database instance. Implementations must therefore be safe for
+// concurrent use as long as every call receives a distinct db; they
+// may read the database they are handed but must not retain or share
+// mutable state across calls without synchronization. Both
+// SQLExecutable and ImperativeExecutable satisfy this: the former
+// keeps only immutable state (the obfuscated query blob) plus an
+// atomic run counter, the latter requires its ImperativeFunc to be a
+// pure function of (ctx, db). An executable that cannot meet the
+// contract must be wrapped with Serialized (or report itself unsafe
+// via ConcurrencyReporter) before being handed to the extractor.
 type Executable interface {
 	// Name identifies the application (for reports and tests).
 	Name() string
 	// Run executes the hidden logic against db and returns its
-	// result. Implementations must observe ctx cancellation.
+	// result. Implementations must observe ctx cancellation and be
+	// safe for concurrent calls with distinct databases (see the
+	// interface comment).
 	Run(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error)
 }
+
+// ConcurrencyReporter is optionally implemented by executables to
+// declare whether concurrent Run calls are safe. The extractor checks
+// it before fanning probes out over its worker pool: an executable
+// reporting false is automatically wrapped in Serialized, so its
+// probes still succeed — one at a time — with no extraction-visible
+// difference. Executables not implementing the interface are assumed
+// safe, per the Executable contract.
+type ConcurrencyReporter interface {
+	// ConcurrentRunSafe reports whether Run may be invoked from
+	// multiple goroutines simultaneously.
+	ConcurrentRunSafe() bool
+}
+
+// Serialized wraps an executable whose Run is not safe for concurrent
+// use, forcing mutual exclusion. The extractor applies it
+// automatically to executables whose ConcurrencyReporter returns
+// false; applications embedding legacy global state can also wrap
+// themselves explicitly.
+type Serialized struct {
+	mu    sync.Mutex
+	Inner Executable
+}
+
+// Name implements Executable.
+func (e *Serialized) Name() string { return e.Inner.Name() }
+
+// Run implements Executable, admitting one caller at a time.
+func (e *Serialized) Run(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Inner.Run(ctx, db)
+}
+
+// ConcurrentRunSafe implements ConcurrencyReporter: the wrapper makes
+// any executable safe.
+func (e *Serialized) ConcurrentRunSafe() bool { return true }
 
 // ErrTimeout is returned by RunWithTimeout when the executable did
 // not finish within the probe deadline.

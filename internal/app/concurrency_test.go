@@ -1,0 +1,123 @@
+package app
+
+// Tests of the Executable concurrency contract the probe scheduler
+// relies on: SQLExecutable and ImperativeExecutable tolerate
+// concurrent Run on distinct databases, CountingExecutable counts
+// atomically, and Serialized enforces mutual exclusion for
+// implementations that opt out via ConcurrencyReporter. Run under
+// `go test -race` in CI.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"unmasque/internal/sqldb"
+)
+
+// fanOut runs exe.Run concurrently, each goroutine on its own clone,
+// the way the core scheduler drives probes.
+func fanOut(t *testing.T, exe Executable, db *sqldb.Database, goroutines, runs int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < runs; r++ {
+				clone := db.Clone()
+				if _, err := exe.Run(context.Background(), clone); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSQLExecutableConcurrentRun(t *testing.T) {
+	db := tinyDB(t)
+	exe := MustSQLExecutable("q", "select x from t where x >= 2")
+	fanOut(t, exe, db, 8, 25)
+}
+
+func TestImperativeExecutableConcurrentRun(t *testing.T) {
+	db := tinyDB(t)
+	exe := NewImperativeExecutable("imp", func(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+		tbl, err := db.Table("t")
+		if err != nil {
+			return nil, err
+		}
+		res := &sqldb.Result{Columns: []string{"x"}}
+		for i := 0; i < tbl.RowCount(); i++ {
+			v, err := tbl.Get(i, "x")
+			if err != nil {
+				return nil, err
+			}
+			if !v.Null && v.I >= 2 {
+				res.Rows = append(res.Rows, sqldb.Row{v})
+			}
+		}
+		return res, nil
+	}, "select x from t where x >= 2")
+	fanOut(t, exe, db, 8, 25)
+}
+
+func TestCountingExecutableCountsAtomically(t *testing.T) {
+	db := tinyDB(t)
+	const goroutines, runs = 8, 25
+	exe := &CountingExecutable{Inner: MustSQLExecutable("q", "select x from t")}
+	fanOut(t, exe, db, goroutines, runs)
+	if got := exe.Invocations(); got != goroutines*runs {
+		t.Fatalf("Invocations() = %d, want %d", got, goroutines*runs)
+	}
+}
+
+// racyExecutable mutates unsynchronized state in Run; only safe when
+// wrapped in Serialized (the race detector enforces this).
+type racyExecutable struct {
+	inner  Executable
+	active int
+	peak   int
+}
+
+func (r *racyExecutable) Name() string { return r.inner.Name() }
+
+func (r *racyExecutable) Run(ctx context.Context, db *sqldb.Database) (*sqldb.Result, error) {
+	r.active++
+	if r.active > r.peak {
+		r.peak = r.active
+	}
+	res, err := r.inner.Run(ctx, db)
+	r.active--
+	return res, err
+}
+
+func (r *racyExecutable) ConcurrentRunSafe() bool { return false }
+
+func TestSerializedEnforcesMutualExclusion(t *testing.T) {
+	db := tinyDB(t)
+	racy := &racyExecutable{inner: MustSQLExecutable("q", "select x from t")}
+	var rep ConcurrencyReporter = racy
+	if rep.ConcurrentRunSafe() {
+		t.Fatal("racy executable must report unsafe")
+	}
+	wrapped := &Serialized{Inner: racy}
+	if !wrapped.ConcurrentRunSafe() {
+		t.Fatal("Serialized must report safe")
+	}
+	fanOut(t, wrapped, db, 8, 25)
+	if racy.peak != 1 {
+		t.Fatalf("Serialized let %d Run calls overlap", racy.peak)
+	}
+	if wrapped.Name() != "q" {
+		t.Fatalf("Name() = %q", wrapped.Name())
+	}
+}

@@ -73,6 +73,39 @@ func TestQuickExperimentShapes(t *testing.T) {
 		}
 	})
 
+	t.Run("parallel-shape", func(t *testing.T) {
+		rows, err := Parallel(&buf, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			t.Fatal("no parallel measurements")
+		}
+		anyHits := false
+		for _, r := range rows {
+			if !r.SQLIdentical {
+				t.Errorf("%s: sequential and concurrent extractions disagree on SQL", r.Query)
+			}
+			if r.Workers < 1 {
+				t.Errorf("%s: resolved worker count %d", r.Query, r.Workers)
+			}
+			if r.ParInvocations > r.SeqInvocations {
+				t.Errorf("%s: memoized run used more invocations (%d) than uncached (%d)",
+					r.Query, r.ParInvocations, r.SeqInvocations)
+			}
+			if r.CacheHits > 0 {
+				anyHits = true
+				if r.ParInvocations >= r.SeqInvocations {
+					t.Errorf("%s: %d cache hits but invocations not reduced (%d vs %d)",
+						r.Query, r.CacheHits, r.ParInvocations, r.SeqInvocations)
+				}
+			}
+		}
+		if !anyHits {
+			t.Error("no query recorded a single cache hit across the TPC-H suite")
+		}
+	})
+
 	t.Run("schemascale-shape", func(t *testing.T) {
 		res, err := SchemaScale(&buf, opt)
 		if err != nil {

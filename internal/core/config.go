@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 )
@@ -101,6 +102,29 @@ type Config struct {
 	// Seed drives all randomized choices, making extraction
 	// deterministic for a given input.
 	Seed int64
+
+	// Workers bounds the probe scheduler's worker pool: independent
+	// probes (per-table from-clause renames, per-column filter
+	// extraction, per-unit projection probes) fan out over up to this
+	// many goroutines, each operating on its own database clone. Zero
+	// selects runtime.GOMAXPROCS(0); 1 forces the fully sequential
+	// pipeline. The extracted SQL text is identical for every worker
+	// count — parallelism only changes wall-clock time.
+	Workers int
+
+	// DisableRunCache turns off executable-run memoization. With the
+	// cache on (default), completed executions of E are keyed by a
+	// content fingerprint of the probe database, and a probe on a
+	// content-identical instance returns the recorded result without
+	// running E again.
+	DisableRunCache bool
+
+	// CacheMaxRows bounds the instances eligible for run memoization:
+	// databases with more total rows than this are executed directly,
+	// since fingerprinting them would rival execution cost. Zero
+	// selects the default of 256 (generous for the paper's single-row
+	// probe databases, far below any realistic D_I).
+	CacheMaxRows int
 }
 
 // DefaultConfig returns the paper-faithful parameterization.
@@ -154,6 +178,18 @@ func (c *Config) validate() error {
 	if c.DisjunctionScanPoints <= 0 {
 		c.DisjunctionScanPoints = 48
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("Workers must be non-negative")
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheMaxRows < 0 {
+		return fmt.Errorf("CacheMaxRows must be non-negative")
+	}
+	if c.CacheMaxRows == 0 {
+		c.CacheMaxRows = 256
+	}
 	return nil
 }
 
@@ -177,13 +213,41 @@ type Stats struct {
 
 	// AppInvocations counts completed executions of E during
 	// extraction (Section 6.2 reports "typically a few hundred").
+	// Cache hits do not run E and therefore do not count.
 	AppInvocations int64
+
+	// Workers records the resolved worker-pool size the extraction ran
+	// with (Config.Workers after defaulting).
+	Workers int
+
+	// ParallelProbes counts probes that were dispatched through the
+	// worker pool (from-clause renames, per-column filter extractions,
+	// projection unit and corner probes). Sequential probes — the
+	// minimizer's dependent halvings, binary-search steps — are not
+	// included.
+	ParallelProbes int64
+
+	// CacheHits / CacheMisses count run-memoization outcomes: a hit is
+	// a probe whose database fingerprint matched an earlier completed
+	// execution, skipping E entirely.
+	CacheHits   int64
+	CacheMisses int64
 
 	// MinimizerRows traces the database size before and after
 	// minimization.
 	RowsInitial       int
 	RowsAfterSampling int
 	RowsFinal         int
+}
+
+// CacheHitRate is the fraction of cache-eligible probes served from
+// the memoization cache.
+func (s *Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // Minimizer is the total database-minimization time (sampling plus
@@ -198,11 +262,12 @@ func (s *Stats) Remaining() time.Duration {
 
 // String renders a compact one-line profile.
 func (s *Stats) String() string {
-	return fmt.Sprintf("total=%v minimizer=%v (sampling=%v partitioning=%v) rest=%v checker=%v invocations=%d rows %d->%d",
+	return fmt.Sprintf("total=%v minimizer=%v (sampling=%v partitioning=%v) rest=%v checker=%v invocations=%d rows %d->%d workers=%d parallel=%d cache %d/%d",
 		s.Total.Round(time.Millisecond), s.Minimizer().Round(time.Millisecond),
 		s.Sampling.Round(time.Millisecond), s.Partitioning.Round(time.Millisecond),
 		s.Remaining().Round(time.Millisecond), s.Checker.Round(time.Millisecond),
-		s.AppInvocations, s.RowsInitial, s.RowsFinal)
+		s.AppInvocations, s.RowsInitial, s.RowsFinal,
+		s.Workers, s.ParallelProbes, s.CacheHits, s.CacheHits+s.CacheMisses)
 }
 
 // timed runs fn and adds its duration to *slot.

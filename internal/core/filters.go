@@ -11,36 +11,61 @@ import (
 // the extracted tables is probed with domain-extreme values on a
 // clone of D_1; the population pattern of the two probes selects one
 // of the four cases of Table 2, and binary searches pin the bounds.
+//
+// Each column's search is a chain of dependent probes, but distinct
+// columns never interact (every probe clones D_1 and rewrites only
+// its own column), so the per-column extractions fan out over the
+// scheduler's worker pool. Results land positionally and are folded
+// into the filter map in the sequential column order, keeping the
+// assembled predicate list — and hence the extracted SQL text —
+// independent of the worker count.
 func (s *Session) extractFilters() error {
+	var cols []sqldb.ColRef
 	for _, col := range s.allColumns() {
 		if s.isKeyColumn(col) || s.inJoinGraph(col) {
 			continue // EQC: filters feature only non-key columns
 		}
-		def, err := s.column(col)
+		cols = append(cols, col)
+	}
+	found := make([]*FilterPredicate, len(cols))
+	err := s.parallelFor(len(cols), func(i int) error {
+		f, err := s.extractColumnFilter(cols[i])
 		if err != nil {
-			return err
+			return fmt.Errorf("column %s: %w", cols[i], err)
 		}
-		var f *FilterPredicate
-		switch def.Type {
-		case sqldb.TInt, sqldb.TDate, sqldb.TFloat:
-			f, err = s.extractNumericFilter(col, def)
-		case sqldb.TText:
-			f, err = s.extractTextFilter(col, def)
-		case sqldb.TBool:
-			f, err = s.extractBoolFilter(col)
-		default:
-			continue
-		}
-		if err != nil {
-			return fmt.Errorf("column %s: %w", col, err)
-		}
-		if f != nil {
+		found[i] = f
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, col := range cols {
+		if f := found[i]; f != nil {
 			s.filters[col] = *f
 			s.filterOrder = append(s.filterOrder, col)
 		}
 	}
 	s.filtersKnown = true
 	return nil
+}
+
+// extractColumnFilter dispatches one column to the type-specific
+// Table 2 search; nil means the column carries no filter.
+func (s *Session) extractColumnFilter(col sqldb.ColRef) (*FilterPredicate, error) {
+	def, err := s.column(col)
+	if err != nil {
+		return nil, err
+	}
+	switch def.Type {
+	case sqldb.TInt, sqldb.TDate, sqldb.TFloat:
+		return s.extractNumericFilter(col, def)
+	case sqldb.TText:
+		return s.extractTextFilter(col, def)
+	case sqldb.TBool:
+		return s.extractBoolFilter(col)
+	default:
+		return nil, nil
+	}
 }
 
 // valueProbe sets every row of col in a clone of the minimized

@@ -9,42 +9,52 @@ import (
 )
 
 // extractFromClause identifies T_E, the set of tables referenced by
-// the hidden query (Section 4.1): each candidate table is temporarily
-// renamed; if the application immediately errors with a missing-table
-// fault, the table is part of the query. Applications untouched by
-// the rename either complete or are cut off by the probe timeout.
+// the hidden query (Section 4.1): each candidate table is renamed and
+// the application re-run; an immediate missing-table fault means the
+// table is part of the query. Applications untouched by the rename
+// either complete or are cut off by the probe timeout.
 //
-// Probing runs against the provided instance directly (each rename is
-// reverted before the next probe), and the working silo is built
-// afterwards carrying only the contents of T_E — copying the full
-// instance first would double peak memory for nothing, since the
-// query never reads the other tables.
+// The per-table probes are mutually independent, so they fan out over
+// the scheduler's worker pool: each probe runs against a shared-row
+// clone of the provided instance (sqldb.CloneShared) carrying only
+// its own rename. The clone copies table structs but not rows, so a
+// probe costs O(tables) setup regardless of instance size, and the
+// untouched source serves every clone concurrently, read-only. The
+// working silo is built afterwards carrying only the contents of T_E
+// — copying the full instance row-wise would double peak memory for
+// nothing, since the query never reads the other tables.
 func (s *Session) extractFromClause() error {
 	const tempName = "unmasque_probe_tmp"
-	for _, t := range s.source.TableNames() {
-		if err := s.source.RenameTable(t, tempName); err != nil {
+	names := s.source.TableNames()
+	inQuery := make([]bool, len(names))
+	err := s.parallelFor(len(names), func(i int) error {
+		probe := s.source.CloneShared()
+		if err := probe.RenameTable(names[i], tempName); err != nil {
 			return err
 		}
 		// Short probe deadline: a missing-table fault is immediate,
 		// while an unaffected application would otherwise run to
 		// completion on the full instance for every negative probe.
-		_, err := app.RunWithTimeout(s.exe, s.source, s.cfg.ProbeTimeout)
+		_, err := app.RunWithTimeout(s.exe, probe, s.cfg.ProbeTimeout)
 		switch {
 		case errors.Is(err, sqldb.ErrNoSuchTable):
-			s.tables = append(s.tables, t)
+			inQuery[i] = true
 		case errors.Is(err, app.ErrTimeout):
-			// Execution unaffected by the rename but slow: t is not
-			// in the query.
+			// Execution unaffected by the rename but slow: the table
+			// is not in the query.
 		case err != nil:
 			// Any other failure is unexpected at this stage — the
 			// application ran on an intact (modulo rename) instance.
-			if restoreErr := s.source.RenameTable(tempName, t); restoreErr != nil {
-				return restoreErr
-			}
-			return fmt.Errorf("probing table %s: %w", t, err)
+			return fmt.Errorf("probing table %s: %w", names[i], err)
 		}
-		if err := s.source.RenameTable(tempName, t); err != nil {
-			return err
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		if inQuery[i] {
+			s.tables = append(s.tables, name)
 		}
 	}
 	if len(s.tables) == 0 {

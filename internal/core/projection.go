@@ -71,26 +71,45 @@ func (s *Session) extractProjections() error {
 			}
 			return fmt.Errorf("baseline probe lost the populated result")
 		}
-		for _, u := range units {
-			mut, changed, err := s.mutateUnit(base, u, 29+round*13)
+		// Per-unit probes are independent (each mutates its own clone
+		// of base), so they fan out over the worker pool; the probe
+		// results are interpreted afterwards in unit order.
+		type unitProbe struct {
+			changed bool
+			res     *sqldb.Result
+		}
+		probes := make([]unitProbe, len(units))
+		err = s.parallelFor(len(units), func(i int) error {
+			mut, changed, err := s.mutateUnit(base, units[i], 29+round*13)
 			if err != nil {
 				return err
 			}
 			if !changed {
-				continue // pinned unit: cannot influence detection
+				return nil // pinned unit: cannot influence detection
 			}
 			res, err := s.mustResult(mut)
 			if err != nil {
 				return err
 			}
-			if !res.Populated() || res.RowCount() != 1 {
+			probes[i] = unitProbe{changed: true, res: res}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for ui, u := range units {
+			pr := probes[ui]
+			if !pr.changed {
+				continue
+			}
+			if !pr.res.Populated() || pr.res.RowCount() != 1 {
 				// A unit mutation must not empty the result (s-values
 				// keep all predicates satisfied); joins are preserved
 				// component-wise. Treat defensively as no signal.
 				continue
 			}
 			for oi := range outputs {
-				if !sqldb.ApproxEqual(res.Rows[0][oi], baseRes.Rows[0][oi]) {
+				if !sqldb.ApproxEqual(pr.res.Rows[0][oi], baseRes.Rows[0][oi]) {
 					deps[oi][u.rep] = u
 				}
 			}
@@ -322,10 +341,14 @@ func (s *Session) identifyMultilinear(p Projection, oi int, depUnits []mutationU
 		pairs[i] = [2]sqldb.Value{v1, v2}
 	}
 
+	// The 2^n corner probes are independent (each builds its own D_1
+	// clone), so the grid fans out over the worker pool; the system is
+	// assembled positionally, so the solve sees the same matrix for
+	// every worker count.
 	rows := 1 << n
 	matrix := make([][]float64, rows)
 	rhs := make([]float64, rows)
-	for corner := 0; corner < rows; corner++ {
+	err := s.parallelFor(rows, func(corner int) error {
 		db := s.cloneD1()
 		xs := make([]float64, n)
 		for i, u := range depUnits {
@@ -334,23 +357,23 @@ func (s *Session) identifyMultilinear(p Projection, oi int, depUnits []mutationU
 			for _, c := range u.cols {
 				tbl, err := db.Table(c.Table)
 				if err != nil {
-					return p, err
+					return err
 				}
 				if err := tbl.SetAll(c.Column, v); err != nil {
-					return p, err
+					return err
 				}
 			}
 		}
 		res, err := s.mustResult(db)
 		if err != nil {
-			return p, err
+			return err
 		}
 		if res.RowCount() != 1 {
-			return p, fmt.Errorf("function probe returned %d rows, want 1", res.RowCount())
+			return fmt.Errorf("function probe returned %d rows, want 1", res.RowCount())
 		}
 		o := res.Rows[0][oi]
 		if o.Null || !o.Typ.IsNumeric() {
-			return p, fmt.Errorf("output %q is not numeric under numeric dependencies", p.OutputName)
+			return fmt.Errorf("output %q is not numeric under numeric dependencies", p.OutputName)
 		}
 		rhs[corner] = o.AsFloat()
 		row := make([]float64, rows)
@@ -364,6 +387,10 @@ func (s *Session) identifyMultilinear(p Projection, oi int, depUnits []mutationU
 			row[mask] = term
 		}
 		matrix[corner] = row
+		return nil
+	})
+	if err != nil {
+		return p, err
 	}
 	coeffs, err := solveLinearSystem(matrix, rhs)
 	if err != nil {

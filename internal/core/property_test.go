@@ -226,11 +226,26 @@ func TestExtractRandomEQCQueries(t *testing.T) {
 		if err != nil || !res.Populated() {
 			t.Fatalf("trial %d: fixture unpopulated (%s)", trial, sql)
 		}
-		ext, err := core.Extract(exe, db, defaultCfg())
+		// Extract twice — fully sequential and with an 8-worker pool —
+		// to pin the scheduler's determinism contract: the SQL text must
+		// not depend on the worker count.
+		seqCfg := defaultCfg()
+		seqCfg.Workers = 1
+		parCfg := defaultCfg()
+		parCfg.Workers = 8
+		ext, err := core.Extract(exe, db, parCfg)
 		if err != nil {
 			failures++
 			t.Errorf("trial %d: extraction failed: %v\nquery: %s", trial, err, sql)
 			continue
+		}
+		seqExt, seqErr := core.Extract(exe, db, seqCfg)
+		if seqErr != nil {
+			t.Errorf("trial %d: sequential extraction failed where parallel succeeded: %v\nquery: %s", trial, seqErr, sql)
+			continue
+		}
+		if seqExt.SQL != ext.SQL {
+			t.Errorf("trial %d: extracted SQL depends on worker count\nworkers=1: %s\nworkers=8: %s", trial, seqExt.SQL, ext.SQL)
 		}
 		want, _ := exe.Run(context.Background(), db)
 		got, err := db.Execute(context.Background(), ext.Query)

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"unmasque/internal/app"
+	"unmasque/internal/sqldb"
+)
+
+// This file implements the probe scheduler and the executable-run
+// memoization cache.
+//
+// Scheduler: pipeline modules whose probes are mutually independent —
+// from-clause rename probes (one per candidate table), filter
+// extraction (one search per column), projection dependency and
+// coefficient probes (one per mutation unit / grid corner) — fan out
+// over a bounded worker pool of Config.Workers goroutines. Every
+// probe builds its own database clone, so workers never share mutable
+// state; the remaining Session fields read during a fan-out (silo,
+// schemas, extracted filters) are frozen for its duration. Results
+// are collected positionally and folded back in the sequential probe
+// order, so the extracted SQL text is byte-identical for every worker
+// count.
+//
+// Cache: completed executions of E are memoized under a content
+// fingerprint of the probe database (sqldb.Fingerprint). Probes on
+// content-identical instances — re-probes of a binary-search bound,
+// the projection baseline re-run of untouched D_1, symmetric mutation
+// corners — skip E.Run entirely. Only databases small enough that
+// fingerprinting is far cheaper than execution are eligible
+// (Config.CacheMaxRows); timeouts are never cached.
+
+// parallelFor runs fn(0..n-1) over the session's worker pool and
+// returns the error of the lowest failing index (the same error the
+// sequential loop would have surfaced first, keeping failure modes
+// deterministic). With one worker — or a single item — it degenerates
+// to the plain sequential loop.
+func (s *Session) parallelFor(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := s.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	s.parallelProbes.Add(int64(n))
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCache memoizes completed application executions by database
+// fingerprint. It is shared by all workers of one Session and safe
+// for concurrent use.
+type runCache struct {
+	mu      sync.Mutex
+	entries map[sqldb.Fingerprint]cachedRun
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// cachedRun is one recorded execution outcome. Application-level
+// errors are deterministic in the database content (a missing table
+// stays missing), so they are cached alongside results; timeouts are
+// not recorded at all.
+type cachedRun struct {
+	res *sqldb.Result
+	err error
+}
+
+func newRunCache() *runCache {
+	return &runCache{entries: map[sqldb.Fingerprint]cachedRun{}}
+}
+
+// lookup returns the recorded outcome for fp, cloning the result so
+// the caller can never alias another probe's rows.
+func (c *runCache) lookup(fp sqldb.Fingerprint) (*sqldb.Result, error, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[fp]
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, nil, false
+	}
+	c.hits.Add(1)
+	return e.res.Clone(), e.err, true
+}
+
+// store records an execution outcome. Concurrent duplicate misses may
+// both store; the outcomes are identical by construction, so either
+// write is fine.
+func (c *runCache) store(fp sqldb.Fingerprint, res *sqldb.Result, err error) {
+	c.mu.Lock()
+	c.entries[fp] = cachedRun{res: res, err: err}
+	c.mu.Unlock()
+}
+
+// runMemoized executes E against db with the general execution
+// deadline, serving content-identical probes from the cache. Large
+// databases (above Config.CacheMaxRows) bypass the cache: hashing
+// them would rival execution cost, and the minimizer's shrinking
+// instances rarely repeat anyway.
+func (s *Session) runMemoized(db *sqldb.Database) (*sqldb.Result, error) {
+	if s.cache == nil || db.TotalRows() > s.cfg.CacheMaxRows {
+		return app.RunWithTimeout(s.exe, db, s.cfg.ExecTimeout)
+	}
+	fp := db.Fingerprint()
+	if res, err, ok := s.cache.lookup(fp); ok {
+		return res, err
+	}
+	res, err := app.RunWithTimeout(s.exe, db, s.cfg.ExecTimeout)
+	if errors.Is(err, app.ErrTimeout) {
+		return res, err
+	}
+	s.cache.store(fp, res.Clone(), err)
+	return res, err
+}

@@ -1,0 +1,99 @@
+package core
+
+// White-box tests of the probe scheduler (parallelFor) and the
+// executable-run memoization cache.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"unmasque/internal/sqldb"
+)
+
+func schedSession(workers int) *Session {
+	return &Session{cfg: Config{Workers: workers}}
+}
+
+func TestParallelForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		s := schedSession(workers)
+		const n = 100
+		var hits [n]atomic.Int64
+		if err := s.parallelFor(n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestParallelForReturnsLowestIndexError(t *testing.T) {
+	// The same error the sequential loop would surface first must win,
+	// regardless of scheduling: index 12 beats index 37.
+	for _, workers := range []int{1, 4, 16} {
+		s := schedSession(workers)
+		err := s.parallelFor(100, func(i int) error {
+			if i == 37 || i == 12 {
+				return fmt.Errorf("probe %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "probe 12 failed" {
+			t.Fatalf("workers=%d: got %v, want error of index 12", workers, err)
+		}
+	}
+}
+
+func TestParallelForCountsPoolProbesOnly(t *testing.T) {
+	s := schedSession(4)
+	if err := s.parallelFor(10, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.parallelProbes.Load(); got != 10 {
+		t.Fatalf("parallelProbes = %d, want 10", got)
+	}
+	// A single-worker run is the plain sequential loop and must not
+	// count as pool dispatch.
+	seq := schedSession(1)
+	if err := seq.parallelFor(10, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.parallelProbes.Load(); got != 0 {
+		t.Fatalf("sequential parallelProbes = %d, want 0", got)
+	}
+}
+
+func TestRunCacheLookupClonesResults(t *testing.T) {
+	c := newRunCache()
+	var fp sqldb.Fingerprint
+	fp[0] = 1
+	res := &sqldb.Result{Columns: []string{"x"}, Rows: []sqldb.Row{{sqldb.NewInt(7)}}}
+	c.store(fp, res, nil)
+
+	got1, err, ok := c.lookup(fp)
+	if !ok || err != nil {
+		t.Fatalf("lookup: ok=%v err=%v", ok, err)
+	}
+	got1.Rows[0][0] = sqldb.NewInt(99) // caller mutates its copy
+	got2, _, _ := c.lookup(fp)
+	if got2.Rows[0][0].I != 7 {
+		t.Fatalf("cache entry aliased by a caller mutation: %v", got2.Rows[0][0])
+	}
+	if c.hits.Load() != 2 {
+		t.Fatalf("hits = %d, want 2", c.hits.Load())
+	}
+	var other sqldb.Fingerprint
+	if _, _, ok := c.lookup(other); ok {
+		t.Fatal("lookup of unknown fingerprint succeeded")
+	}
+	if c.misses.Load() != 1 {
+		t.Fatalf("misses = %d, want 1", c.misses.Load())
+	}
+}

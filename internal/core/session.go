@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"unmasque/internal/analysis/eqcverify"
@@ -12,12 +13,23 @@ import (
 )
 
 // Session carries the state of one extraction run. It is created by
-// Extract and threaded through the pipeline modules; it is not safe
-// for concurrent use.
+// Extract and threaded through the pipeline modules. The pipeline
+// itself advances sequentially, but individual modules fan
+// independent probes out over the scheduler's worker pool
+// (scheduler.go); during such a fan-out the Session fields the
+// workers read are frozen, every worker operates on its own database
+// clone, and the only shared mutable state — the run cache and the
+// probe counters — is internally synchronized.
 type Session struct {
 	cfg Config
 	exe *app.CountingExecutable
 	rng *rand.Rand
+
+	// cache memoizes completed executions of E by database
+	// fingerprint; nil when Config.DisableRunCache is set.
+	cache *runCache
+	// parallelProbes counts probes dispatched through the worker pool.
+	parallelProbes atomic.Int64
 
 	// source is the provided D_I; it is only read (plus temporarily
 	// renamed tables during from-clause probing on the silo clone).
@@ -79,6 +91,12 @@ func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, e
 	if err := cfg.validate(); err != nil {
 		return nil, moduleErr("config", err)
 	}
+	// Executables that declare concurrent Run unsafe are serialized
+	// before the probe scheduler can fan them out; their probes then
+	// run one at a time with no extraction-visible difference.
+	if rep, ok := exe.(app.ConcurrencyReporter); ok && !rep.ConcurrentRunSafe() {
+		exe = &app.Serialized{Inner: exe}
+	}
 	s := &Session{
 		cfg:        cfg,
 		exe:        &app.CountingExecutable{Inner: exe},
@@ -88,6 +106,9 @@ func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, e
 		compOf:     map[sqldb.ColRef]int{},
 		filters:    map[sqldb.ColRef]FilterPredicate{},
 		groupBySet: map[sqldb.ColRef]bool{},
+	}
+	if !cfg.DisableRunCache {
+		s.cache = newRunCache()
 	}
 	start := time.Now()
 	s.stats.RowsInitial = di.TotalRows()
@@ -174,13 +195,20 @@ func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, e
 	}
 	s.stats.Total = time.Since(start)
 	s.stats.AppInvocations = s.exe.Invocations()
+	s.stats.Workers = s.cfg.Workers
+	s.stats.ParallelProbes = s.parallelProbes.Load()
+	if s.cache != nil {
+		s.stats.CacheHits = s.cache.hits.Load()
+		s.stats.CacheMisses = s.cache.misses.Load()
+	}
 	ext.Stats = s.stats
 	return ext, nil
 }
 
-// run executes E against db with the general execution deadline.
+// run executes E against db with the general execution deadline,
+// serving content-identical probes from the memoization cache.
 func (s *Session) run(db *sqldb.Database) (*sqldb.Result, error) {
-	return app.RunWithTimeout(s.exe, db, s.cfg.ExecTimeout)
+	return s.runMemoized(db)
 }
 
 // populated runs E and reports whether the result is populated.

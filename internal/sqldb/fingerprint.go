@@ -1,0 +1,101 @@
+package sqldb
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+)
+
+// Fingerprint is a content hash over a whole database instance. Two
+// databases with identical table names, column definitions and row
+// contents (in order) produce the same fingerprint. The extractor's
+// run-memoization cache keys completed application executions on it:
+// probing E twice on content-identical instances must yield the same
+// result, so the second run can be skipped entirely.
+type Fingerprint [sha256.Size]byte
+
+// Fingerprint computes the content hash of the database. The hash
+// covers, per table in creation order: the table name, every column's
+// name, type and precision, and every row value. Schema metadata that
+// cannot influence query evaluation (domain bounds, key linkages) is
+// deliberately excluded so that equivalent probe instances collide.
+//
+// Cost is linear in the number of values; callers gating a cache
+// should check TotalRows first and skip fingerprinting large
+// instances where hashing would rival execution cost.
+func (db *Database) Fingerprint() Fingerprint {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h := sha256.New()
+	var scratch [8]byte
+	writeInt := func(i int64) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(i))
+		h.Write(scratch[:])
+	}
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	for _, name := range db.order {
+		t := db.tables[name]
+		writeStr(t.Schema.Name)
+		writeInt(int64(len(t.Schema.Columns)))
+		for _, c := range t.Schema.Columns {
+			writeStr(c.Name)
+			h.Write([]byte{byte(c.Type), byte(c.Precision)})
+			writeInt(int64(c.MaxLen))
+		}
+		writeInt(int64(len(t.Rows)))
+		for _, r := range t.Rows {
+			for _, v := range r {
+				hashValue(h, v, writeInt, writeStr)
+			}
+		}
+	}
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
+
+// hashValue feeds one value into the running hash with an unambiguous
+// type-tagged encoding (a NULL, an int 0 and an empty string must all
+// hash differently).
+func hashValue(h hash.Hash, v Value, writeInt func(int64), writeStr func(string)) {
+	if v.Null {
+		h.Write([]byte{0xff, byte(v.Typ)})
+		return
+	}
+	h.Write([]byte{byte(v.Typ)})
+	switch v.Typ {
+	case TText:
+		writeStr(v.S)
+	case TFloat:
+		writeInt(int64(math.Float64bits(v.F)))
+	default: // TInt, TDate, TBool
+		writeInt(v.I)
+	}
+}
+
+// CloneShared builds a read-only structural copy of the database: each
+// table gets a fresh Table struct and schema, but the row slice is
+// SHARED with the receiver. The copy supports the structural mutations
+// the from-clause probe needs (RenameTable, DropTable) without paying
+// for a row copy, which makes per-table rename probes cheap enough to
+// fan out in parallel over the full provided instance.
+//
+// Callers must not mutate row contents through a shared clone (SetAll,
+// Set, NegateColumn, Insert and the minimizer primitives all write
+// through to the original); use Clone for a probe that rewrites
+// values.
+func (db *Database) CloneShared() *Database {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := NewDatabase()
+	for _, n := range db.order {
+		t := db.tables[n]
+		out.tables[n] = &Table{Schema: t.Schema.Clone(), Rows: t.Rows}
+		out.order = append(out.order, n)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package sqldb
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// likeOracle translates a LIKE pattern into an anchored regular
+// expression: '%' becomes ".*", '_' becomes ".", everything else is
+// quoted. It is only a faithful oracle for ASCII inputs — LikeMatch
+// is byte-oriented while Go regexps are rune-oriented, so multi-byte
+// and invalid UTF-8 inputs are out of its scope (and skipped by the
+// fuzz target below).
+func likeOracle(pattern, s string) (bool, error) {
+	var b strings.Builder
+	b.WriteString(`\A(?s)`)
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '%':
+			b.WriteString(`.*`)
+		case '_':
+			b.WriteString(`.`)
+		default:
+			b.WriteString(regexp.QuoteMeta(string(pattern[i])))
+		}
+	}
+	b.WriteString(`\z`)
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return false, err
+	}
+	return re.MatchString(s), nil
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzLike differentially checks the two-pointer greedy LIKE matcher
+// against the regexp translation oracle on arbitrary ASCII
+// pattern/string pairs (the backtracking logic is the part worth
+// fuzzing; byte-vs-rune semantics are covered by unit tests).
+//
+// Run continuously with:
+//
+//	go test -fuzz=FuzzLike ./internal/sqldb
+func FuzzLike(f *testing.F) {
+	for _, seed := range [][2]string{
+		{"", ""},
+		{"%", "anything"},
+		{"a%b%c", "aXbYbZc"},
+		{"_b%", "abc"},
+		{"%%a%%", "a"},
+		{"a_c", "abc"},
+		{"%ab%ab%", "ababab"},
+		{"x", ""},
+		{"%a", "ba"},
+		{"a%", "ab"},
+	} {
+		f.Add(seed[0], seed[1])
+	}
+	f.Fuzz(func(t *testing.T, pattern, s string) {
+		if !isASCII(pattern) || !isASCII(s) {
+			t.Skip("oracle is rune-oriented; matcher is byte-oriented")
+		}
+		if len(pattern) > 128 || len(s) > 512 {
+			t.Skip("bounded to keep the quadratic worst case fast")
+		}
+		want, err := likeOracle(pattern, s)
+		if err != nil {
+			t.Fatalf("oracle failed to compile pattern %q: %v", pattern, err)
+		}
+		if got := LikeMatch(pattern, s); got != want {
+			t.Fatalf("LikeMatch(%q, %q) = %v, oracle says %v", pattern, s, got, want)
+		}
+	})
+}

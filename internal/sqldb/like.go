@@ -15,13 +15,17 @@ func LikeMatch(pattern, s string) bool {
 	)
 	for i < len(s) {
 		switch {
-		case p < len(pattern) && (pattern[p] == '_' || pattern[p] == s[i]):
-			p++
-			i++
+		// '%' must be tested before the literal match: when s itself
+		// contains a '%' byte, matching it literally against the
+		// pattern's wildcard would consume the wildcard without
+		// recording a backtrack point.
 		case p < len(pattern) && pattern[p] == '%':
 			starP = p + 1
 			starI = i
 			p++
+		case p < len(pattern) && (pattern[p] == '_' || pattern[p] == s[i]):
+			p++
+			i++
 		case starP >= 0:
 			// Backtrack: let the last '%' absorb one more byte.
 			starI++

@@ -21,6 +21,24 @@ type Result struct {
 	aggEmptyInput bool
 }
 
+// Clone deep-copies the result. The extractor's run-memoization cache
+// hands out clones so a caller holding a cached result can never
+// alias another probe's rows.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	out := &Result{
+		Columns:       append([]string(nil), r.Columns...),
+		aggEmptyInput: r.aggEmptyInput,
+	}
+	out.Rows = make([]Row, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = row.Clone()
+	}
+	return out
+}
+
 // RowCount returns the number of result rows.
 func (r *Result) RowCount() int {
 	if r == nil {

@@ -242,6 +242,11 @@ func (v Value) String() string {
 	case TInt:
 		return strconv.FormatInt(v.I, 10)
 	case TFloat:
+		// Normalize negative zero: "-0" would re-parse as the integer
+		// literal 0 and break the parse-print fix-point.
+		if v.F == 0 {
+			return "0"
+		}
 		return strconv.FormatFloat(v.F, 'f', -1, 64)
 	case TText:
 		return v.S

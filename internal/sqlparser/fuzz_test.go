@@ -1,0 +1,48 @@
+package sqlparser
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the parser's two robustness invariants on
+// arbitrary input: it never panics, and accepted statements reach a
+// printing fix-point — Parse(stmt.String()) succeeds and prints the
+// identical text. The fix-point is what the extraction checker and
+// the EQC verifier rely on when they re-parse canonical SQL the
+// assembler produced.
+//
+// Run continuously with:
+//
+//	go test -fuzz=FuzzParse ./internal/sqlparser
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"select",
+		"select a from t",
+		"select a, b from t where a between 2 and 9 order by a, b limit 7",
+		"select s, count(*) as n, sum(b) as total from t group by s having sum(b) >= 10 order by s",
+		"select a, b * 2 + 1 as f from t where s like '%a%'",
+		"select min(d) as lo, max(d) as hi, avg(a) as m from t",
+		"select a from t where d >= date '2001-06-01' and b <= 60.5",
+		"select distinct t.a from t, u where t.a = u.a and not t.b is null",
+		"select a from t where a = 'it''s' or a like '_x%';",
+		"select -1 + 2.5e3 from t where a <> 4 / 2",
+		"sele\xffct \x00 from",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input) // must not panic
+		if err != nil || stmt == nil {
+			return
+		}
+		printed := stmt.String()
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form of %q does not re-parse: %v\nprinted: %s", input, err, printed)
+		}
+		if again := stmt2.String(); again != printed {
+			t.Fatalf("printing is not a fix-point for %q:\nfirst:  %s\nsecond: %s", input, printed, again)
+		}
+	})
+}

@@ -9,7 +9,6 @@ package sqlparser
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 type tokenKind uint8
@@ -149,10 +148,14 @@ func (l *lexer) next() (token, error) {
 	}
 }
 
+// Identifiers are ASCII-only. Widening bytes to runes and asking
+// unicode.IsLetter would classify stray 0x80-0xFF bytes as Latin-1
+// letters on input while ToLower renders them as U+FFFD on output,
+// breaking the parse-print round trip (found by FuzzParse).
 func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 }
 
 func isIdentPart(c byte) bool {
-	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+	return isIdentStart(c) || c == '$' || (c >= '0' && c <= '9')
 }

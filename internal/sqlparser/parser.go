@@ -438,7 +438,14 @@ func (p *parser) parsePrimary() (sqldb.Expr, error) {
 		}
 		n, err := strconv.ParseInt(t.val, 10, 64)
 		if err != nil {
-			return nil, p.errf("invalid number %q", t.val)
+			// Out-of-range integer literals degrade to float, the way
+			// a printed float with an integral value (no '.') must
+			// read back when it exceeds int64 (found by FuzzParse).
+			f, ferr := strconv.ParseFloat(t.val, 64)
+			if ferr != nil {
+				return nil, p.errf("invalid number %q", t.val)
+			}
+			return sqldb.Lit(sqldb.NewFloat(f)), nil
 		}
 		return sqldb.Lit(sqldb.NewInt(n)), nil
 	case tkString:
