@@ -3,8 +3,9 @@
 #
 # Runs, in order: build, formatting check, go vet, the project's own
 # linter (internal/analysis via cmd/unmasquelint), the full test suite
-# under the race detector, every fuzz target in smoke mode, and a
-# coverage gate on the two load-bearing packages. Any failure stops
+# under the race detector, every fuzz target in smoke mode, an
+# end-to-end traced extraction whose JSONL output is schema-validated,
+# and a coverage gate on the load-bearing packages. Any failure stops
 # the gate.
 set -eu
 
@@ -38,9 +39,18 @@ go test -fuzz='^FuzzParse$' -fuzztime=5s -run='^$' ./internal/sqlparser
 go test -fuzz='^FuzzLike$' -fuzztime=5s -run='^$' ./internal/sqldb
 go test -fuzz='^FuzzExprEval$' -fuzztime=5s -run='^$' ./internal/sqldb
 
-# Coverage gate: internal/core and internal/sqldb must stay at or
-# above the recorded baselines (measured before the scheduler PR,
-# minus a small buffer for counting noise).
+# Trace end-to-end: one real extraction with the observability layer
+# on, then schema-validate the JSONL it produced (first line must be
+# the run header; every probe line must pass the obs validator).
+echo "== trace end-to-end"
+trace_file=$(mktemp /tmp/unmasque-trace.XXXXXX)
+trap 'rm -f "$trace_file"' EXIT
+go run ./cmd/unmasque -app enki/posts_by_tag -trace "$trace_file" >/dev/null
+go run ./cmd/unmasque -validate-trace "$trace_file"
+
+# Coverage gate: internal/core, internal/sqldb and internal/obs must
+# stay at or above the recorded baselines (measured at their
+# introduction, minus a small buffer for counting noise).
 echo "== coverage gate"
 cover_pct() {
     go test -cover "$1" | awk '{for (i=1; i<=NF; i++) if ($i ~ /^[0-9.]+%$/) {sub(/%/, "", $i); print $i; exit}}'
@@ -60,5 +70,6 @@ check_cover() {
 }
 check_cover ./internal/core 77.0
 check_cover ./internal/sqldb 81.0
+check_cover ./internal/obs 80.0
 
 echo "ci: all checks passed"

@@ -11,17 +11,23 @@
 //	unmasque -app tpch/Q3                   # unmask one application
 //	unmasque -app enki/posts_by_tag -stats  # with the timing profile
 //	unmasque -app tpch/H1 -having           # Section 7 pipeline
+//	unmasque -app tpch/Q3 -trace out.jsonl  # record the probe trace
+//	unmasque -app tpch/Q3 -metrics          # print the metrics registry
+//	unmasque -validate-trace out.jsonl      # schema-check a trace file
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr server
 	"os"
 	"sort"
 	"strings"
 
 	"unmasque/internal/app"
 	"unmasque/internal/core"
+	"unmasque/internal/obs"
 	"unmasque/internal/sqldb"
 	"unmasque/internal/workloads/enki"
 	"unmasque/internal/workloads/job"
@@ -31,10 +37,92 @@ import (
 	"unmasque/internal/workloads/wilos"
 )
 
+// obsFlags holds the observability command-line surface.
+type obsFlags struct {
+	tracePath string // -trace: write the JSONL probe trace here
+	metrics   bool   // -metrics: print the metrics registry after extraction
+	ledger    *obs.Ledger
+	registry  *obs.Metrics
+}
+
+// attach wires the requested observability hooks into the pipeline
+// config.
+func (o *obsFlags) attach(cfg *core.Config) {
+	if o.tracePath != "" {
+		cfg.Tracer = obs.NewTracer("extract")
+		o.ledger = obs.NewLedger()
+		cfg.Ledger = o.ledger
+	}
+	if o.metrics {
+		o.registry = obs.NewMetrics()
+		cfg.Metrics = o.registry
+		// Scrapeable at /debug/vars when -debug-addr is set.
+		o.registry.Publish("unmasque")
+	}
+}
+
+// finish persists the trace and prints the metrics. It runs on failed
+// extractions too — a trace of a failed run (open spans, the probes up
+// to the fault) is exactly what debugging needs — so ext may be nil.
+func (o *obsFlags) finish(appName string, cfg core.Config, ext *core.Extraction) error {
+	if o.tracePath != "" {
+		spans := cfg.Tracer.Events() // ext==nil: tree up to the failure
+		if ext != nil {
+			spans = ext.Trace
+		}
+		header := obs.RunHeader{App: appName, Workers: cfg.Workers, Seed: cfg.Seed}
+		if ext != nil {
+			header.Workers = ext.Stats.Workers
+		}
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteTrace(f, header, spans, o.ledger); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("-- trace: %d spans, %d probe events -> %s\n", len(spans), o.ledger.Len(), o.tracePath)
+	}
+	if o.metrics {
+		fmt.Printf("-- metrics: %s\n", o.registry.String())
+	}
+	return nil
+}
+
+// startDebugServer serves expvar (/debug/vars) and pprof
+// (/debug/pprof) for the lifetime of the extraction.
+func startDebugServer(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+		}
+	}()
+}
+
+// validateTrace schema-checks a recorded trace file and prints its
+// summary.
+func validateTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := obs.Validate(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: valid (%s)\n", path, sum)
+	return nil
+}
+
 // runAdhoc hides an arbitrary user query inside an executable over
 // the chosen workload database and unmasks it — a self-demo of the
 // full loop on any EQC query the user types.
-func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool) error {
+func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool, ob *obsFlags) error {
 	var db *sqldb.Database
 	var plant func(map[string]string) error
 	switch workload {
@@ -70,7 +158,11 @@ func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool) e
 	cfg.Seed = seed
 	cfg.ExtractHaving = having
 	cfg.SkipChecker = noChecker
+	ob.attach(&cfg)
 	ext, err := core.Extract(exe, db, cfg)
+	if ferr := ob.finish(exe.Name(), cfg, ext); ferr != nil {
+		fmt.Fprintf(os.Stderr, "observability: %v\n", ferr)
+	}
 	if err != nil {
 		return fmt.Errorf("extraction failed: %w", err)
 	}
@@ -151,12 +243,28 @@ func main() {
 		having    = flag.Bool("having", false, "use the Section 7 pipeline (having extraction)")
 		seed      = flag.Int64("seed", 1, "data generation / extraction seed")
 		noChecker = flag.Bool("no-checker", false, "skip the final verification module")
+		tracePath = flag.String("trace", "", "write the probe trace (run header, spans, ledger) as JSONL to this file")
+		metrics   = flag.Bool("metrics", false, "print the metrics registry after extraction")
+		debugAddr = flag.String("debug-addr", "", "serve expvar and pprof on this address during extraction, e.g. localhost:6060")
+		checkFile = flag.String("validate-trace", "", "schema-check a previously recorded trace file and exit")
 	)
 	flag.Parse()
 
+	if *checkFile != "" {
+		if err := validateTrace(*checkFile); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr)
+	}
+	ob := &obsFlags{tracePath: *tracePath, metrics: *metrics}
+
 	reg := registry()
 	if *adhocSQL != "" {
-		if err := runAdhoc(*workload, *adhocSQL, *seed, *having, *noChecker, *stats); err != nil {
+		if err := runAdhoc(*workload, *adhocSQL, *seed, *having, *noChecker, *stats, ob); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
@@ -193,8 +301,12 @@ func main() {
 	cfg.Seed = *seed
 	cfg.ExtractHaving = *having || strings.Contains(*appName, "/H")
 	cfg.SkipChecker = *noChecker
+	ob.attach(&cfg)
 
 	ext, err := core.Extract(exe, db, cfg)
+	if ferr := ob.finish(*appName, cfg, ext); ferr != nil {
+		fmt.Fprintf(os.Stderr, "observability: %v\n", ferr)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "extraction failed: %v\n", err)
 		os.Exit(1)

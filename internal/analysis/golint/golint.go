@@ -26,6 +26,11 @@
 //	        SetRows / RowCount / Get / Set). internal/workloads is
 //	        exempt — its imperative executables model opaque
 //	        application code outside the extractor's discipline.
+//	GL005 — internal/core and internal/sqldb never print to the
+//	        process streams: fmt.Print*/log.Print* are forbidden
+//	        there. Diagnostics flow through internal/obs (spans,
+//	        ledger events, metrics) or returned errors; a stray
+//	        Println would corrupt -trace/-stats consumers of stdout.
 //
 // The entry point is LintDir, which loads and typechecks every
 // non-test package under a module root using a minimal module-aware
@@ -52,6 +57,7 @@ const (
 	RuleSourceMut   = "GL002"
 	RuleErrWrap     = "GL003"
 	RuleTableAccess = "GL004"
+	RuleDirectPrint = "GL005"
 )
 
 // Finding is one lint violation.
@@ -97,6 +103,7 @@ func LintDir(root string) ([]Finding, error) {
 		findings = append(findings, checkSourceMutation(fset, p)...)
 		findings = append(findings, checkErrWrap(fset, p)...)
 		findings = append(findings, checkTableAccess(fset, p)...)
+		findings = append(findings, checkDirectPrint(fset, p)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos

@@ -128,6 +128,37 @@ func goodRows(tbl *sqldb.Table) int {
 	return len(tbl.SnapshotRows())
 }
 `,
+		"internal/core/debug.go": `package core
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+// badPrints write to the process streams from the pipeline: GL005.
+func badPrints(n int) {
+	fmt.Println("probing", n)   // want:GL005
+	fmt.Printf("probe %d\n", n) // want:GL005
+	log.Printf("probe %d", n)   // want:GL005
+}
+
+// goodPrints target an injected writer: legal.
+func goodPrints(w io.Writer, n int) {
+	fmt.Fprintf(w, "probe %d\n", n)
+	fmt.Fprintln(os.Stderr, "fatal setup problem")
+}
+`,
+		"cmd/report/main.go": `package main
+
+import "fmt"
+
+// Command-line surfaces own stdout: GL005 does not apply here.
+func main() {
+	fmt.Println("extracted")
+}
+`,
 		"internal/workloads/gen/gen.go": `package gen
 
 import "example.com/app/internal/sqldb"
@@ -235,6 +266,7 @@ func TestRuleIDsCovered(t *testing.T) {
 	want := wantedFindings(t, root)
 	for _, rule := range []string{
 		golint.RulePanic, golint.RuleSourceMut, golint.RuleErrWrap, golint.RuleTableAccess,
+		golint.RuleDirectPrint,
 	} {
 		found := false
 		for k := range want {

@@ -233,6 +233,54 @@ func isPkgFunc(p *pkg, fun ast.Expr, pkgPath, name string) bool {
 	return ok && pn.Imported().Path() == pkgPath
 }
 
+// --- GL005: no direct console output in the pipeline packages ------
+
+// printFuncs are the fmt/log functions that write straight to the
+// process streams.
+var printFuncs = map[string][]string{
+	"fmt": {"Print", "Printf", "Println"},
+	"log": {"Print", "Printf", "Println"},
+}
+
+// checkDirectPrint forbids fmt.Print*/log.Print* inside internal/core
+// and internal/sqldb. Those packages run under the probe scheduler
+// and inside library callers; anything worth reporting belongs in the
+// observability layer (internal/obs spans, ledger events, metrics) or
+// in a returned error — a stray Println corrupts -trace/-stats output
+// on stdout and is invisible to trace consumers. Writing to an
+// injected io.Writer or fmt.Fprintf is fine; only the implicit
+// process-stream forms are flagged.
+func checkDirectPrint(fset *token.FileSet, p *pkg) []Finding {
+	if !isCorePkg(p.importPath) && !isSqldbPkg(p.importPath) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for pkgPath, names := range printFuncs {
+				for _, name := range names {
+					if isPkgFunc(p, call.Fun, pkgPath, name) {
+						out = append(out, Finding{
+							Pos:  fset.Position(call.Pos()),
+							Rule: RuleDirectPrint,
+							Msg: fmt.Sprintf("%s.%s writes to the process streams from %s; "+
+								"report through internal/obs (span/ledger/metrics) or return an error",
+								pkgPath, name, p.importPath),
+						})
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
 // --- GL004: Table row storage is private to internal/sqldb ---------
 
 func checkTableAccess(fset *token.FileSet, p *pkg) []Finding {

@@ -106,6 +106,33 @@ func TestQuickExperimentShapes(t *testing.T) {
 		}
 	})
 
+	t.Run("trace-shape", func(t *testing.T) {
+		rows, err := TraceProfile(&buf, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			t.Fatal("no phase rows")
+		}
+		var share float64
+		byPhase := map[string]PhaseCost{}
+		for _, r := range rows {
+			share += r.Share
+			byPhase[r.Phase] = r
+			if r.Executed+r.Hits != r.Probes {
+				t.Errorf("%s: executed %d + hits %d != probes %d", r.Phase, r.Executed, r.Hits, r.Probes)
+			}
+		}
+		if share < 0.99 || share > 1.01 {
+			t.Errorf("phase shares sum to %.3f, want ~1", share)
+		}
+		for _, want := range []string{"from-clause", "minimizer", "filters", "projection", "checker"} {
+			if _, ok := byPhase[want]; !ok {
+				t.Errorf("phase %q missing from the profile", want)
+			}
+		}
+	})
+
 	t.Run("schemascale-shape", func(t *testing.T) {
 		res, err := SchemaScale(&buf, opt)
 		if err != nil {

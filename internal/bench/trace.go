@@ -1,0 +1,120 @@
+package bench
+
+// Per-phase cost profiling on top of the internal/obs trace: instead
+// of the coarse four-bucket split of core.Stats, the span tree and
+// probe ledger attribute every microsecond and every executable
+// invocation to the pipeline phase that spent it.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/obs"
+	"unmasque/internal/workloads/tpch"
+)
+
+// PhaseCost aggregates the trace of one or more extractions by
+// pipeline phase.
+type PhaseCost struct {
+	Phase    string
+	Duration time.Duration // wall time inside the phase spans
+	Probes   int64         // ledger events (invocations + cache hits)
+	Executed int64         // actual executable invocations
+	Hits     int64         // invocations absorbed by the run cache
+	AppTime  time.Duration // time spent inside the executable
+	Share    float64       // Duration / total extraction time
+}
+
+// TraceProfile runs the TPC-H extraction suite with the span tracer
+// and probe ledger attached and prints the per-phase cost table —
+// where the pipeline spends its wall clock and its probe budget.
+func TraceProfile(w io.Writer, opt Options) ([]PhaseCost, error) {
+	queries := tpch.HiddenQueries()
+	names := []string{"Q1", "Q3", "Q6"}
+	if opt.Quick {
+		names = []string{"Q3", "Q6"}
+	}
+
+	byPhase := map[string]*PhaseCost{}
+	var order []string // phases in pipeline order (first appearance)
+	var total time.Duration
+	var extractions int
+
+	for _, name := range names {
+		sql, ok := queries[name]
+		if !ok {
+			continue
+		}
+		db := tpch.NewDatabase(tpch.ScaleTiny*4, opt.Seed)
+		if err := tpch.PlantWitnesses(db, map[string]string{name: sql}); err != nil {
+			return nil, fmt.Errorf("trace profile %s: %w", name, err)
+		}
+		exe, err := app.NewSQLExecutable("tpch/"+name, sql)
+		if err != nil {
+			return nil, fmt.Errorf("trace profile %s: %w", name, err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Seed = opt.Seed
+		cfg.Tracer = obs.NewTracer("extract")
+		cfg.Ledger = obs.NewLedger()
+		ext, err := core.Extract(exe, db, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trace profile %s: %w", name, err)
+		}
+		extractions++
+
+		phase := func(p string) *PhaseCost {
+			pc, ok := byPhase[p]
+			if !ok {
+				pc = &PhaseCost{Phase: p}
+				byPhase[p] = pc
+				order = append(order, p)
+			}
+			return pc
+		}
+		// Direct children of the root span are the pipeline phases;
+		// their durations partition the extraction's wall clock.
+		root := ext.Trace[0]
+		for _, ev := range ext.Trace {
+			if ev.Parent != root.ID || ev.ID == root.ID {
+				continue
+			}
+			d := time.Duration(ev.DurUS) * time.Microsecond
+			phase(ev.Name).Duration += d
+			total += d
+		}
+		// The ledger attributes each invocation/hit to its phase.
+		for _, ev := range cfg.Ledger.Events() {
+			pc := phase(ev.Phase)
+			pc.Probes++
+			if ev.Cache == obs.CacheHit {
+				pc.Hits++
+			} else {
+				pc.Executed++
+				pc.AppTime += time.Duration(ev.DurUS) * time.Microsecond
+			}
+		}
+	}
+
+	out := make([]PhaseCost, 0, len(order))
+	tbl := &TextTable{
+		Title:  "Per-phase cost profile (from -trace spans and probe ledger)",
+		Header: []string{"phase", "time_ms", "share_%", "probes", "executed", "cache_hits", "app_ms"},
+	}
+	for _, p := range order {
+		pc := byPhase[p]
+		if total > 0 {
+			pc.Share = float64(pc.Duration) / float64(total)
+		}
+		tbl.Add(pc.Phase, ms(pc.Duration), fmt.Sprintf("%.1f", pc.Share*100),
+			pc.Probes, pc.Executed, pc.Hits, ms(pc.AppTime))
+		out = append(out, *pc)
+	}
+	tbl.Note("aggregated over %d TPC-H extractions; share is of summed phase wall time", extractions)
+	tbl.Note("executed + cache_hits = probes; app_ms is time inside the black-box executable")
+	tbl.Render(w)
+	return out, nil
+}

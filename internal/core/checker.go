@@ -67,7 +67,7 @@ func (s *Session) check(ext *Extraction) error {
 // compareOn runs both the application and Q_E on db and compares the
 // results.
 func (s *Session) compareOn(ext *Extraction, db *sqldb.Database, label string) error {
-	appRes, appErr := s.run(db)
+	appRes, appErr := s.run(nil, db)
 	qRes, qErr := s.executeStmt(ext.Query, db)
 	if appErr != nil {
 		return fmt.Errorf("checker instance %q: application failed: %w", label, appErr)

@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"unmasque/internal/obs"
 )
 
 // Config tunes the extraction pipeline. The zero value is NOT valid;
@@ -125,6 +127,22 @@ type Config struct {
 	// selects the default of 256 (generous for the paper's single-row
 	// probe databases, far below any realistic D_I).
 	CacheMaxRows int
+
+	// Tracer, when set, receives the extraction's span tree: one span
+	// per pipeline phase and one per scheduled probe. The finished
+	// tree is also flattened onto Extraction.Trace. Nil disables
+	// tracing at zero cost.
+	Tracer *obs.Tracer
+
+	// Ledger, when set, records one obs.ProbeEvent per executable
+	// invocation or memoization-cache hit. Its canonical JSONL
+	// serialization is byte-identical across worker counts once
+	// volatile fields are stripped (obs.StripVolatile).
+	Ledger *obs.Ledger
+
+	// Metrics, when set, receives probe/cache counters and latency
+	// histograms; publishable through expvar (obs.Metrics.Publish).
+	Metrics *obs.Metrics
 }
 
 // DefaultConfig returns the paper-faithful parameterization.
@@ -227,6 +245,12 @@ type Stats struct {
 	// included.
 	ParallelProbes int64
 
+	// CacheEnabled records whether the run-memoization cache was on
+	// for the extraction. When false, CacheHits and CacheMisses are
+	// meaningless and reporting surfaces (Stats.String, -stats output)
+	// omit them entirely rather than printing misleading zeros.
+	CacheEnabled bool
+
 	// CacheHits / CacheMisses count run-memoization outcomes: a hit is
 	// a probe whose database fingerprint matched an earlier completed
 	// execution, skipping E entirely.
@@ -260,14 +284,21 @@ func (s *Stats) Remaining() time.Duration {
 	return s.Total - s.Minimizer() - s.Checker
 }
 
-// String renders a compact one-line profile.
+// String renders a compact one-line profile. The cache section is
+// present only when the run cache was enabled: a disabled cache has
+// no hit/miss counts, and printing zeros would misread as "enabled
+// but cold".
 func (s *Stats) String() string {
-	return fmt.Sprintf("total=%v minimizer=%v (sampling=%v partitioning=%v) rest=%v checker=%v invocations=%d rows %d->%d workers=%d parallel=%d cache %d/%d",
+	line := fmt.Sprintf("total=%v minimizer=%v (sampling=%v partitioning=%v) rest=%v checker=%v invocations=%d rows %d->%d workers=%d parallel=%d",
 		s.Total.Round(time.Millisecond), s.Minimizer().Round(time.Millisecond),
 		s.Sampling.Round(time.Millisecond), s.Partitioning.Round(time.Millisecond),
 		s.Remaining().Round(time.Millisecond), s.Checker.Round(time.Millisecond),
 		s.AppInvocations, s.RowsInitial, s.RowsFinal,
-		s.Workers, s.ParallelProbes, s.CacheHits, s.CacheHits+s.CacheMisses)
+		s.Workers, s.ParallelProbes)
+	if s.CacheEnabled {
+		line += fmt.Sprintf(" cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
+	}
+	return line
 }
 
 // timed runs fn and adds its duration to *slot.

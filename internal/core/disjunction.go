@@ -78,7 +78,7 @@ func (s *Session) refineNumericDisjunction(col sqldb.ColRef, def sqldb.Column) e
 		if g > gMax {
 			g = gMax
 		}
-		pop, err := s.valueProbe(col, gridValue(def, g, scale))
+		pop, err := s.valueProbe(nil, col, gridValue(def, g, scale))
 		if err != nil {
 			return err
 		}
@@ -104,7 +104,7 @@ func (s *Session) refineNumericDisjunction(col sqldb.ColRef, def sqldb.Column) e
 		if runStart > 0 {
 			// The true edge lies in (pts[runStart-1].g, lo]; binary
 			// search for the smallest satisfying grid value.
-			g, err := s.searchLowerBound(col, def, scale, pts[runStart-1].g+1, lo)
+			g, err := s.searchLowerBound(nil, col, def, scale, pts[runStart-1].g+1, lo)
 			if err != nil {
 				return err
 			}
@@ -112,7 +112,7 @@ func (s *Session) refineNumericDisjunction(col sqldb.ColRef, def sqldb.Column) e
 		}
 		hi := pts[runEnd].g
 		if runEnd+1 < len(pts) {
-			g, err := s.searchUpperBound(col, def, scale, hi, pts[runEnd+1].g-1)
+			g, err := s.searchUpperBound(nil, col, def, scale, hi, pts[runEnd+1].g-1)
 			if err != nil {
 				return err
 			}
@@ -154,7 +154,7 @@ func (s *Session) refineTextDisjunction(col sqldb.ColRef) error {
 	}
 	var satisfying []string
 	for v := range candidates {
-		pop, err := s.valueProbe(col, sqldb.NewText(v))
+		pop, err := s.valueProbe(nil, col, sqldb.NewText(v))
 		if err != nil {
 			return err
 		}

@@ -28,8 +28,8 @@ func (s *Session) extractFilters() error {
 		cols = append(cols, col)
 	}
 	found := make([]*FilterPredicate, len(cols))
-	err := s.parallelFor(len(cols), func(i int) error {
-		f, err := s.extractColumnFilter(cols[i])
+	err := s.parallelFor(len(cols), func(pc *probeCtx, i int) error {
+		f, err := s.extractColumnFilter(pc, cols[i])
 		if err != nil {
 			return fmt.Errorf("column %s: %w", cols[i], err)
 		}
@@ -51,18 +51,18 @@ func (s *Session) extractFilters() error {
 
 // extractColumnFilter dispatches one column to the type-specific
 // Table 2 search; nil means the column carries no filter.
-func (s *Session) extractColumnFilter(col sqldb.ColRef) (*FilterPredicate, error) {
+func (s *Session) extractColumnFilter(pc *probeCtx, col sqldb.ColRef) (*FilterPredicate, error) {
 	def, err := s.column(col)
 	if err != nil {
 		return nil, err
 	}
 	switch def.Type {
 	case sqldb.TInt, sqldb.TDate, sqldb.TFloat:
-		return s.extractNumericFilter(col, def)
+		return s.extractNumericFilter(pc, col, def)
 	case sqldb.TText:
-		return s.extractTextFilter(col, def)
+		return s.extractTextFilter(pc, col, def)
 	case sqldb.TBool:
-		return s.extractBoolFilter(col)
+		return s.extractBoolFilter(pc, col)
 	default:
 		return nil, nil
 	}
@@ -70,7 +70,7 @@ func (s *Session) extractColumnFilter(col sqldb.ColRef) (*FilterPredicate, error
 
 // valueProbe sets every row of col in a clone of the minimized
 // database to v and reports whether the result stays populated.
-func (s *Session) valueProbe(col sqldb.ColRef, v sqldb.Value) (bool, error) {
+func (s *Session) valueProbe(pc *probeCtx, col sqldb.ColRef, v sqldb.Value) (bool, error) {
 	db := s.cloneD1()
 	tbl, err := db.Table(col.Table)
 	if err != nil {
@@ -79,7 +79,7 @@ func (s *Session) valueProbe(col sqldb.ColRef, v sqldb.Value) (bool, error) {
 	if err := tbl.SetAll(col.Column, v); err != nil {
 		return false, err
 	}
-	return s.populated(db)
+	return s.populated(pc, db)
 }
 
 // numericScale maps a column onto an integer probe grid: dates and
@@ -108,7 +108,7 @@ func gridValue(def sqldb.Column, g int64, scale int64) sqldb.Value {
 
 // extractNumericFilter implements Table 2 for int, date and
 // fixed-precision float columns.
-func (s *Session) extractNumericFilter(col sqldb.ColRef, def sqldb.Column) (*FilterPredicate, error) {
+func (s *Session) extractNumericFilter(pc *probeCtx, col sqldb.ColRef, def sqldb.Column) (*FilterPredicate, error) {
 	scale := numericScale(def)
 	gMin := def.DomainMin() * scale
 	gMax := def.DomainMax() * scale
@@ -130,11 +130,11 @@ func (s *Session) extractNumericFilter(col sqldb.ColRef, def sqldb.Column) (*Fil
 		gA = a.I
 	}
 
-	loPop, err := s.valueProbe(col, gridValue(def, gMin, scale))
+	loPop, err := s.valueProbe(pc, col, gridValue(def, gMin, scale))
 	if err != nil {
 		return nil, err
 	}
-	hiPop, err := s.valueProbe(col, gridValue(def, gMax, scale))
+	hiPop, err := s.valueProbe(pc, col, gridValue(def, gMax, scale))
 	if err != nil {
 		return nil, err
 	}
@@ -144,14 +144,14 @@ func (s *Session) extractNumericFilter(col sqldb.ColRef, def sqldb.Column) (*Fil
 
 	f := &FilterPredicate{Col: col, Kind: FilterRange}
 	if !loPop { // Cases 2 and 4: find l
-		g, err := s.searchLowerBound(col, def, scale, gMin, gA)
+		g, err := s.searchLowerBound(pc, col, def, scale, gMin, gA)
 		if err != nil {
 			return nil, err
 		}
 		f.Lo, f.HasLo = gridValue(def, g, scale), true
 	}
 	if !hiPop { // Cases 3 and 4: find r
-		g, err := s.searchUpperBound(col, def, scale, gA, gMax)
+		g, err := s.searchUpperBound(pc, col, def, scale, gA, gMax)
 		if err != nil {
 			return nil, err
 		}
@@ -162,10 +162,10 @@ func (s *Session) extractNumericFilter(col sqldb.ColRef, def sqldb.Column) (*Fil
 
 // searchLowerBound finds the smallest grid point in [lo, a] whose
 // probe keeps the result populated (the filter's l).
-func (s *Session) searchLowerBound(col sqldb.ColRef, def sqldb.Column, scale, lo, a int64) (int64, error) {
+func (s *Session) searchLowerBound(pc *probeCtx, col sqldb.ColRef, def sqldb.Column, scale, lo, a int64) (int64, error) {
 	for lo < a {
 		mid := lo + (a-lo)/2
-		ok, err := s.valueProbe(col, gridValue(def, mid, scale))
+		ok, err := s.valueProbe(pc, col, gridValue(def, mid, scale))
 		if err != nil {
 			return 0, err
 		}
@@ -180,10 +180,10 @@ func (s *Session) searchLowerBound(col sqldb.ColRef, def sqldb.Column, scale, lo
 
 // searchUpperBound finds the largest grid point in [a, hi] whose
 // probe keeps the result populated (the filter's r).
-func (s *Session) searchUpperBound(col sqldb.ColRef, def sqldb.Column, scale, a, hi int64) (int64, error) {
+func (s *Session) searchUpperBound(pc *probeCtx, col sqldb.ColRef, def sqldb.Column, scale, a, hi int64) (int64, error) {
 	for a < hi {
 		mid := a + (hi-a+1)/2
-		ok, err := s.valueProbe(col, gridValue(def, mid, scale))
+		ok, err := s.valueProbe(pc, col, gridValue(def, mid, scale))
 		if err != nil {
 			return 0, err
 		}
@@ -201,7 +201,7 @@ func (s *Session) searchUpperBound(col sqldb.ColRef, def sqldb.Column, scale, a,
 // per-character substitution (with a deletion probe separating '_'
 // from '%'-absorbed characters), then '%' placement via insertion
 // probes at every gap including the string boundaries.
-func (s *Session) extractTextFilter(col sqldb.ColRef, def sqldb.Column) (*FilterPredicate, error) {
+func (s *Session) extractTextFilter(pc *probeCtx, col sqldb.ColRef, def sqldb.Column) (*FilterPredicate, error) {
 	rep, err := s.d1Value(col)
 	if err != nil {
 		return nil, err
@@ -210,11 +210,11 @@ func (s *Session) extractTextFilter(col sqldb.ColRef, def sqldb.Column) (*Filter
 		return nil, nil
 	}
 
-	emptyPop, err := s.valueProbe(col, sqldb.NewText(""))
+	emptyPop, err := s.valueProbe(pc, col, sqldb.NewText(""))
 	if err != nil {
 		return nil, err
 	}
-	singlePop, err := s.valueProbe(col, sqldb.NewText(pickOtherChar(0, 0)))
+	singlePop, err := s.valueProbe(pc, col, sqldb.NewText(pickOtherChar(0, 0)))
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +233,7 @@ func (s *Session) extractTextFilter(col sqldb.ColRef, def sqldb.Column) (*Filter
 	kinds := make([]posKind, len(repS))
 	for i := 0; i < len(repS); i++ {
 		mutated := replaceAt(repS, i, pickOtherChar(repS[i], 0))
-		pop, err := s.valueProbe(col, sqldb.NewText(mutated))
+		pop, err := s.valueProbe(pc, col, sqldb.NewText(mutated))
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +244,7 @@ func (s *Session) extractTextFilter(col sqldb.ColRef, def sqldb.Column) (*Filter
 		// Wildcard position: deletion distinguishes '_' (fixed
 		// length) from a '%'-absorbed character.
 		deleted := repS[:i] + repS[i+1:]
-		pop, err = s.valueProbe(col, sqldb.NewText(deleted))
+		pop, err = s.valueProbe(pc, col, sqldb.NewText(deleted))
 		if err != nil {
 			return nil, err
 		}
@@ -282,7 +282,7 @@ func (s *Session) extractTextFilter(col sqldb.ColRef, def sqldb.Column) (*Filter
 			}
 			ins := pickOtherChar(left, right)
 			candidate := string(mqsValue[:g]) + ins + string(mqsValue[g:])
-			pop, err := s.valueProbe(col, sqldb.NewText(candidate))
+			pop, err := s.valueProbe(pc, col, sqldb.NewText(candidate))
 			if err != nil {
 				return nil, err
 			}
@@ -333,7 +333,7 @@ func pickOtherChar(a, b byte) string {
 
 // extractBoolFilter probes both truth values; exactly one populated
 // probe means an equality predicate.
-func (s *Session) extractBoolFilter(col sqldb.ColRef) (*FilterPredicate, error) {
+func (s *Session) extractBoolFilter(pc *probeCtx, col sqldb.ColRef) (*FilterPredicate, error) {
 	cur, err := s.d1Value(col)
 	if err != nil {
 		return nil, err
@@ -341,11 +341,11 @@ func (s *Session) extractBoolFilter(col sqldb.ColRef) (*FilterPredicate, error) 
 	if cur.Null {
 		return nil, nil
 	}
-	tPop, err := s.valueProbe(col, sqldb.NewBool(true))
+	tPop, err := s.valueProbe(pc, col, sqldb.NewBool(true))
 	if err != nil {
 		return nil, err
 	}
-	fPop, err := s.valueProbe(col, sqldb.NewBool(false))
+	fPop, err := s.valueProbe(pc, col, sqldb.NewBool(false))
 	if err != nil {
 		return nil, err
 	}

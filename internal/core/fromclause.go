@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"unmasque/internal/app"
+	"unmasque/internal/obs"
 	"unmasque/internal/sqldb"
 )
 
@@ -27,7 +29,7 @@ func (s *Session) extractFromClause() error {
 	const tempName = "unmasque_probe_tmp"
 	names := s.source.TableNames()
 	inQuery := make([]bool, len(names))
-	err := s.parallelFor(len(names), func(i int) error {
+	err := s.parallelFor(len(names), func(pc *probeCtx, i int) error {
 		probe := s.source.CloneShared()
 		if err := probe.RenameTable(names[i], tempName); err != nil {
 			return err
@@ -35,7 +37,14 @@ func (s *Session) extractFromClause() error {
 		// Short probe deadline: a missing-table fault is immediate,
 		// while an unaffected application would otherwise run to
 		// completion on the full instance for every negative probe.
-		_, err := app.RunWithTimeout(s.exe, probe, s.cfg.ProbeTimeout)
+		// Rename probes never consult the run cache (fingerprinting
+		// the full instance would dwarf the probe itself), so they
+		// record their ledger event here; a missing-table fault or
+		// timeout IS the observation, not an incident.
+		start := time.Now()
+		res, err := app.RunWithTimeout(s.exe, probe, s.cfg.ProbeTimeout)
+		s.observe(pc, obs.ProbeEvent{Kind: obs.KindRename, Table: names[i], Cache: obs.CacheNone},
+			res, err, time.Since(start))
 		switch {
 		case errors.Is(err, sqldb.ErrNoSuchTable):
 			inQuery[i] = true

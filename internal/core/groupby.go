@@ -174,7 +174,7 @@ func (s *Session) dgenCardinality(d *dgen, multipliedTable string, mult int) (in
 	if err != nil {
 		return -1, err
 	}
-	res, err := s.run(db)
+	res, err := s.run(nil, db)
 	if err == nil && res.Populated() {
 		return res.RowCount(), nil
 	}
@@ -213,7 +213,7 @@ func (s *Session) dgenCardinality(d *dgen, multipliedTable string, mult int) (in
 	if err != nil {
 		return -1, err
 	}
-	res, err = s.run(db)
+	res, err = s.run(nil, db)
 	if err != nil || !res.Populated() {
 		return -1, nil
 	}

@@ -44,7 +44,7 @@ func (s *Session) extractFiltersAndHaving() error {
 		}
 		switch def.Type {
 		case sqldb.TText:
-			f, err := s.extractTextFilter(col, def)
+			f, err := s.extractTextFilter(nil, col, def)
 			if err != nil {
 				return fmt.Errorf("column %s: %w", col, err)
 			}
@@ -53,7 +53,7 @@ func (s *Session) extractFiltersAndHaving() error {
 				s.filterOrder = append(s.filterOrder, col)
 			}
 		case sqldb.TBool:
-			f, err := s.extractBoolFilter(col)
+			f, err := s.extractBoolFilter(nil, col)
 			if err != nil {
 				return fmt.Errorf("column %s: %w", col, err)
 			}
@@ -85,7 +85,7 @@ const (
 // extractUnifiedNumeric finds and classifies the lower/upper value
 // constraints of one numeric column.
 func (s *Session) extractUnifiedNumeric(col sqldb.ColRef, def sqldb.Column) error {
-	raw, err := s.extractNumericFilter(col, def)
+	raw, err := s.extractNumericFilter(nil, col, def)
 	if err != nil {
 		return err
 	}
@@ -208,7 +208,7 @@ func (s *Session) multiRowProbe(col sqldb.ColRef, vals []sqldb.Value) (bool, err
 			return false, err
 		}
 	}
-	return s.populated(db)
+	return s.populated(nil, db)
 }
 
 // detectHighUpperBound probes for sum/count upper bounds exceeding a
@@ -342,7 +342,7 @@ func (s *Session) twoRowProbe(col sqldb.ColRef, v1, v2 sqldb.Value) (bool, error
 	if err := tbl.Set(1, col.Column, v2); err != nil {
 		return false, err
 	}
-	return s.populated(db)
+	return s.populated(nil, db)
 }
 
 // classifyLowerBound distinguishes filter/min vs sum vs avg for a

@@ -223,7 +223,7 @@ func (s *Session) negateProbe(cols []sqldb.ColRef) (bool, error) {
 			}
 		}
 	}
-	ok, err := s.populated(db)
+	ok, err := s.populated(nil, db)
 	return !ok, err
 }
 

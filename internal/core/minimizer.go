@@ -28,7 +28,7 @@ func (s *Session) minimize() error {
 	}
 	s.stats.RowsFinal = s.silo.TotalRows()
 
-	res, err := s.mustResult(s.silo)
+	res, err := s.mustResult(nil, s.silo)
 	if err != nil {
 		return moduleErr("minimizer", err)
 	}
@@ -74,7 +74,7 @@ func (s *Session) samplePhase() error {
 		backup := tbl.SnapshotRows()
 		tbl.SetRows(sqldb.CopyRows(backup))
 		tbl.Sample(s.cfg.SampleFraction, s.rng)
-		ok, err := s.populated(s.silo)
+		ok, err := s.populated(nil, s.silo)
 		if err != nil {
 			return err
 		}
@@ -122,7 +122,7 @@ func (s *Session) partitionPhase() error {
 		backup := tbl.SnapshotRows()
 
 		tbl.SetRows(sqldb.CopyRows(backup[:half]))
-		ok, err := s.populated(s.silo)
+		ok, err := s.populated(nil, s.silo)
 		if err != nil {
 			return err
 		}
@@ -135,7 +135,7 @@ func (s *Session) partitionPhase() error {
 		if !verify {
 			continue
 		}
-		ok, err = s.populated(s.silo)
+		ok, err = s.populated(nil, s.silo)
 		if err != nil {
 			return err
 		}
@@ -184,7 +184,7 @@ func (s *Session) mergeAndBoost() error {
 					return err
 				}
 				tbl.SetRows([]sqldb.Row{row})
-				ok, err := s.populated(s.silo)
+				ok, err := s.populated(nil, s.silo)
 				if err != nil {
 					return err
 				}
@@ -309,7 +309,7 @@ func (s *Session) rowRemovalRefinement(frozen map[string]bool) error {
 			backup := tbl.SnapshotRows()
 			trimmed := append(sqldb.CopyRows(backup[:i]), backup[i+1:]...)
 			tbl.SetRows(trimmed)
-			ok, err := s.populated(s.silo)
+			ok, err := s.populated(nil, s.silo)
 			if err != nil {
 				return err
 			}

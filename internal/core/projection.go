@@ -61,7 +61,7 @@ func (s *Session) extractProjections() error {
 				return err
 			}
 		}
-		baseRes, err := s.mustResult(base)
+		baseRes, err := s.mustResult(nil, base)
 		if err != nil {
 			return err
 		}
@@ -79,7 +79,7 @@ func (s *Session) extractProjections() error {
 			res     *sqldb.Result
 		}
 		probes := make([]unitProbe, len(units))
-		err = s.parallelFor(len(units), func(i int) error {
+		err = s.parallelFor(len(units), func(pc *probeCtx, i int) error {
 			mut, changed, err := s.mutateUnit(base, units[i], 29+round*13)
 			if err != nil {
 				return err
@@ -87,7 +87,7 @@ func (s *Session) extractProjections() error {
 			if !changed {
 				return nil // pinned unit: cannot influence detection
 			}
-			res, err := s.mustResult(mut)
+			res, err := s.mustResult(pc, mut)
 			if err != nil {
 				return err
 			}
@@ -261,7 +261,7 @@ func (s *Session) identifyIdentity(p Projection, oi int, u mutationUnit) (Projec
 		if !changed {
 			break
 		}
-		res, err := s.mustResult(db)
+		res, err := s.mustResult(nil, db)
 		if err != nil {
 			return p, err
 		}
@@ -296,7 +296,7 @@ func (s *Session) identifyDateAffine(p Projection, oi int, u mutationUnit) (Proj
 			}
 			break
 		}
-		res, err := s.mustResult(db)
+		res, err := s.mustResult(nil, db)
 		if err != nil {
 			return p, err
 		}
@@ -348,7 +348,7 @@ func (s *Session) identifyMultilinear(p Projection, oi int, depUnits []mutationU
 	rows := 1 << n
 	matrix := make([][]float64, rows)
 	rhs := make([]float64, rows)
-	err := s.parallelFor(rows, func(corner int) error {
+	err := s.parallelFor(rows, func(pc *probeCtx, corner int) error {
 		db := s.cloneD1()
 		xs := make([]float64, n)
 		for i, u := range depUnits {
@@ -364,7 +364,7 @@ func (s *Session) identifyMultilinear(p Projection, oi int, depUnits []mutationU
 				}
 			}
 		}
-		res, err := s.mustResult(db)
+		res, err := s.mustResult(pc, db)
 		if err != nil {
 			return err
 		}

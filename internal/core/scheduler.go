@@ -4,13 +4,16 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"unmasque/internal/app"
+	"unmasque/internal/obs"
 	"unmasque/internal/sqldb"
 )
 
-// This file implements the probe scheduler and the executable-run
-// memoization cache.
+// This file implements the probe scheduler, the executable-run
+// memoization cache, and the observation funnel that feeds the
+// obs.Ledger / obs.Metrics hooks.
 //
 // Scheduler: pipeline modules whose probes are mutually independent —
 // from-clause rename probes (one per candidate table), filter
@@ -31,13 +34,48 @@ import (
 // corners — skip E.Run entirely. Only databases small enough that
 // fingerprinting is far cheaper than execution are eligible
 // (Config.CacheMaxRows); timeouts are never cached.
+//
+// The cache is single-flight: concurrent probes on the same
+// fingerprint elect one leader that runs E while the rest wait on the
+// flight and reuse its outcome. Beyond avoiding duplicate work, this
+// makes the hit/miss *multiset* — and therefore the canonical probe
+// ledger — identical for every worker count: each distinct
+// fingerprint produces exactly one miss and k hits no matter how its
+// k+1 probes interleaved (which probe was the leader is a volatile,
+// stripped detail).
+
+// probeCtx identifies one scheduled probe while it executes: which
+// pool worker is running it, its fan-out index, and its span in the
+// trace tree. Sequential probe sites (the minimizer's dependent
+// halvings, binary-search steps, baseline runs) pass a nil probeCtx,
+// which reads as worker 0 / index 0 / no span.
+type probeCtx struct {
+	worker int // 0 = main goroutine, 1..W = pool worker
+	index  int // fan-out index within the phase
+	span   *obs.Span
+}
+
+func (pc *probeCtx) workerID() int {
+	if pc == nil {
+		return 0
+	}
+	return pc.worker
+}
+
+func (pc *probeCtx) probeIndex() int {
+	if pc == nil {
+		return 0
+	}
+	return pc.index
+}
 
 // parallelFor runs fn(0..n-1) over the session's worker pool and
 // returns the error of the lowest failing index (the same error the
 // sequential loop would have surfaced first, keeping failure modes
 // deterministic). With one worker — or a single item — it degenerates
-// to the plain sequential loop.
-func (s *Session) parallelFor(n int, fn func(i int) error) error {
+// to the plain sequential loop. Each iteration receives a probeCtx
+// carrying its worker id, its index and a per-probe trace span.
+func (s *Session) parallelFor(n int, fn func(pc *probeCtx, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -47,7 +85,7 @@ func (s *Session) parallelFor(n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := s.probeStep(0, i, fn); err != nil {
 				return err
 			}
 		}
@@ -59,6 +97,7 @@ func (s *Session) parallelFor(n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		worker := w + 1
 		go func() {
 			defer wg.Done()
 			for {
@@ -66,7 +105,7 @@ func (s *Session) parallelFor(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = s.probeStep(worker, i, fn)
 			}
 		}()
 	}
@@ -79,69 +118,152 @@ func (s *Session) parallelFor(n int, fn func(i int) error) error {
 	return nil
 }
 
+// probeStep wraps one fan-out iteration in its probe span. The span's
+// sibling index is the fan-out index, not arrival order, so the
+// exported tree is deterministic for every worker count.
+func (s *Session) probeStep(worker, i int, fn func(pc *probeCtx, i int) error) error {
+	pc := &probeCtx{worker: worker, index: i, span: s.phaseSpan.Child("probe", i)}
+	err := fn(pc, i)
+	pc.span.EndErr(err)
+	return err
+}
+
 // runCache memoizes completed application executions by database
 // fingerprint. It is shared by all workers of one Session and safe
 // for concurrent use.
 type runCache struct {
 	mu      sync.Mutex
-	entries map[sqldb.Fingerprint]cachedRun
+	entries map[sqldb.Fingerprint]*cacheEntry
 	hits    atomic.Int64
 	misses  atomic.Int64
 }
 
-// cachedRun is one recorded execution outcome. Application-level
-// errors are deterministic in the database content (a missing table
-// stays missing), so they are cached alongside results; timeouts are
-// not recorded at all.
-type cachedRun struct {
-	res *sqldb.Result
-	err error
+// cacheEntry is one execution flight. The reserving leader runs E and
+// then completes (ok=true, outcome recorded) or aborts (entry removed
+// so a later probe can retry — timeouts are never cached); done is
+// closed either way, releasing any waiters. Application-level errors
+// are deterministic in the database content (a missing table stays
+// missing), so they are cached alongside results.
+type cacheEntry struct {
+	done chan struct{}
+	ok   bool
+	res  *sqldb.Result
+	err  error
 }
 
 func newRunCache() *runCache {
-	return &runCache{entries: map[sqldb.Fingerprint]cachedRun{}}
+	return &runCache{entries: map[sqldb.Fingerprint]*cacheEntry{}}
 }
 
-// lookup returns the recorded outcome for fp, cloning the result so
-// the caller can never alias another probe's rows.
-func (c *runCache) lookup(fp sqldb.Fingerprint) (*sqldb.Result, error, bool) {
+// reserve returns the flight for fp, creating it (leader=true) when
+// none is in progress or recorded. A non-leader must wait on done and
+// check ok: a completed flight's outcome can be reused, an aborted one
+// means reserve again.
+func (c *runCache) reserve(fp sqldb.Fingerprint) (*cacheEntry, bool) {
 	c.mu.Lock()
-	e, ok := c.entries[fp]
-	c.mu.Unlock()
-	if !ok {
-		c.misses.Add(1)
-		return nil, nil, false
+	defer c.mu.Unlock()
+	if e, ok := c.entries[fp]; ok {
+		return e, false
 	}
-	c.hits.Add(1)
-	return e.res.Clone(), e.err, true
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[fp] = e
+	return e, true
 }
 
-// store records an execution outcome. Concurrent duplicate misses may
-// both store; the outcomes are identical by construction, so either
-// write is fine.
-func (c *runCache) store(fp sqldb.Fingerprint, res *sqldb.Result, err error) {
+// complete records the leader's outcome and releases the waiters.
+func (c *runCache) complete(e *cacheEntry, res *sqldb.Result, err error) {
+	e.res, e.err, e.ok = res, err, true
+	close(e.done)
+}
+
+// abort withdraws the flight (timeout: not a cacheable outcome) so the
+// next probe on the same fingerprint starts fresh.
+func (c *runCache) abort(fp sqldb.Fingerprint, e *cacheEntry) {
 	c.mu.Lock()
-	c.entries[fp] = cachedRun{res: res, err: err}
+	delete(c.entries, fp)
 	c.mu.Unlock()
+	close(e.done)
 }
 
 // runMemoized executes E against db with the general execution
 // deadline, serving content-identical probes from the cache. Large
 // databases (above Config.CacheMaxRows) bypass the cache: hashing
 // them would rival execution cost, and the minimizer's shrinking
-// instances rarely repeat anyway.
-func (s *Session) runMemoized(db *sqldb.Database) (*sqldb.Result, error) {
-	if s.cache == nil || db.TotalRows() > s.cfg.CacheMaxRows {
-		return app.RunWithTimeout(s.exe, db, s.cfg.ExecTimeout)
+// instances rarely repeat anyway. Every path records exactly one
+// ledger event: one per completed E invocation, one per cache hit —
+// which is what makes the ledger's event count equal
+// Stats.AppInvocations + Stats.CacheHits.
+func (s *Session) runMemoized(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, error) {
+	if s.cache == nil {
+		return s.runObserved(pc, db, obs.CacheOff, "")
+	}
+	if db.TotalRows() > s.cfg.CacheMaxRows {
+		return s.runObserved(pc, db, obs.CacheBypass, "")
 	}
 	fp := db.Fingerprint()
-	if res, err, ok := s.cache.lookup(fp); ok {
+	for {
+		e, leader := s.cache.reserve(fp)
+		if !leader {
+			start := time.Now()
+			<-e.done
+			if !e.ok {
+				continue // flight aborted (timeout); retry as leader
+			}
+			s.cache.hits.Add(1)
+			s.observe(pc, obs.ProbeEvent{Kind: obs.KindExec, FP: fp.Hex(), Cache: obs.CacheHit},
+				e.res, e.err, time.Since(start))
+			return e.res.Clone(), e.err
+		}
+		s.cache.misses.Add(1)
+		res, err := s.runObserved(pc, db, obs.CacheMiss, fp.Hex())
+		if errors.Is(err, app.ErrTimeout) {
+			s.cache.abort(fp, e)
+			return res, err
+		}
+		s.cache.complete(e, res.Clone(), err)
 		return res, err
 	}
+}
+
+// runObserved executes E once under the general deadline and records
+// the invocation.
+func (s *Session) runObserved(pc *probeCtx, db *sqldb.Database, cache, fp string) (*sqldb.Result, error) {
+	start := time.Now()
 	res, err := app.RunWithTimeout(s.exe, db, s.cfg.ExecTimeout)
-	if errors.Is(err, app.ErrTimeout) {
-		return res, err
-	}
-	s.cache.store(fp, res.Clone(), err)
+	s.observe(pc, obs.ProbeEvent{Kind: obs.KindExec, FP: fp, Cache: cache}, res, err, time.Since(start))
 	return res, err
+}
+
+// observe fills the outcome, attribution and timing fields of one
+// probe event and hands it to the session's ledger and metrics. The
+// caller provides the probe identity (kind, table, fingerprint, cache
+// outcome); phase attribution comes from the session's current phase,
+// which only changes between fan-outs.
+func (s *Session) observe(pc *probeCtx, ev obs.ProbeEvent, res *sqldb.Result, err error, dur time.Duration) {
+	if s.ledger == nil && s.metrics == nil {
+		return
+	}
+	ev.Phase = s.phaseName
+	ev.PhaseSeq = s.phaseSeq
+	if err != nil {
+		ev.Err = err.Error()
+	} else {
+		ev.Digest = res.Digest().Hex()
+		ev.Rows = res.RowCount()
+	}
+	ev.Worker = pc.workerID()
+	ev.Probe = pc.probeIndex()
+	ev.DurUS = dur.Microseconds()
+	s.ledger.Record(ev)
+
+	s.metrics.Counter("probes_total").Add(1)
+	s.metrics.Counter("cache_" + ev.Cache).Add(1)
+	s.metrics.Counter("phase_probes." + ev.Phase).Add(1)
+	if ev.Cache != obs.CacheHit {
+		s.metrics.Counter("app_invocations").Add(1)
+		s.metrics.Histogram("probe_latency_ms").Observe(float64(dur.Microseconds()) / 1e3)
+	}
+	if err != nil {
+		s.metrics.Counter("probe_errors").Add(1)
+	}
 }

@@ -20,7 +20,7 @@ func TestParallelForCoversEveryIndex(t *testing.T) {
 		s := schedSession(workers)
 		const n = 100
 		var hits [n]atomic.Int64
-		if err := s.parallelFor(n, func(i int) error {
+		if err := s.parallelFor(n, func(_ *probeCtx, i int) error {
 			hits[i].Add(1)
 			return nil
 		}); err != nil {
@@ -39,7 +39,7 @@ func TestParallelForReturnsLowestIndexError(t *testing.T) {
 	// regardless of scheduling: index 12 beats index 37.
 	for _, workers := range []int{1, 4, 16} {
 		s := schedSession(workers)
-		err := s.parallelFor(100, func(i int) error {
+		err := s.parallelFor(100, func(_ *probeCtx, i int) error {
 			if i == 37 || i == 12 {
 				return fmt.Errorf("probe %d failed", i)
 			}
@@ -53,7 +53,7 @@ func TestParallelForReturnsLowestIndexError(t *testing.T) {
 
 func TestParallelForCountsPoolProbesOnly(t *testing.T) {
 	s := schedSession(4)
-	if err := s.parallelFor(10, func(int) error { return nil }); err != nil {
+	if err := s.parallelFor(10, func(*probeCtx, int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.parallelProbes.Load(); got != 10 {
@@ -62,7 +62,7 @@ func TestParallelForCountsPoolProbesOnly(t *testing.T) {
 	// A single-worker run is the plain sequential loop and must not
 	// count as pool dispatch.
 	seq := schedSession(1)
-	if err := seq.parallelFor(10, func(int) error { return nil }); err != nil {
+	if err := seq.parallelFor(10, func(*probeCtx, int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if got := seq.parallelProbes.Load(); got != 0 {
@@ -70,30 +70,62 @@ func TestParallelForCountsPoolProbesOnly(t *testing.T) {
 	}
 }
 
-func TestRunCacheLookupClonesResults(t *testing.T) {
+func TestRunCacheSingleFlight(t *testing.T) {
 	c := newRunCache()
 	var fp sqldb.Fingerprint
 	fp[0] = 1
-	res := &sqldb.Result{Columns: []string{"x"}, Rows: []sqldb.Row{{sqldb.NewInt(7)}}}
-	c.store(fp, res, nil)
 
-	got1, err, ok := c.lookup(fp)
-	if !ok || err != nil {
-		t.Fatalf("lookup: ok=%v err=%v", ok, err)
+	e, leader := c.reserve(fp)
+	if !leader {
+		t.Fatal("first reserve is not the leader")
 	}
-	got1.Rows[0][0] = sqldb.NewInt(99) // caller mutates its copy
-	got2, _, _ := c.lookup(fp)
-	if got2.Rows[0][0].I != 7 {
-		t.Fatalf("cache entry aliased by a caller mutation: %v", got2.Rows[0][0])
+	// A second reserve while the flight is open must NOT lead.
+	e2, leader2 := c.reserve(fp)
+	if leader2 || e2 != e {
+		t.Fatalf("concurrent reserve: leader=%v sameEntry=%v", leader2, e2 == e)
 	}
-	if c.hits.Load() != 2 {
-		t.Fatalf("hits = %d, want 2", c.hits.Load())
+	select {
+	case <-e2.done:
+		t.Fatal("flight reported done before completion")
+	default:
 	}
-	var other sqldb.Fingerprint
-	if _, _, ok := c.lookup(other); ok {
-		t.Fatal("lookup of unknown fingerprint succeeded")
+
+	res := &sqldb.Result{Columns: []string{"x"}, Rows: []sqldb.Row{{sqldb.NewInt(7)}}}
+	c.complete(e, res, nil)
+	<-e2.done // released
+	if !e2.ok {
+		t.Fatal("completed flight not marked ok")
 	}
-	if c.misses.Load() != 1 {
-		t.Fatalf("misses = %d, want 1", c.misses.Load())
+	// Waiters clone before use; mutating a clone must not reach the
+	// cached entry.
+	got := e2.res.Clone()
+	got.Rows[0][0] = sqldb.NewInt(99)
+	if e.res.Rows[0][0].I != 7 {
+		t.Fatalf("cache entry aliased by a caller mutation: %v", e.res.Rows[0][0])
+	}
+	// A reserve after completion reuses the recorded outcome.
+	e3, leader3 := c.reserve(fp)
+	if leader3 || !e3.ok || e3.res.Rows[0][0].I != 7 {
+		t.Fatalf("post-completion reserve: leader=%v ok=%v", leader3, e3.ok)
+	}
+}
+
+func TestRunCacheAbortReleasesWaiters(t *testing.T) {
+	c := newRunCache()
+	var fp sqldb.Fingerprint
+	fp[0] = 2
+	e, leader := c.reserve(fp)
+	if !leader {
+		t.Fatal("first reserve is not the leader")
+	}
+	w, _ := c.reserve(fp)
+	c.abort(fp, e) // e.g. the execution timed out: not a cacheable outcome
+	<-w.done
+	if w.ok {
+		t.Fatal("aborted flight marked ok")
+	}
+	// The fingerprint is free again: the waiter retries as a leader.
+	if _, leader := c.reserve(fp); !leader {
+		t.Fatal("reserve after abort did not lead")
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"unmasque/internal/analysis/eqcverify"
 	"unmasque/internal/app"
+	"unmasque/internal/obs"
 	"unmasque/internal/sqldb"
 )
 
@@ -30,6 +31,19 @@ type Session struct {
 	cache *runCache
 	// parallelProbes counts probes dispatched through the worker pool.
 	parallelProbes atomic.Int64
+
+	// Observability hooks (Config.Tracer/Ledger/Metrics; all may be
+	// nil — the record sites are nil-safe). phaseName/phaseSeq/
+	// phaseSpan identify the pipeline phase currently executing; they
+	// are written only by the main goroutine between fan-outs, so pool
+	// workers read them race-free (happens-before via goroutine
+	// creation).
+	tracer    *obs.Tracer
+	ledger    *obs.Ledger
+	metrics   *obs.Metrics
+	phaseName string
+	phaseSeq  int
+	phaseSpan *obs.Span
 
 	// source is the provided D_I; it is only read (plus temporarily
 	// renamed tables during from-clause probing on the silo clone).
@@ -106,6 +120,9 @@ func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, e
 		compOf:     map[sqldb.ColRef]int{},
 		filters:    map[sqldb.ColRef]FilterPredicate{},
 		groupBySet: map[sqldb.ColRef]bool{},
+		tracer:     cfg.Tracer,
+		ledger:     cfg.Ledger,
+		metrics:    cfg.Metrics,
 	}
 	if !cfg.DisableRunCache {
 		s.cache = newRunCache()
@@ -157,23 +174,30 @@ func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, e
 	}
 
 	for _, step := range steps {
+		span := s.beginPhase(step.name)
 		var err error
 		if step.slot != nil {
 			err = timed(step.slot, step.fn)
 		} else {
 			err = step.fn()
 		}
+		span.EndErr(err)
 		if err != nil {
 			return nil, moduleErr(step.name, err)
 		}
 	}
 
+	span := s.beginPhase("assemble")
 	ext, err := s.assemble()
+	span.EndErr(err)
 	if err != nil {
 		return nil, moduleErr("assembler", err)
 	}
 	if !cfg.SkipChecker {
-		if err := timed(&s.stats.Checker, func() error { return s.check(ext) }); err != nil {
+		span := s.beginPhase("checker")
+		err := timed(&s.stats.Checker, func() error { return s.check(ext) })
+		span.EndErr(err)
+		if err != nil {
 			return nil, moduleErr("checker", err)
 		}
 		ext.CheckerVerified = true
@@ -184,11 +208,13 @@ func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, e
 		// guard proves Q_E has the *shape* the paper's identifiability
 		// argument covers. Disjunctive single-column predicates are
 		// in-class exactly when the Section 9 extension extracted them.
+		span := s.beginPhase("eqc-verify")
 		err := timed(&s.stats.Checker, func() error {
 			diags := eqcverify.Verify(ext.Query, s.source.Schemas(),
 				eqcverify.Options{AllowDisjunction: cfg.ExtractDisjunction})
 			return eqcverify.Error(diags)
 		})
+		span.EndErr(err)
 		if err != nil {
 			return nil, moduleErr("eqc-verify", err)
 		}
@@ -197,18 +223,34 @@ func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, e
 	s.stats.AppInvocations = s.exe.Invocations()
 	s.stats.Workers = s.cfg.Workers
 	s.stats.ParallelProbes = s.parallelProbes.Load()
+	s.stats.CacheEnabled = s.cache != nil
 	if s.cache != nil {
 		s.stats.CacheHits = s.cache.hits.Load()
 		s.stats.CacheMisses = s.cache.misses.Load()
 	}
 	ext.Stats = s.stats
+	s.tracer.Root().End()
+	ext.Trace = s.tracer.Events()
 	return ext, nil
 }
 
+// beginPhase opens the trace span of the next pipeline phase and
+// points probe-event attribution at it. Phases run strictly
+// sequentially on the main goroutine, so phase state needs no
+// synchronization with the fan-outs it brackets.
+func (s *Session) beginPhase(name string) *obs.Span {
+	s.phaseSeq++
+	s.phaseName = name
+	s.phaseSpan = s.tracer.Root().Child(name, obs.SeqAuto)
+	return s.phaseSpan
+}
+
 // run executes E against db with the general execution deadline,
-// serving content-identical probes from the memoization cache.
-func (s *Session) run(db *sqldb.Database) (*sqldb.Result, error) {
-	return s.runMemoized(db)
+// serving content-identical probes from the memoization cache. pc
+// attributes the probe to its scheduler slot; sequential sites pass
+// nil.
+func (s *Session) run(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, error) {
+	return s.runMemoized(pc, db)
 }
 
 // populated runs E and reports whether the result is populated.
@@ -217,8 +259,8 @@ func (s *Session) run(db *sqldb.Database) (*sqldb.Result, error) {
 // out-of-scope hidden logic) an error we conservatively treat as "no
 // rows". Missing-table and timeout errors are real faults and are
 // returned.
-func (s *Session) populated(db *sqldb.Database) (bool, error) {
-	res, err := s.run(db)
+func (s *Session) populated(pc *probeCtx, db *sqldb.Database) (bool, error) {
+	res, err := s.run(pc, db)
 	if err != nil {
 		if errors.Is(err, sqldb.ErrNoSuchTable) || errors.Is(err, app.ErrTimeout) {
 			return false, err
@@ -229,8 +271,8 @@ func (s *Session) populated(db *sqldb.Database) (bool, error) {
 }
 
 // mustResult runs E and requires a usable result.
-func (s *Session) mustResult(db *sqldb.Database) (*sqldb.Result, error) {
-	res, err := s.run(db)
+func (s *Session) mustResult(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, error) {
+	res, err := s.run(pc, db)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"unmasque/internal/obs"
 	"unmasque/internal/sqldb"
 )
 
@@ -321,6 +322,11 @@ type Extraction struct {
 	CheckerVerified bool
 
 	Stats Stats
+
+	// Trace is the flattened span tree of the extraction — one span
+	// per pipeline phase and scheduled probe, in deterministic
+	// pre-order — when Config.Tracer was set; nil otherwise.
+	Trace []obs.SpanEvent
 }
 
 // Summary renders a one-paragraph description of the extracted query

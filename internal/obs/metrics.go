@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a small process-local registry of counters, gauges and
+// histograms. All operations are safe for concurrent use, and a nil
+// *Metrics (observability off) swallows every call, instrument sites
+// included, so the pipeline records unconditionally.
+//
+// The registry serializes to JSON with sorted keys (String), which
+// makes it directly publishable through the standard expvar endpoint
+// (Publish) without any third-party client library.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe:
+// a nil registry returns a nil counter, whose methods no-op.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. The
+// default buckets target probe latencies in milliseconds.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = newHistogram(DefaultLatencyBuckets)
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders the registry as a plain map: counters and gauges
+// by value, histograms as {buckets, counts, count, sum_ms}.
+func (m *Metrics) Snapshot() map[string]any {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]any{}
+	for name, c := range m.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range m.hists {
+		out[name] = h.snapshot()
+	}
+	return out
+}
+
+// String renders the snapshot as JSON with deterministically sorted
+// keys; it implements expvar.Var.
+func (m *Metrics) String() string {
+	if m == nil {
+		return "{}"
+	}
+	enc, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(enc)
+}
+
+// Publish registers the registry under the given expvar name, making
+// it scrapeable at /debug/vars. Publishing the same name twice panics
+// in expvar, so Publish recovers and keeps the first registration.
+func (m *Metrics) Publish(name string) {
+	if m == nil {
+		return
+	}
+	defer func() { _ = recover() }()
+	expvar.Publish(name, m)
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the counter; nil-safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value; nil-safe.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value reads the gauge; nil-safe.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBuckets are the histogram bucket upper bounds in
+// milliseconds (the last bucket is unbounded).
+var DefaultLatencyBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 5000}
+
+// Histogram counts observations into fixed buckets and tracks their
+// count and sum.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	n      int64
+	sum    float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one value (latencies: milliseconds); nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.n++
+	h.sum += v
+}
+
+// Count reports the number of observations; nil-safe.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum reports the sum of observations; nil-safe.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (h *Histogram) snapshot() map[string]any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return map[string]any{
+		"buckets": append([]float64(nil), h.bounds...),
+		"counts":  append([]int64(nil), h.counts...),
+		"count":   h.n,
+		"sum_ms":  h.sum,
+	}
+}

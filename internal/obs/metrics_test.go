@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestMetricsCountersAndGauges(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("probes_total").Add(3)
+	m.Counter("probes_total").Add(2) // same instrument, not a new one
+	m.Gauge("rows").Set(41)
+	m.Gauge("rows").Set(17)
+	if got := m.Counter("probes_total").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if got := m.Gauge("rows").Value(); got != 17 {
+		t.Errorf("gauge = %d, want 17", got)
+	}
+}
+
+func TestMetricsHistogram(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("probe_latency_ms")
+	for _, v := range []float64{0.05, 0.2, 3, 10000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 10003.25 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	snap := h.snapshot()
+	counts := snap["counts"].([]int64)
+	// 0.05 → bucket 0 (≤0.1); 10000 → overflow bucket.
+	if counts[0] != 1 || counts[len(counts)-1] != 1 {
+		t.Errorf("bucket assignment wrong: %v", counts)
+	}
+}
+
+func TestMetricsStringIsValidJSON(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a").Add(1)
+	m.Gauge("b").Set(2)
+	m.Histogram("c").Observe(1)
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(m.String()), &decoded); err != nil {
+		t.Fatalf("String() is not JSON: %v", err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok := decoded[k]; !ok {
+			t.Errorf("key %q missing from %s", k, m.String())
+		}
+	}
+}
+
+func TestMetricsPublish(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("x").Add(9)
+	m.Publish("unmasque_test_metrics")
+	m.Publish("unmasque_test_metrics") // duplicate must not panic
+	v := expvar.Get("unmasque_test_metrics")
+	if v == nil {
+		t.Fatal("metrics not published")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("published var is not JSON: %v", err)
+	}
+	if decoded["x"] != float64(9) {
+		t.Errorf("published x = %v", decoded["x"])
+	}
+}
+
+func TestMetricsNilSafety(t *testing.T) {
+	var m *Metrics
+	m.Counter("a").Add(1)
+	m.Gauge("b").Set(1)
+	m.Histogram("c").Observe(1)
+	m.Publish("nope")
+	if m.Counter("a").Value() != 0 || m.Gauge("b").Value() != 0 {
+		t.Error("nil registry returned live instruments")
+	}
+	if m.Histogram("c").Count() != 0 || m.Histogram("c").Sum() != 0 {
+		t.Error("nil histogram retained observations")
+	}
+	if m.Snapshot() != nil || m.String() != "{}" {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Counter("n").Add(1)
+				m.Histogram("h").Observe(1)
+				m.Gauge("g").Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Counter("n").Value() != 800 || m.Histogram("h").Count() != 800 {
+		t.Fatalf("lost updates: n=%d h=%d", m.Counter("n").Value(), m.Histogram("h").Count())
+	}
+}

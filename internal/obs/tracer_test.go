@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestTracerDeterministicExport: children started out of order (as a
+// worker pool would) export sorted by their explicit seq, with
+// pre-order ids.
+func TestTracerDeterministicExport(t *testing.T) {
+	tr := NewTracer("extract")
+	phase := tr.Root().Child("filters", SeqAuto)
+	// Start probe spans in scrambled arrival order.
+	for _, i := range []int{3, 0, 2, 1} {
+		p := phase.Child("probe", i)
+		p.End()
+	}
+	phase.End()
+	tr.Root().End()
+
+	evs := tr.Events()
+	if len(evs) != 6 {
+		t.Fatalf("got %d events, want 6", len(evs))
+	}
+	if evs[0].Name != "extract" || evs[0].ID != 1 || evs[0].Parent != 0 {
+		t.Fatalf("root event wrong: %+v", evs[0])
+	}
+	if evs[1].Name != "filters" || evs[1].Parent != 1 {
+		t.Fatalf("phase event wrong: %+v", evs[1])
+	}
+	for i := 0; i < 4; i++ {
+		ev := evs[2+i]
+		if ev.Name != "probe" || ev.Seq != i || ev.Parent != evs[1].ID {
+			t.Fatalf("probe %d exported out of order: %+v", i, ev)
+		}
+		if ev.ID != 3+i {
+			t.Fatalf("probe %d id %d, want %d (pre-order)", i, ev.ID, 3+i)
+		}
+	}
+}
+
+// TestTracerOpenAndError: an error is recorded on the event; a span
+// never ended is exported Open.
+func TestTracerOpenAndError(t *testing.T) {
+	tr := NewTracer("extract")
+	bad := tr.Root().Child("minimizer", SeqAuto)
+	bad.SetAttr("tables", "2")
+	bad.EndErr(errors.New("probe lost the populated result"))
+	open := tr.Root().Child("filters", SeqAuto)
+	_ = open // never ended
+
+	evs := tr.Events()
+	if evs[1].Err != "probe lost the populated result" {
+		t.Errorf("err not exported: %+v", evs[1])
+	}
+	if evs[1].Attrs["tables"] != "2" {
+		t.Errorf("attr not exported: %+v", evs[1])
+	}
+	if evs[1].Open {
+		t.Error("ended span exported Open")
+	}
+	if !evs[2].Open {
+		t.Errorf("unended span not marked Open: %+v", evs[2])
+	}
+	if !evs[0].Open {
+		t.Error("unended root not marked Open")
+	}
+}
+
+// TestTracerEndIdempotent: the first End wins.
+func TestTracerEndIdempotent(t *testing.T) {
+	tr := NewTracer("x")
+	s := tr.Root().Child("p", SeqAuto)
+	s.End()
+	d := s.Duration()
+	s.EndErr(errors.New("late"))
+	if s.Err() != nil {
+		t.Error("late EndErr overwrote the recorded outcome")
+	}
+	if s.Duration() != d {
+		t.Error("late End changed the duration")
+	}
+}
+
+// TestTracerNilSafety: every operation on a nil tracer/span is a
+// no-op, so instrumented code need not branch on observability.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Root() != nil || tr.Events() != nil {
+		t.Error("nil tracer leaked a span or events")
+	}
+	var s *Span
+	c := s.Child("x", 1)
+	if c != nil {
+		t.Error("nil span produced a child")
+	}
+	s.SetAttr("k", "v")
+	s.End()
+	s.EndErr(errors.New("x"))
+	if s.Name() != "" || s.Seq() != 0 || s.Duration() != 0 || s.Err() != nil || s.Attr("k") != "" || s.Children() != nil {
+		t.Error("nil span accessors returned non-zero values")
+	}
+}
+
+// TestTracerConcurrentChildren: concurrent child creation and ending
+// must be race-free and lose no spans (run under -race in CI).
+func TestTracerConcurrentChildren(t *testing.T) {
+	tr := NewTracer("extract")
+	phase := tr.Root().Child("probe-storm", SeqAuto)
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := phase.Child("probe", i)
+			c.SetAttr("i", "x")
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	kids := phase.Children()
+	if len(kids) != n {
+		t.Fatalf("lost spans: %d of %d", len(kids), n)
+	}
+	for i, k := range kids {
+		if k.Seq() != i {
+			t.Fatalf("child %d has seq %d; deterministic order broken", i, k.Seq())
+		}
+	}
+}

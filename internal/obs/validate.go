@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSummary is the outcome of validating a JSONL trace file.
+type TraceSummary struct {
+	// Spans and Probes count the validated lines of each type.
+	Spans  int
+	Probes int
+	// Hits/Misses/Bypass/Off/None break the probe events down by
+	// cache outcome. Hits + every executed class (Misses, Bypass,
+	// Off, None) equals Probes.
+	Hits   int
+	Misses int
+	Bypass int
+	Off    int
+	None   int
+	// ByPhase counts probe events per pipeline phase.
+	ByPhase map[string]int
+	// Apps lists the run headers seen (normally exactly one).
+	Apps []string
+}
+
+// Executed reports the number of probe events that actually invoked
+// the executable (everything except cache hits). For a complete trace
+// this equals the extraction's Stats.AppInvocations.
+func (s *TraceSummary) Executed() int {
+	return s.Misses + s.Bypass + s.Off + s.None
+}
+
+func (s *TraceSummary) String() string {
+	return fmt.Sprintf("spans=%d probes=%d (executed=%d hits=%d misses=%d bypass=%d off=%d none=%d) phases=%d",
+		s.Spans, s.Probes, s.Executed(), s.Hits, s.Misses, s.Bypass, s.Off, s.None, len(s.ByPhase))
+}
+
+// validCache enumerates the legal cache outcomes.
+var validCache = map[string]bool{
+	CacheHit: true, CacheMiss: true, CacheBypass: true, CacheOff: true, CacheNone: true,
+}
+
+// validKind enumerates the legal probe kinds.
+var validKind = map[string]bool{KindExec: true, KindRename: true}
+
+// Validate checks a JSONL trace against the schema of DESIGN.md §8:
+// every line is a JSON object with a known "type"; span ids are
+// unique, positive and pre-order (every parent id was seen before its
+// children, root parent is 0); probe events carry a phase, a legal
+// kind and cache outcome, well-formed hex fingerprints/digests, and a
+// result exclusively on success (rows/digest) or failure (err).
+// The first error is returned with its line number.
+func Validate(r io.Reader) (*TraceSummary, error) {
+	sum := &TraceSummary{ByPhase: map[string]int{}}
+	seenSpans := map[int]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		typ, err := lineType(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		switch typ {
+		case TypeRun:
+			var h RunHeader
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if h.App == "" {
+				return nil, fmt.Errorf("line %d: run header without app", line)
+			}
+			sum.Apps = append(sum.Apps, h.App)
+		case TypeSpan:
+			var s SpanEvent
+			if err := json.Unmarshal(raw, &s); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if err := checkSpan(&s, seenSpans); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			seenSpans[s.ID] = true
+			sum.Spans++
+		case TypeProbe:
+			var p ProbeEvent
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if err := checkProbe(&p); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			sum.Probes++
+			sum.ByPhase[p.Phase]++
+			switch p.Cache {
+			case CacheHit:
+				sum.Hits++
+			case CacheMiss:
+				sum.Misses++
+			case CacheBypass:
+				sum.Bypass++
+			case CacheOff:
+				sum.Off++
+			case CacheNone:
+				sum.None++
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown event type %q", line, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+func checkSpan(s *SpanEvent, seen map[int]bool) error {
+	if s.Name == "" {
+		return fmt.Errorf("span without name")
+	}
+	if s.ID <= 0 {
+		return fmt.Errorf("span %q: id %d must be positive", s.Name, s.ID)
+	}
+	if seen[s.ID] {
+		return fmt.Errorf("span %q: duplicate id %d", s.Name, s.ID)
+	}
+	if s.Parent != 0 && !seen[s.Parent] {
+		return fmt.Errorf("span %q: parent %d not seen before child %d (spans must be pre-order)",
+			s.Name, s.Parent, s.ID)
+	}
+	if s.DurUS < 0 || s.StartUS < 0 {
+		return fmt.Errorf("span %q: negative timing", s.Name)
+	}
+	return nil
+}
+
+func checkProbe(p *ProbeEvent) error {
+	if p.Phase == "" {
+		return fmt.Errorf("probe event without phase")
+	}
+	if !validKind[p.Kind] {
+		return fmt.Errorf("probe event with unknown kind %q", p.Kind)
+	}
+	if !validCache[p.Cache] {
+		return fmt.Errorf("probe event with unknown cache outcome %q", p.Cache)
+	}
+	if p.Kind == KindRename && p.Table == "" {
+		return fmt.Errorf("rename probe without table")
+	}
+	if p.Cache == CacheHit && p.FP == "" {
+		return fmt.Errorf("cache hit without fingerprint")
+	}
+	if !isHex(p.FP) {
+		return fmt.Errorf("malformed fingerprint %q", p.FP)
+	}
+	if !isHex(p.Digest) {
+		return fmt.Errorf("malformed digest %q", p.Digest)
+	}
+	if p.Rows < 0 {
+		return fmt.Errorf("negative row count %d", p.Rows)
+	}
+	if p.Err != "" && p.Digest != "" {
+		return fmt.Errorf("probe event carries both an error and a result digest")
+	}
+	if p.DurUS < 0 || p.TSUS < 0 {
+		return fmt.Errorf("negative timing")
+	}
+	return nil
+}
+
+// isHex accepts an empty string or an even-length lower-case hex
+// string (how fingerprints and digests are rendered).
+func isHex(s string) bool {
+	if len(s)%2 != 0 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

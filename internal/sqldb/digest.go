@@ -1,0 +1,68 @@
+package sqldb
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+)
+
+// ResultDigest is a content hash over a query/application result.
+// The probe ledger records one per executable invocation so a stored
+// trace can prove what every probe observed without retaining the
+// rows themselves.
+type ResultDigest [sha256.Size]byte
+
+// Hex renders the digest as lower-case hex.
+func (d ResultDigest) Hex() string { return hex.EncodeToString(d[:]) }
+
+// Digest computes the content hash of the result: the column names,
+// the empty-aggregate marker, and the multiset of rows. Rows are
+// canonicalised with the same type-tagged value encoding as
+// Database.Fingerprint (a NULL, an int 0 and an empty string all hash
+// differently) and then sorted bytewise, so the digest is
+// deliberately insensitive to row order — exactly like the
+// extractor's result equality (EqualUnordered), which compares row
+// multisets because only explicitly ordered queries pin a physical
+// order. Unlike EqualUnordered, the digest hashes exact values (no
+// float tolerance) and covers column names: it identifies content,
+// not equivalence classes.
+//
+// A nil result digests to the zero digest.
+func (r *Result) Digest() ResultDigest {
+	var out ResultDigest
+	if r == nil {
+		return out
+	}
+	h := sha256.New()
+	c := &canonWriter{w: h}
+	c.writeInt(int64(len(r.Columns)))
+	for _, col := range r.Columns {
+		c.writeStr(col)
+	}
+	if r.aggEmptyInput {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	// Canonical row encoding: each row is framed into its own buffer,
+	// then the frames are sorted — a multiset hash.
+	frames := make([][]byte, len(r.Rows))
+	for i, row := range r.Rows {
+		var buf bytes.Buffer
+		rc := &canonWriter{w: &buf}
+		rc.writeInt(int64(len(row)))
+		for _, v := range row {
+			rc.writeValue(v)
+		}
+		frames[i] = buf.Bytes()
+	}
+	sort.Slice(frames, func(i, j int) bool { return bytes.Compare(frames[i], frames[j]) < 0 })
+	c.writeInt(int64(len(frames)))
+	for _, f := range frames {
+		c.writeInt(int64(len(f)))
+		h.Write(f)
+	}
+	h.Sum(out[:0])
+	return out
+}

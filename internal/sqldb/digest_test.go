@@ -1,0 +1,112 @@
+package sqldb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// digestResult builds a small result fixture.
+func digestResult() *Result {
+	return &Result{
+		Columns: []string{"name", "bal", "day"},
+		Rows: []Row{
+			{NewText("alice"), NewFloat(10.5), NewInt(3)},
+			{NewText("bob"), NewFloat(-2.25), NewInt(7)},
+			{NewText("carol"), NewNull(TFloat), NewInt(7)},
+			{NewText("bob"), NewFloat(-2.25), NewInt(7)}, // duplicate row: multiset
+		},
+	}
+}
+
+// permuted returns a row-permuted deep copy.
+func permuted(r *Result, seed int64) *Result {
+	out := r.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out.Rows), func(i, j int) { out.Rows[i], out.Rows[j] = out.Rows[j], out.Rows[i] })
+	return out
+}
+
+// TestDigestOrderInsensitive pins the alignment between Digest and
+// result equality: permuting rows changes EqualOrdered but neither
+// EqualUnordered nor the digest, while changing a value breaks both.
+func TestDigestOrderInsensitive(t *testing.T) {
+	base := digestResult()
+	d := base.Digest()
+	for seed := int64(1); seed <= 5; seed++ {
+		p := permuted(base, seed)
+		if !base.EqualUnordered(p) {
+			t.Fatalf("seed %d: permutation broke multiset equality", seed)
+		}
+		if got := p.Digest(); got != d {
+			t.Errorf("seed %d: digest is order-sensitive: %s vs %s", seed, got.Hex(), d.Hex())
+		}
+	}
+	// An actually reordered result differs under ordered equality —
+	// the digest must stay order-insensitive exactly there.
+	swapped := base.Clone()
+	swapped.Rows[0], swapped.Rows[1] = swapped.Rows[1], swapped.Rows[0]
+	if base.EqualOrdered(swapped) {
+		t.Fatal("fixture rows compare equal after swap; fixture too weak")
+	}
+	if got := swapped.Digest(); got != d {
+		t.Errorf("digest changed under a pure row swap: %s vs %s", got.Hex(), d.Hex())
+	}
+}
+
+// TestDigestContentSensitive: any content difference result equality
+// can see must change the digest.
+func TestDigestContentSensitive(t *testing.T) {
+	base := digestResult()
+	d := base.Digest()
+
+	mutations := map[string]func(r *Result){
+		"value changed":   func(r *Result) { r.Rows[0][2] = NewInt(4) },
+		"null vs zero":    func(r *Result) { r.Rows[2][1] = NewFloat(0) },
+		"row dropped":     func(r *Result) { r.Rows = r.Rows[:len(r.Rows)-1] },
+		"dup multiplicty": func(r *Result) { r.Rows = append(r.Rows, r.Rows[0].Clone()) },
+		"column renamed":  func(r *Result) { r.Columns[1] = "balance" },
+	}
+	for name, mutate := range mutations {
+		m := base.Clone()
+		mutate(m)
+		if got := m.Digest(); got == d {
+			t.Errorf("%s: digest did not change", name)
+		}
+	}
+
+	// Type-tag separation inherited from the fingerprint encoding: an
+	// int 0, a float 0 and the empty string must all digest apart.
+	mk := func(v Value) *Result { return &Result{Columns: []string{"x"}, Rows: []Row{{v}}} }
+	a, b, c := mk(NewInt(0)).Digest(), mk(NewFloat(0)).Digest(), mk(NewText("")).Digest()
+	if a == b || b == c || a == c {
+		t.Errorf("type tags collide: int0=%s float0=%s empty=%s", a.Hex(), b.Hex(), c.Hex())
+	}
+}
+
+// TestDigestNilAndEmpty: nil digests to the zero digest; an empty
+// result digests deterministically and differently from nil.
+func TestDigestNilAndEmpty(t *testing.T) {
+	var nilRes *Result
+	if d := nilRes.Digest(); d != (ResultDigest{}) {
+		t.Errorf("nil result digest = %s, want zero", d.Hex())
+	}
+	empty := &Result{Columns: []string{"x"}}
+	if empty.Digest() == (ResultDigest{}) {
+		t.Error("empty result digests to the zero digest")
+	}
+	if empty.Digest() != empty.Digest() {
+		t.Error("digest is not deterministic")
+	}
+}
+
+// TestFingerprintHex: Hex round-trips the raw bytes.
+func TestFingerprintHex(t *testing.T) {
+	fp := Fingerprint{0x00, 0x0f, 0xab, 0xff}
+	got := fp.Hex()
+	if len(got) != 2*len(fp) {
+		t.Fatalf("hex length %d", len(got))
+	}
+	if got[:8] != "000fabff" {
+		t.Errorf("hex prefix = %q, want 000fabff", got[:8])
+	}
+}

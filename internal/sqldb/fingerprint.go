@@ -3,7 +3,7 @@ package sqldb
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"hash"
+	"io"
 	"math"
 )
 
@@ -14,6 +14,44 @@ import (
 // probing E twice on content-identical instances must yield the same
 // result, so the second run can be skipped entirely.
 type Fingerprint [sha256.Size]byte
+
+// canonWriter frames values into w with the canonical length-
+// prefixed, type-tagged encoding shared by Database.Fingerprint and
+// Result.Digest: strings are length-prefixed, numbers little-endian,
+// and every value carries its type tag, so a NULL, an int 0 and an
+// empty string all encode differently.
+type canonWriter struct {
+	w       io.Writer
+	scratch [8]byte
+}
+
+func (c *canonWriter) writeInt(i int64) {
+	binary.LittleEndian.PutUint64(c.scratch[:], uint64(i))
+	c.w.Write(c.scratch[:])
+}
+
+func (c *canonWriter) writeStr(s string) {
+	c.writeInt(int64(len(s)))
+	io.WriteString(c.w, s)
+}
+
+// writeValue encodes one value with an unambiguous type-tagged
+// encoding.
+func (c *canonWriter) writeValue(v Value) {
+	if v.Null {
+		c.w.Write([]byte{0xff, byte(v.Typ)})
+		return
+	}
+	c.w.Write([]byte{byte(v.Typ)})
+	switch v.Typ {
+	case TText:
+		c.writeStr(v.S)
+	case TFloat:
+		c.writeInt(int64(math.Float64bits(v.F)))
+	default: // TInt, TDate, TBool
+		c.writeInt(v.I)
+	}
+}
 
 // Fingerprint computes the content hash of the database. The hash
 // covers, per table in creation order: the table name, every column's
@@ -28,28 +66,20 @@ func (db *Database) Fingerprint() Fingerprint {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	h := sha256.New()
-	var scratch [8]byte
-	writeInt := func(i int64) {
-		binary.LittleEndian.PutUint64(scratch[:], uint64(i))
-		h.Write(scratch[:])
-	}
-	writeStr := func(s string) {
-		writeInt(int64(len(s)))
-		h.Write([]byte(s))
-	}
+	c := &canonWriter{w: h}
 	for _, name := range db.order {
 		t := db.tables[name]
-		writeStr(t.Schema.Name)
-		writeInt(int64(len(t.Schema.Columns)))
-		for _, c := range t.Schema.Columns {
-			writeStr(c.Name)
-			h.Write([]byte{byte(c.Type), byte(c.Precision)})
-			writeInt(int64(c.MaxLen))
+		c.writeStr(t.Schema.Name)
+		c.writeInt(int64(len(t.Schema.Columns)))
+		for _, col := range t.Schema.Columns {
+			c.writeStr(col.Name)
+			h.Write([]byte{byte(col.Type), byte(col.Precision)})
+			c.writeInt(int64(col.MaxLen))
 		}
-		writeInt(int64(len(t.Rows)))
+		c.writeInt(int64(len(t.Rows)))
 		for _, r := range t.Rows {
 			for _, v := range r {
-				hashValue(h, v, writeInt, writeStr)
+				c.writeValue(v)
 			}
 		}
 	}
@@ -58,23 +88,15 @@ func (db *Database) Fingerprint() Fingerprint {
 	return out
 }
 
-// hashValue feeds one value into the running hash with an unambiguous
-// type-tagged encoding (a NULL, an int 0 and an empty string must all
-// hash differently).
-func hashValue(h hash.Hash, v Value, writeInt func(int64), writeStr func(string)) {
-	if v.Null {
-		h.Write([]byte{0xff, byte(v.Typ)})
-		return
+// Hex renders the fingerprint as lower-case hex.
+func (f Fingerprint) Hex() string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 2*len(f))
+	for i, b := range f {
+		out[2*i] = digits[b>>4]
+		out[2*i+1] = digits[b&0x0f]
 	}
-	h.Write([]byte{byte(v.Typ)})
-	switch v.Typ {
-	case TText:
-		writeStr(v.S)
-	case TFloat:
-		writeInt(int64(math.Float64bits(v.F)))
-	default: // TInt, TDate, TBool
-		writeInt(v.I)
-	}
+	return string(out)
 }
 
 // CloneShared builds a read-only structural copy of the database: each

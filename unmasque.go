@@ -19,8 +19,11 @@
 package unmasque
 
 import (
+	"io"
+
 	"unmasque/internal/app"
 	"unmasque/internal/core"
+	"unmasque/internal/obs"
 	"unmasque/internal/regal"
 	"unmasque/internal/sqldb"
 	"unmasque/internal/sqlparser"
@@ -137,6 +140,45 @@ var WriteResultCSV = sqldb.WriteResultCSV
 
 // MustParse parses or panics; for statically known queries.
 func MustParse(sql string) *SelectStmt { return sqlparser.MustParse(sql) }
+
+// Observability types (wire them into Config.Tracer / Config.Ledger /
+// Config.Metrics to trace an extraction).
+type (
+	// Tracer records the extraction's span tree; the finished tree is
+	// returned on Extraction.Trace.
+	Tracer = obs.Tracer
+	// Ledger records one event per executable invocation or cache hit.
+	Ledger = obs.Ledger
+	// Metrics is the counters/gauges/histograms registry (expvar-
+	// publishable).
+	Metrics = obs.Metrics
+	// SpanEvent is one flattened span of an exported trace.
+	SpanEvent = obs.SpanEvent
+	// ProbeEvent is one probe-ledger record.
+	ProbeEvent = obs.ProbeEvent
+	// RunHeader is the first line of a serialized trace.
+	RunHeader = obs.RunHeader
+	// TraceSummary is the tally returned by ValidateTrace.
+	TraceSummary = obs.TraceSummary
+)
+
+// NewTracer creates a span tracer rooted at a span with the given name.
+func NewTracer(name string) *Tracer { return obs.NewTracer(name) }
+
+// NewLedger creates an empty probe ledger.
+func NewLedger() *Ledger { return obs.NewLedger() }
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// WriteTrace serializes a recorded extraction — run header, span tree,
+// canonically ordered probe ledger — as JSONL.
+func WriteTrace(w io.Writer, h RunHeader, spans []SpanEvent, l *Ledger) error {
+	return obs.WriteTrace(w, h, spans, l)
+}
+
+// ValidateTrace schema-checks a serialized trace and tallies it.
+func ValidateTrace(r io.Reader) (*TraceSummary, error) { return obs.Validate(r) }
 
 // QRE baseline (the paper's comparison system).
 type (
