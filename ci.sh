@@ -44,9 +44,72 @@ go test -fuzz='^FuzzExprEval$' -fuzztime=5s -run='^$' ./internal/sqldb
 # the run header; every probe line must pass the obs validator).
 echo "== trace end-to-end"
 trace_file=$(mktemp /tmp/unmasque-trace.XXXXXX)
-trap 'rm -f "$trace_file"' EXIT
+e2e_dir=$(mktemp -d /tmp/unmasqued-e2e.XXXXXX)
+cleanup() {
+    rm -f "$trace_file"
+    rm -rf "$e2e_dir"
+    if [ -n "${daemon_pid:-}" ]; then
+        kill "$daemon_pid" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
 go run ./cmd/unmasque -app enki/posts_by_tag -trace "$trace_file" >/dev/null
 go run ./cmd/unmasque -validate-trace "$trace_file"
+
+# Daemon end-to-end: boot unmasqued on a random port, submit a
+# registered application over HTTP, poll the job to completion, and
+# assert (a) the service extracts the same SQL as the one-shot CLI,
+# (b) the per-job ledger invariant holds in the result, (c) the
+# downloaded trace passes the schema validator, (d) SIGTERM drains
+# cleanly with exit status 0.
+echo "== daemon end-to-end"
+go build -o "$e2e_dir/unmasqued" ./cmd/unmasqued
+"$e2e_dir/unmasqued" -addr 127.0.0.1:0 -port-file "$e2e_dir/port" \
+    -store "$e2e_dir/jobs.jsonl" -workers 2 2>"$e2e_dir/daemon.log" &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+    if [ -s "$e2e_dir/port" ]; then break; fi
+    sleep 0.1
+done
+addr=$(cat "$e2e_dir/port")
+job_id=$(curl -sf -X POST "http://$addr/jobs" -d '{"app":"enki/posts_by_tag"}' | jq -r .id)
+state=queued
+for _ in $(seq 1 300); do
+    state=$(curl -sf "http://$addr/jobs/$job_id" | jq -r .state)
+    case "$state" in done|failed|cancelled) break ;; esac
+    sleep 0.2
+done
+if [ "$state" != done ]; then
+    echo "daemon e2e: job finished in state $state" >&2
+    cat "$e2e_dir/daemon.log" >&2
+    exit 1
+fi
+curl -sf "http://$addr/jobs/$job_id/result" > "$e2e_dir/result.json"
+# The one-shot CLI wraps the SQL in `--` comment banners; the service
+# returns the bare statement. Compare with comments stripped.
+service_sql=$(jq -r .sql "$e2e_dir/result.json" | grep -v '^--')
+cli_sql=$(go run ./cmd/unmasque -app enki/posts_by_tag | grep -v '^--')
+if [ "$service_sql" != "$cli_sql" ]; then
+    echo "daemon e2e: service SQL differs from one-shot CLI" >&2
+    printf 'service: %s\ncli:     %s\n' "$service_sql" "$cli_sql" >&2
+    exit 1
+fi
+jq -e '.ledger_events > 0 and .ledger_events == .app_invocations + .cache_hits' \
+    "$e2e_dir/result.json" >/dev/null || {
+    echo "daemon e2e: ledger invariant broken in result" >&2
+    cat "$e2e_dir/result.json" >&2
+    exit 1
+}
+curl -sf "http://$addr/jobs/$job_id/trace" > "$e2e_dir/trace.jsonl"
+go run ./cmd/unmasque -validate-trace "$e2e_dir/trace.jsonl"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=
+grep -q "drained cleanly" "$e2e_dir/daemon.log" || {
+    echo "daemon e2e: no clean drain in daemon log" >&2
+    cat "$e2e_dir/daemon.log" >&2
+    exit 1
+}
 
 # Coverage gate: internal/core, internal/sqldb and internal/obs must
 # stay at or above the recorded baselines (measured at their
@@ -71,5 +134,6 @@ check_cover() {
 check_cover ./internal/core 77.0
 check_cover ./internal/sqldb 81.0
 check_cover ./internal/obs 80.0
+check_cover ./internal/service 78.0
 
 echo "ci: all checks passed"

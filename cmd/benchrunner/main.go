@@ -8,7 +8,7 @@
 //	benchrunner -exp fig9 -quick    # one experiment, reduced scale
 //
 // Experiments: fig8, fig9, fig10, fig11, schemascale, enki, wilos,
-// rubis, tpcds, ablation, having, parallel, trace, all.
+// rubis, tpcds, ablation, having, parallel, trace, service, all.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (fig8|fig9|fig10|fig11|schemascale|enki|wilos|rubis|tpcds|ablation|having|parallel|trace|all)")
+		exp   = flag.String("exp", "all", "experiment to run (fig8|fig9|fig10|fig11|schemascale|enki|wilos|rubis|tpcds|ablation|having|parallel|trace|service|all)")
 		quick = flag.Bool("quick", false, "reduced scales and budgets (~1 minute total)")
 		seed  = flag.Int64("seed", 1, "generation and extraction seed")
 	)
@@ -46,8 +46,9 @@ func main() {
 		"having":      func() error { _, err := bench.Having(os.Stdout, opt); return err },
 		"parallel":    func() error { _, err := bench.Parallel(os.Stdout, opt); return err },
 		"trace":       func() error { _, err := bench.TraceProfile(os.Stdout, opt); return err },
+		"service":     func() error { _, err := bench.Service(os.Stdout, opt); return err },
 	}
-	order := []string{"fig8", "fig9", "fig10", "fig11", "schemascale", "enki", "wilos", "rubis", "tpcds", "ablation", "having", "parallel", "trace"}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "schemascale", "enki", "wilos", "rubis", "tpcds", "ablation", "having", "parallel", "trace", "service"}
 
 	var selected []string
 	if *exp == "all" {

@@ -17,24 +17,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr server
 	"os"
-	"sort"
 	"strings"
+	"time"
 
 	"unmasque/internal/app"
 	"unmasque/internal/core"
 	"unmasque/internal/obs"
-	"unmasque/internal/sqldb"
-	"unmasque/internal/workloads/enki"
-	"unmasque/internal/workloads/job"
-	"unmasque/internal/workloads/rubis"
-	"unmasque/internal/workloads/tpcds"
-	"unmasque/internal/workloads/tpch"
-	"unmasque/internal/workloads/wilos"
+	"unmasque/internal/workloads/registry"
 )
 
 // obsFlags holds the observability command-line surface.
@@ -94,13 +90,28 @@ func (o *obsFlags) finish(appName string, cfg core.Config, ext *core.Extraction)
 }
 
 // startDebugServer serves expvar (/debug/vars) and pprof
-// (/debug/pprof) for the lifetime of the extraction.
-func startDebugServer(addr string) {
+// (/debug/pprof) for the lifetime of the extraction. The returned
+// stop function shuts the server down gracefully; startup errors (a
+// busy port, a malformed address) surface on stderr rather than being
+// silently dropped with the goroutine.
+func startDebugServer(addr string) (stop func()) {
+	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux}
+	errc := make(chan error, 1)
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
+		err := srv.ListenAndServe()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
 		}
+		errc <- err
 	}()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "debug server shutdown: %v\n", err)
+		}
+		<-errc // wait for ListenAndServe to return before exiting
+	}
 }
 
 // validateTrace schema-checks a recorded trace file and prints its
@@ -123,29 +134,9 @@ func validateTrace(path string) error {
 // the chosen workload database and unmasks it — a self-demo of the
 // full loop on any EQC query the user types.
 func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool, ob *obsFlags) error {
-	var db *sqldb.Database
-	var plant func(map[string]string) error
-	switch workload {
-	case "tpch":
-		db = tpch.NewDatabase(tpch.ScaleTiny*8, seed)
-		plant = func(q map[string]string) error { return tpch.PlantWitnesses(db, q) }
-	case "tpcds":
-		db = tpcds.NewDatabase(tpcds.ScaleTiny, seed)
-		plant = func(q map[string]string) error { return tpcds.PlantWitnesses(db, q) }
-	case "job":
-		db = job.NewDatabase(job.ScaleTiny, seed)
-		plant = func(q map[string]string) error { return job.PlantWitnesses(db, q) }
-	case "enki":
-		db = enki.NewDatabase(seed)
-		plant = func(map[string]string) error { return nil }
-	case "wilos":
-		db = wilos.NewDatabase(seed)
-		plant = func(map[string]string) error { return nil }
-	case "rubis":
-		db = rubis.NewDatabase(seed)
-		plant = func(map[string]string) error { return nil }
-	default:
-		return fmt.Errorf("unknown workload %q", workload)
+	db, plant, err := registry.AdhocDatabase(workload, seed)
+	if err != nil {
+		return err
 	}
 	if err := plant(map[string]string{"adhoc": sql}); err != nil {
 		return fmt.Errorf("witness planting: %w (does the query have satisfiable predicates?)", err)
@@ -173,66 +164,6 @@ func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool, o
 	return nil
 }
 
-// registryEntry lazily builds the database and executable of one
-// registered application.
-type registryEntry struct {
-	build func(seed int64) (app.Executable, *sqldb.Database, error)
-}
-
-func registry() map[string]registryEntry {
-	reg := map[string]registryEntry{}
-
-	addSQL := func(prefix string, queries map[string]string, mkDB func(seed int64, q map[string]string) (*sqldb.Database, error)) {
-		for name, sql := range queries {
-			name, sql := name, sql
-			reg[prefix+"/"+name] = registryEntry{build: func(seed int64) (app.Executable, *sqldb.Database, error) {
-				db, err := mkDB(seed, map[string]string{name: sql})
-				if err != nil {
-					return nil, nil, err
-				}
-				exe, err := app.NewSQLExecutable(prefix+"/"+name, sql)
-				return exe, db, err
-			}}
-		}
-	}
-	addSQL("tpch", tpch.HiddenQueries(), func(seed int64, q map[string]string) (*sqldb.Database, error) {
-		db := tpch.NewDatabase(tpch.ScaleTiny*8, seed)
-		return db, tpch.PlantWitnesses(db, q)
-	})
-	addSQL("tpch", tpch.HavingQueries(), func(seed int64, q map[string]string) (*sqldb.Database, error) {
-		db := tpch.NewDatabase(tpch.ScaleTiny*8, seed)
-		return db, tpch.PlantWitnesses(db, q)
-	})
-	addSQL("tpcds", tpcds.HiddenQueries(), func(seed int64, q map[string]string) (*sqldb.Database, error) {
-		db := tpcds.NewDatabase(tpcds.ScaleTiny, seed)
-		return db, tpcds.PlantWitnesses(db, q)
-	})
-	addSQL("job", job.HiddenQueries(), func(seed int64, q map[string]string) (*sqldb.Database, error) {
-		db := job.NewDatabase(job.ScaleTiny, seed)
-		return db, job.PlantWitnesses(db, q)
-	})
-
-	for _, c := range enki.Commands() {
-		c := c
-		reg["enki/"+c.Name] = registryEntry{build: func(seed int64) (app.Executable, *sqldb.Database, error) {
-			return c.Exe, enki.NewDatabase(seed), nil
-		}}
-	}
-	for _, f := range wilos.Functions() {
-		f := f
-		reg["wilos/"+f.Name] = registryEntry{build: func(seed int64) (app.Executable, *sqldb.Database, error) {
-			return f.Exe, wilos.NewDatabase(seed), nil
-		}}
-	}
-	for _, s := range rubis.Servlets() {
-		s := s
-		reg["rubis/"+s.Name] = registryEntry{build: func(seed int64) (app.Executable, *sqldb.Database, error) {
-			return s.Exe, rubis.NewDatabase(seed), nil
-		}}
-	}
-	return reg
-}
-
 func main() {
 	var (
 		appName   = flag.String("app", "", "registered application to unmask, e.g. tpch/Q3")
@@ -258,11 +189,11 @@ func main() {
 		return
 	}
 	if *debugAddr != "" {
-		startDebugServer(*debugAddr)
+		stop := startDebugServer(*debugAddr)
+		defer stop()
 	}
 	ob := &obsFlags{tracePath: *tracePath, metrics: *metrics}
 
-	reg := registry()
 	if *adhocSQL != "" {
 		if err := runAdhoc(*workload, *adhocSQL, *seed, *having, *noChecker, *stats, ob); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
@@ -271,13 +202,8 @@ func main() {
 		return
 	}
 	if *list || *appName == "" {
-		names := make([]string, 0, len(reg))
-		for n := range reg {
-			names = append(names, n)
-		}
-		sort.Strings(names)
 		fmt.Println("registered opaque applications:")
-		for _, n := range names {
+		for _, n := range registry.Names() {
 			fmt.Println("  " + n)
 		}
 		if *appName == "" && !*list {
@@ -287,12 +213,11 @@ func main() {
 		return
 	}
 
-	entry, ok := reg[*appName]
-	if !ok {
+	if _, ok := registry.Lookup(*appName); !ok {
 		fmt.Fprintf(os.Stderr, "unknown application %q (try -list)\n", *appName)
 		os.Exit(2)
 	}
-	exe, db, err := entry.build(*seed)
+	exe, db, err := registry.Build(*appName, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "setup: %v\n", err)
 		os.Exit(1)

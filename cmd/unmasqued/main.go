@@ -1,0 +1,106 @@
+// Command unmasqued is the extraction daemon: a long-running HTTP
+// server that accepts hidden-query extraction jobs (registered
+// workload applications or inline schema+rows+SQL specs), runs them
+// on a bounded worker pool, and persists every job transition to an
+// append-only JSONL store so a restart recovers the job history and
+// re-queues interrupted work.
+//
+//	unmasqued -addr 127.0.0.1:8774 -workers 4 -store jobs.jsonl
+//
+// SIGTERM or SIGINT drains gracefully: the listener closes, accepted
+// jobs run to completion (bounded by -drain-timeout, after which
+// their extractions are cancelled), and the store is synced before
+// exit. See DESIGN.md §9 for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"unmasque/internal/obs"
+	"unmasque/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8774", "listen address (host:0 picks a free port)")
+		workers      = flag.Int("workers", 2, "extraction worker pool size")
+		queueDepth   = flag.Int("queue-depth", 64, "admission queue depth (full queue rejects with 429)")
+		storePath    = flag.String("store", "unmasqued.jobs.jsonl", "durable job log path (empty disables persistence)")
+		portFile     = flag.String("port-file", "", "write the bound address to this file once listening")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queueDepth, *storePath, *portFile, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "unmasqued:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queueDepth int, storePath, portFile string, drainTimeout time.Duration) error {
+	metrics := obs.NewMetrics()
+	metrics.Publish("unmasqued")
+
+	// The manager deliberately gets a background context, not the
+	// signal context: a SIGTERM must not hard-kill running extractions
+	// — the drain below decides their fate.
+	mgr, err := service.Start(context.Background(), service.Config{
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		StorePath:  storePath,
+		Metrics:    metrics,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing port file: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unmasqued: listening on %s (workers=%d queue=%d store=%q)\n",
+		bound, workers, queueDepth, storePath)
+
+	srv := &http.Server{Handler: service.NewServer(mgr)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	fmt.Fprintf(os.Stderr, "unmasqued: shutting down (drain budget %s)\n", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "unmasqued: http shutdown:", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "unmasqued: serve:", err)
+	}
+	if err := mgr.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "unmasqued: drained cleanly")
+	return nil
+}

@@ -3,7 +3,7 @@
 // deliberately no golang.org/x/tools dependency, so the analysis layer
 // stays as self-contained as the rest of the reproduction.
 //
-// Four project-specific invariants are enforced (IDs are stable and
+// The project-specific invariants enforced (IDs are stable and
 // catalogued in DESIGN.md §6):
 //
 //	GL001 — library packages do not panic. The extraction pipeline is
@@ -31,6 +31,12 @@
 //	        there. Diagnostics flow through internal/obs (spans,
 //	        ledger events, metrics) or returned errors; a stray
 //	        Println would corrupt -trace/-stats consumers of stdout.
+//	GL006 — internal/service entry points are cancellable: an exported
+//	        function there that performs I/O (os/net/http calls,
+//	        *os.File methods) or spawns a goroutine must take a
+//	        context.Context as its first parameter. Exempt: ServeHTTP
+//	        (signature fixed by http.Handler; the request carries its
+//	        own context) and Close (io.Closer convention).
 //
 // The entry point is LintDir, which loads and typechecks every
 // non-test package under a module root using a minimal module-aware
@@ -58,6 +64,7 @@ const (
 	RuleErrWrap     = "GL003"
 	RuleTableAccess = "GL004"
 	RuleDirectPrint = "GL005"
+	RuleServiceCtx  = "GL006"
 )
 
 // Finding is one lint violation.
@@ -104,6 +111,7 @@ func LintDir(root string) ([]Finding, error) {
 		findings = append(findings, checkErrWrap(fset, p)...)
 		findings = append(findings, checkTableAccess(fset, p)...)
 		findings = append(findings, checkDirectPrint(fset, p)...)
+		findings = append(findings, checkServiceContext(fset, p)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos

@@ -190,6 +190,62 @@ func main() {
 	panic("cli crash is fine") // exempt: package main
 }
 `,
+		"internal/service/svc.go": `package service
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os"
+)
+
+// OpenLog does file I/O without a context: GL006.
+func OpenLog(path string) (*os.File, error) { // want:GL006
+	return os.OpenFile(path, os.O_RDWR, 0)
+}
+
+// StartWorkers spawns goroutines without a context: GL006.
+func StartWorkers(n int) { // want:GL006
+	for i := 0; i < n; i++ {
+		go func() {}()
+	}
+}
+
+// Flush writes through an os.File without a context: GL006.
+func Flush(f *os.File) error { // want:GL006
+	return f.Sync()
+}
+
+// OpenLogCtx is the compliant form: legal.
+func OpenLogCtx(ctx context.Context, path string) (*os.File, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return os.OpenFile(path, os.O_RDWR, 0)
+}
+
+// Listen takes its context first: legal.
+func Listen(ctx context.Context, addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+type Store struct{ f *os.File }
+
+// Close is exempt: the io.Closer convention fixes the signature.
+func (s *Store) Close() error { return s.f.Sync() }
+
+// ServeHTTP is exempt: http.Handler fixes the signature and the
+// request carries its own context.
+func (s *Store) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	go func() {}()
+}
+
+// unexported functions are out of scope.
+func flush(f *os.File) error { return f.Sync() }
+
+// Depth is pure computation: no context needed.
+func Depth(xs []int) int { return len(xs) }
+`,
 	})
 }
 
@@ -266,7 +322,7 @@ func TestRuleIDsCovered(t *testing.T) {
 	want := wantedFindings(t, root)
 	for _, rule := range []string{
 		golint.RulePanic, golint.RuleSourceMut, golint.RuleErrWrap, golint.RuleTableAccess,
-		golint.RuleDirectPrint,
+		golint.RuleDirectPrint, golint.RuleServiceCtx,
 	} {
 		found := false
 		for k := range want {

@@ -37,6 +37,12 @@ func isCorePkg(importPath string) bool {
 	return importPath == "internal/core" || strings.HasSuffix(importPath, "/internal/core")
 }
 
+// isServicePkg reports whether the package is (under) the serving
+// tier, whose exported entry points must be cancellable.
+func isServicePkg(importPath string) bool {
+	return strings.Contains(importPath, "internal/service")
+}
+
 // funcsOf walks every function body in the package, handing the
 // enclosing declaration to fn. Bodies of methods and plain functions
 // both included; init and anonymous functions appear under their
@@ -315,4 +321,123 @@ func checkTableAccess(fset *token.FileSet, p *pkg) []Finding {
 		})
 	}
 	return out
+}
+
+// --- GL006: service entry points take a context --------------------
+
+// blockingFuncs are package-level functions whose call marks the
+// enclosing function as doing I/O or network work.
+var blockingFuncs = map[string][]string{
+	"os":       {"Create", "Open", "OpenFile", "ReadFile", "WriteFile", "Remove", "RemoveAll", "Rename", "Truncate", "Mkdir", "MkdirAll"},
+	"net":      {"Listen", "Dial", "DialTimeout"},
+	"net/http": {"ListenAndServe", "ListenAndServeTLS", "Get", "Post", "Head"},
+}
+
+// fileMethods are *os.File methods that touch the file system.
+var fileMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"WriteString": true, "Sync": true, "Truncate": true, "Seek": true,
+}
+
+// checkServiceContext enforces GL006: inside internal/service, an
+// exported function or method whose body performs I/O (os/net/http
+// calls, *os.File methods) or spawns a goroutine must take a
+// context.Context as its first parameter — the daemon's entry points
+// must be cancellable end to end, and a context bolted on later never
+// reaches the blocking call it was meant to bound. Exempt: ServeHTTP
+// (http.Handler fixes its signature; the request context is inside r)
+// and Close (the io.Closer convention).
+func checkServiceContext(fset *token.FileSet, p *pkg) []Finding {
+	if !isServicePkg(p.importPath) {
+		return nil
+	}
+	var out []Finding
+	funcsOf(p, func(fd *ast.FuncDecl) {
+		if !fd.Name.IsExported() || fd.Name.Name == "ServeHTTP" || fd.Name.Name == "Close" {
+			return
+		}
+		if hasCtxFirst(p, fd) {
+			return
+		}
+		reason := blockingWork(p, fd.Body)
+		if reason == "" {
+			return
+		}
+		out = append(out, Finding{
+			Pos:  fset.Position(fd.Pos()),
+			Rule: RuleServiceCtx,
+			Msg: fmt.Sprintf("exported service function %s %s but has no context.Context first parameter; "+
+				"daemon entry points must be cancellable (GL006)", fd.Name.Name, reason),
+		})
+	})
+	return out
+}
+
+// hasCtxFirst reports whether the function's first parameter is a
+// context.Context.
+func hasCtxFirst(p *pkg, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	t := p.info.Types[params.List[0].Type].Type
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// blockingWork scans a function body (closures included — work a
+// closure does still runs under the entry point) for goroutine
+// launches and I/O calls, returning a description of the first one
+// found, or "".
+func blockingWork(p *pkg, body *ast.BlockStmt) string {
+	var reason string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			reason = "spawns a goroutine"
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for pkgPath, names := range blockingFuncs {
+			for _, name := range names {
+				if isPkgFunc(p, call.Fun, pkgPath, name) {
+					reason = fmt.Sprintf("calls %s.%s", pkgPath, name)
+					return false
+				}
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && fileMethods[sel.Sel.Name] {
+			if s, ok := p.info.Selections[sel]; ok && isOSFile(s.Recv()) {
+				reason = fmt.Sprintf("performs file I/O (os.File.%s)", sel.Sel.Name)
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// isOSFile matches *os.File (possibly through pointers).
+func isOSFile(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
 }

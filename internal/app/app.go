@@ -87,21 +87,34 @@ func (e *Serialized) Run(ctx context.Context, db *sqldb.Database) (*sqldb.Result
 // any executable safe.
 func (e *Serialized) ConcurrentRunSafe() bool { return true }
 
-// ErrTimeout is returned by RunWithTimeout when the executable did
-// not finish within the probe deadline.
+// ErrTimeout is returned by RunCtx/RunWithTimeout when the executable
+// did not finish within the probe deadline.
 var ErrTimeout = errors.New("application execution timed out")
+
+// RunCtx executes e under both the caller's context and a per-run
+// deadline. The two expirations are reported differently: the probe
+// deadline firing yields ErrTimeout (a legitimate observation — the
+// from-clause probe relies on it), while cancellation or deadline
+// expiry of the parent ctx yields that context's error, so callers can
+// tell an aborted extraction job from a slow probe.
+func RunCtx(ctx context.Context, e Executable, db *sqldb.Database, timeout time.Duration) (*sqldb.Result, error) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	res, err := e.Run(rctx, db)
+	if err != nil && rctx.Err() != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, ErrTimeout
+	}
+	return res, err
+}
 
 // RunWithTimeout executes e with a deadline. The from-clause probe
 // uses a short timeout: a missing table produces an immediate error,
 // while an unaffected application keeps running and is cut off.
 func RunWithTimeout(e Executable, db *sqldb.Database, timeout time.Duration) (*sqldb.Result, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	res, err := e.Run(ctx, db)
-	if err != nil && ctx.Err() != nil {
-		return nil, ErrTimeout
-	}
-	return res, err
+	return RunCtx(context.Background(), e, db, timeout)
 }
 
 // obfuscationKey scrambles embedded SQL at rest. The point is not

@@ -106,6 +106,30 @@ func TestQuickExperimentShapes(t *testing.T) {
 		}
 	})
 
+	t.Run("service-shape", func(t *testing.T) {
+		rows, err := Service(&buf, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("expected 2 worker-pool sizes in quick mode, got %d", len(rows))
+		}
+		for _, r := range rows {
+			if !r.AllDone {
+				t.Errorf("workers=%d: not every job reached done", r.Workers)
+			}
+			if !r.Invariant {
+				t.Errorf("workers=%d: ledger invariant broken for some job", r.Workers)
+			}
+			if r.JobsPerSec <= 0 {
+				t.Errorf("workers=%d: throughput %.2f jobs/sec", r.Workers, r.JobsPerSec)
+			}
+			if r.P50 > r.P99 {
+				t.Errorf("workers=%d: p50 %dms > p99 %dms", r.Workers, r.P50, r.P99)
+			}
+		}
+	})
+
 	t.Run("trace-shape", func(t *testing.T) {
 		rows, err := TraceProfile(&buf, opt)
 		if err != nil {

@@ -1,0 +1,86 @@
+package core_test
+
+// Cancellation tests for ExtractContext: a cancelled or deadline-
+// expired context must abort the pipeline promptly — between probes,
+// and inside in-flight executable runs — and surface the context
+// error wrapped in an ExtractionError naming the phase.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/workloads/tpch"
+)
+
+// cancelledTPCH runs a TPC-H Q3 extraction under the given context
+// and returns its error (the extraction must fail).
+func cancelledTPCH(t *testing.T, ctx context.Context, workers int) error {
+	t.Helper()
+	const name = "Q3"
+	sql := tpch.HiddenQueries()[name]
+	db := tpch.NewDatabase(tpch.ScaleTiny*4, 7)
+	if err := tpch.PlantWitnesses(db, map[string]string{name: sql}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultCfg()
+	cfg.Workers = workers
+	_, err := core.ExtractContext(ctx, app.MustSQLExecutable(name, sql), db, cfg)
+	if err == nil {
+		t.Fatal("extraction under a dying context succeeded")
+	}
+	return err
+}
+
+func TestExtractContextCancelAbortsPromptly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		err := cancelledTPCH(t, ctx, workers)
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: error %v does not wrap context.Canceled", workers, err)
+		}
+		var xerr *core.ExtractionError
+		if !errors.As(err, &xerr) || xerr.Module == "" {
+			t.Fatalf("workers=%d: error %v does not name the aborted phase", workers, err)
+		}
+		// "Promptly": the full extraction takes seconds; an aborted one
+		// must come back within a small multiple of the cancel delay.
+		if elapsed > 2*time.Second {
+			t.Fatalf("workers=%d: cancellation took %v to surface", workers, elapsed)
+		}
+	}
+}
+
+func TestExtractContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := cancelledTPCH(t, ctx, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	// The first pipeline phase must be the one that reports the abort:
+	// nothing ran before it.
+	var xerr *core.ExtractionError
+	if !errors.As(err, &xerr) || xerr.Module != "from-clause" {
+		t.Fatalf("pre-cancelled extraction aborted in %v, want from-clause", err)
+	}
+}
+
+func TestExtractContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	err := cancelledTPCH(t, ctx, 4)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}

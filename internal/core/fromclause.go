@@ -42,7 +42,7 @@ func (s *Session) extractFromClause() error {
 		// record their ledger event here; a missing-table fault or
 		// timeout IS the observation, not an incident.
 		start := time.Now()
-		res, err := app.RunWithTimeout(s.exe, probe, s.cfg.ProbeTimeout)
+		res, err := app.RunCtx(s.ctx, s.exe, probe, s.cfg.ProbeTimeout)
 		s.observe(pc, obs.ProbeEvent{Kind: obs.KindRename, Table: names[i], Cache: obs.CacheNone},
 			res, err, time.Since(start))
 		switch {

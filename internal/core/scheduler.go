@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -121,7 +122,19 @@ func (s *Session) parallelFor(n int, fn func(pc *probeCtx, i int) error) error {
 // probeStep wraps one fan-out iteration in its probe span. The span's
 // sibling index is the fan-out index, not arrival order, so the
 // exported tree is deterministic for every worker count.
+//
+// Cancellation is observed here, between probes: a worker about to
+// start an iteration after the session context died returns ctx.Err()
+// without running the probe (and without opening a span — an aborted
+// fan-out must not leave phantom probe children in the trace). The
+// lowest-index-error rule of parallelFor then surfaces the context
+// error exactly as a sequential loop would have: probes already
+// completed keep their outcomes, the first unstarted index carries
+// the cancellation.
 func (s *Session) probeStep(worker, i int, fn func(pc *probeCtx, i int) error) error {
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
 	pc := &probeCtx{worker: worker, index: i, span: s.phaseSpan.Child("probe", i)}
 	err := fn(pc, i)
 	pc.span.EndErr(err)
@@ -216,7 +229,10 @@ func (s *Session) runMemoized(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, 
 		}
 		s.cache.misses.Add(1)
 		res, err := s.runObserved(pc, db, obs.CacheMiss, fp.Hex())
-		if errors.Is(err, app.ErrTimeout) {
+		if errors.Is(err, app.ErrTimeout) || isCtxErr(err) {
+			// Neither outcome describes the database content: a timeout
+			// may succeed on retry, a cancelled run belongs to a dying
+			// extraction. Withdraw the flight instead of caching it.
 			s.cache.abort(fp, e)
 			return res, err
 		}
@@ -225,13 +241,20 @@ func (s *Session) runMemoized(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, 
 	}
 }
 
-// runObserved executes E once under the general deadline and records
-// the invocation.
+// runObserved executes E once under the general deadline (and the
+// session context) and records the invocation.
 func (s *Session) runObserved(pc *probeCtx, db *sqldb.Database, cache, fp string) (*sqldb.Result, error) {
 	start := time.Now()
-	res, err := app.RunWithTimeout(s.exe, db, s.cfg.ExecTimeout)
+	res, err := app.RunCtx(s.ctx, s.exe, db, s.cfg.ExecTimeout)
 	s.observe(pc, obs.ProbeEvent{Kind: obs.KindExec, FP: fp, Cache: cache}, res, err, time.Since(start))
 	return res, err
+}
+
+// isCtxErr reports whether err carries a context cancellation or
+// deadline expiry — the session-context outcomes that must abort the
+// pipeline rather than be folded into probe observations.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // observe fills the outcome, attribution and timing fields of one

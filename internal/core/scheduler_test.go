@@ -4,6 +4,7 @@ package core
 // executable-run memoization cache.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -12,7 +13,7 @@ import (
 )
 
 func schedSession(workers int) *Session {
-	return &Session{cfg: Config{Workers: workers}}
+	return &Session{cfg: Config{Workers: workers}, ctx: context.Background()}
 }
 
 func TestParallelForCoversEveryIndex(t *testing.T) {

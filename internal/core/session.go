@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -25,6 +26,12 @@ type Session struct {
 	cfg Config
 	exe *app.CountingExecutable
 	rng *rand.Rand
+
+	// ctx is the extraction's lifetime: cancellation or deadline
+	// expiry aborts the pipeline between probes (and propagates into
+	// in-flight executable runs through app.RunCtx). Never nil;
+	// Extract installs context.Background().
+	ctx context.Context
 
 	// cache memoizes completed executions of E by database
 	// fingerprint; nil when Config.DisableRunCache is set.
@@ -102,6 +109,20 @@ func (c joinComponent) tablesOf() map[string]bool {
 // populated result. On success the returned Extraction carries the
 // assembled query and per-module statistics.
 func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, error) {
+	return ExtractContext(context.Background(), exe, di, cfg)
+}
+
+// ExtractContext is Extract under a caller-supplied context: when ctx
+// is cancelled or its deadline expires, the pipeline aborts between
+// probes (in-flight executable runs are interrupted too) and the
+// error — wrapped in an ExtractionError naming the phase it surfaced
+// in — satisfies errors.Is against ctx.Err(). This is the entry point
+// of long-running callers (the extraction service, tests with
+// deadlines); Extract remains the thin background-context wrapper.
+func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, moduleErr("config", err)
 	}
@@ -113,6 +134,7 @@ func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, e
 	}
 	s := &Session{
 		cfg:        cfg,
+		ctx:        ctx,
 		exe:        &app.CountingExecutable{Inner: exe},
 		rng:        newRNG(cfg.Seed),
 		source:     di,
@@ -174,6 +196,11 @@ func Extract(exe app.Executable, di *sqldb.Database, cfg Config) (*Extraction, e
 	}
 
 	for _, step := range steps {
+		// Cancellation is honoured at phase granularity here and at
+		// probe granularity inside each phase (probeStep/runMemoized).
+		if err := ctx.Err(); err != nil {
+			return nil, moduleErr(step.name, err)
+		}
 		span := s.beginPhase(step.name)
 		var err error
 		if step.slot != nil {
@@ -257,12 +284,12 @@ func (s *Session) run(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, error) {
 // Application-level execution failures are reported as unpopulated —
 // within EQC a probe database can only produce rows, no rows, or (for
 // out-of-scope hidden logic) an error we conservatively treat as "no
-// rows". Missing-table and timeout errors are real faults and are
-// returned.
+// rows". Missing-table, timeout and context-cancellation errors are
+// real faults and are returned.
 func (s *Session) populated(pc *probeCtx, db *sqldb.Database) (bool, error) {
 	res, err := s.run(pc, db)
 	if err != nil {
-		if errors.Is(err, sqldb.ErrNoSuchTable) || errors.Is(err, app.ErrTimeout) {
+		if errors.Is(err, sqldb.ErrNoSuchTable) || errors.Is(err, app.ErrTimeout) || isCtxErr(err) {
 			return false, err
 		}
 		return false, nil

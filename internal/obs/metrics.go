@@ -193,6 +193,52 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the recorded
+// observations from the bucket counts: the upper bound of the bucket
+// the target rank falls in, linearly interpolated within the bucket.
+// Observations beyond the last bound report the last bound (the
+// histogram does not track a maximum). Zero observations — or a nil
+// histogram — report 0. The estimate is what the service layer
+// publishes as p50/p99 job latency.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (target - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Count reports the number of observations; nil-safe.
 func (h *Histogram) Count() int64 {
 	if h == nil {

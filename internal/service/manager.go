@@ -1,0 +1,457 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"unmasque/internal/core"
+	"unmasque/internal/obs"
+)
+
+// Config tunes the Manager.
+type Config struct {
+	// Workers is the extraction worker-pool size: at most this many
+	// jobs run concurrently (default 2). Each job additionally fans
+	// its probes out over its own core scheduler pool (JobSpec.Workers).
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// rejected with ErrQueueFull (default 64).
+	QueueDepth int
+	// StorePath is the durable JSONL job log; empty runs ephemeral
+	// (no recovery across restarts).
+	StorePath string
+	// Metrics receives service-level metrics — queue depth, jobs by
+	// state, job latency quantiles — plus the per-probe counters of
+	// every extraction. Nil disables metrics.
+	Metrics *obs.Metrics
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+}
+
+// Manager multiplexes extraction jobs over a bounded worker pool with
+// admission control: a fixed-depth queue, reject-on-full, per-job
+// cancellation, durable state transitions and graceful drain.
+type Manager struct {
+	cfg     Config
+	store   *Store
+	metrics *obs.Metrics
+
+	mu       sync.Mutex
+	jobs     map[int64]*Job
+	order    []int64 // IDs in submission order
+	nextID   int64
+	queue    chan *Job
+	draining bool
+
+	workers sync.WaitGroup
+}
+
+// Start opens (and replays) the durable store, re-queues jobs that
+// were queued or running when the previous process died, and spawns
+// the worker pool. The context bounds both startup I/O and the
+// workers' extractions: cancelling it aborts every running job.
+func Start(ctx context.Context, cfg Config) (*Manager, error) {
+	cfg.normalize()
+	m := &Manager{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		jobs:    map[int64]*Job{},
+		nextID:  1,
+	}
+	var requeue []*Job
+	if cfg.StorePath != "" {
+		store, rec, err := OpenStore(ctx, cfg.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		m.store = store
+		m.nextID = rec.MaxID + 1
+		for _, rj := range rec.Jobs {
+			j := &Job{
+				id:        rj.ID,
+				spec:      rj.Spec,
+				state:     rj.State,
+				submitted: time.Now(),
+				sql:       rj.SQL,
+				errMsg:    rj.Err,
+				stats:     rj.Stats,
+			}
+			m.jobs[j.id] = j
+			m.order = append(m.order, j.id)
+			if !rj.State.Terminal() {
+				// Interrupted by the crash: back to the queue.
+				j.state = StateQueued
+				requeue = append(requeue, j)
+			}
+		}
+	}
+	// The queue must absorb every re-queued job even when the log
+	// holds more interrupted jobs than the configured depth.
+	depth := cfg.QueueDepth
+	if len(requeue) > depth {
+		depth = len(requeue)
+	}
+	m.queue = make(chan *Job, depth)
+	for _, j := range requeue {
+		if err := m.append(ctx, Record{ID: j.id, State: StateQueued, Spec: &j.spec}); err != nil {
+			m.store.Close()
+			return nil, err
+		}
+		m.queue <- j
+	}
+	m.setGauges()
+	for i := 0; i < cfg.Workers; i++ {
+		m.workers.Add(1)
+		go func() {
+			defer m.workers.Done()
+			for j := range m.queue {
+				m.runJob(ctx, j)
+			}
+		}()
+	}
+	return m, nil
+}
+
+// Submit validates and admits one job, returning its queued snapshot.
+// ErrQueueFull signals backpressure (the HTTP layer answers 429);
+// ErrDraining means the manager is shutting down. The admission
+// lock is held across the durable append so the log's record order
+// matches ID order.
+func (m *Manager) Submit(ctx context.Context, spec JobSpec) (View, error) {
+	if err := spec.Validate(); err != nil {
+		return View{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return View{}, ErrDraining
+	}
+	if len(m.queue) == cap(m.queue) {
+		m.metrics.Counter("jobs_rejected").Add(1)
+		return View{}, ErrQueueFull
+	}
+	j := &Job{
+		id:        m.nextID,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	if err := m.append(ctx, Record{ID: j.id, State: StateQueued, Spec: &spec}); err != nil {
+		return View{}, err
+	}
+	m.nextID++
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.queue <- j // cannot block: capacity checked under the same lock
+	m.metrics.Counter("jobs_submitted").Add(1)
+	m.setGaugesLocked()
+	return j.view(), nil
+}
+
+// runJob drives one job through running to a terminal state.
+func (m *Manager) runJob(ctx context.Context, j *Job) {
+	m.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while waiting in the queue; nothing to run.
+		m.mu.Unlock()
+		m.setGauges()
+		return
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.tracer = obs.NewTracer("extract")
+	j.ledger = obs.NewLedger()
+	spec := j.spec
+	m.setGaugesLocked()
+	m.mu.Unlock()
+	m.append(ctx, Record{ID: j.id, State: StateRunning})
+
+	exe, db, err := spec.Materialize()
+	var ext *core.Extraction
+	if err == nil {
+		cfg := jobConfig(spec)
+		cfg.Tracer = j.tracer
+		cfg.Ledger = j.ledger
+		cfg.Metrics = m.metrics
+		ext, err = core.ExtractContext(jctx, exe, db, cfg)
+	}
+	cancel()
+
+	m.mu.Lock()
+	j.cancel = nil
+	j.finished = time.Now()
+	latency := j.finished.Sub(j.started)
+	rec := Record{ID: j.id}
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.sql = ext.SQL
+		j.summary = ext.Summary()
+		j.stats = ext.Stats
+		j.trace = ext.Trace
+		rec.State, rec.SQL, rec.Stats = StateDone, ext.SQL, &ext.Stats
+		m.metrics.Counter("jobs_done").Add(1)
+	case j.cancelRequested && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+		j.trace = j.tracer.Events()
+		rec.State, rec.Err = StateCancelled, j.errMsg
+		m.metrics.Counter("jobs_cancelled").Add(1)
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.trace = j.tracer.Events()
+		rec.State, rec.Err = StateFailed, j.errMsg
+		m.metrics.Counter("jobs_failed").Add(1)
+	}
+	m.setGaugesLocked()
+	m.mu.Unlock()
+	m.append(ctx, rec)
+
+	h := m.metrics.Histogram("job_latency_ms")
+	h.Observe(float64(latency.Microseconds()) / 1e3)
+	m.metrics.Gauge("job_latency_p50_ms").Set(int64(h.Quantile(0.50)))
+	m.metrics.Gauge("job_latency_p99_ms").Set(int64(h.Quantile(0.99)))
+}
+
+// jobConfig maps the spec's knobs onto the pipeline configuration.
+func jobConfig(spec JobSpec) core.Config {
+	cfg := core.DefaultConfig()
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	cfg.ExtractHaving = spec.Having
+	if spec.Workers > 0 {
+		cfg.Workers = spec.Workers
+	}
+	// The service is the production surface: always verify static
+	// class membership on top of the instance checker.
+	cfg.VerifyEQC = true
+	return cfg
+}
+
+// Cancel requests cancellation of a job: a queued job is terminally
+// cancelled in place, a running job has its extraction context
+// cancelled (the terminal transition is recorded by the worker when
+// the pipeline unwinds). Cancelling a terminal job reports
+// ErrTerminal.
+func (m *Manager) Cancel(ctx context.Context, id int64) (View, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return View{}, ErrUnknownJob
+	}
+	switch {
+	case j.state.Terminal():
+		v := j.view()
+		m.mu.Unlock()
+		return v, ErrTerminal
+	case j.state == StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.errMsg = "cancelled before start"
+		j.cancelRequested = true
+		v := j.view()
+		m.metrics.Counter("jobs_cancelled").Add(1)
+		m.setGaugesLocked()
+		m.mu.Unlock()
+		m.append(ctx, Record{ID: id, State: StateCancelled, Err: j.errMsg})
+		return v, nil
+	default: // running
+		j.cancelRequested = true
+		cancel := j.cancel
+		v := j.view()
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return v, nil
+	}
+}
+
+// Get returns the status snapshot of one job.
+func (m *Manager) Get(id int64) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return View{}, ErrUnknownJob
+	}
+	return j.view(), nil
+}
+
+// Result returns the outcome of a terminal job; ErrNotFinished
+// otherwise.
+func (m *Manager) Result(id int64) (Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Result{}, ErrUnknownJob
+	}
+	if !j.state.Terminal() {
+		return Result{}, ErrNotFinished
+	}
+	return j.result(), nil
+}
+
+// List returns every job's snapshot in submission order.
+func (m *Manager) List() []View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]View, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].view())
+	}
+	return out
+}
+
+// WriteTrace serializes the job's recorded trace — run header, span
+// tree, canonical probe ledger — as JSONL. Only terminal jobs have a
+// stable trace; traces are process-local (not recovered from the
+// store), so jobs replayed from a previous daemon instance have none.
+func (m *Manager) WriteTrace(id int64, w io.Writer) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrUnknownJob
+	}
+	if !j.state.Terminal() {
+		m.mu.Unlock()
+		return ErrNotFinished
+	}
+	if j.tracer == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: job predates this daemon instance", ErrUnknownJob)
+	}
+	header := obs.RunHeader{
+		App:     j.spec.DisplayName(),
+		Workers: j.stats.Workers,
+		Seed:    j.spec.Seed,
+	}
+	spans := j.trace
+	ledger := j.ledger
+	m.mu.Unlock()
+	return obs.WriteTrace(w, header, spans, ledger)
+}
+
+// Counts tallies jobs by state (for /healthz and tests).
+func (m *Manager) Counts() map[State]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[State]int{}
+	for _, j := range m.jobs {
+		out[j.state]++
+	}
+	return out
+}
+
+// Draining reports whether the manager has stopped admitting jobs.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (m *Manager) QueueDepth() int {
+	return len(m.queue)
+}
+
+// Drain gracefully shuts the manager down: admission stops
+// (submissions fail with ErrDraining), already-accepted jobs — queued
+// and running — are completed, then the store is closed. If ctx
+// expires first, every remaining job's extraction is cancelled and
+// Drain waits for the workers to unwind before returning ctx's error.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue) // workers finish the backlog, then exit
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		m.cancelRemaining()
+		<-done
+	}
+	if cerr := m.store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// cancelRemaining aborts every non-terminal job (hard drain).
+func (m *Manager) cancelRemaining() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		if j.state.Terminal() {
+			continue
+		}
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		} else if j.state == StateQueued {
+			j.state = StateCancelled
+			j.finished = time.Now()
+			j.errMsg = "cancelled by drain"
+		}
+	}
+}
+
+// append writes one store record stamped with the wall clock; a nil
+// store (ephemeral manager) swallows it.
+func (m *Manager) append(ctx context.Context, rec Record) error {
+	rec.TSUS = time.Now().UnixMicro()
+	return m.store.Append(ctx, rec)
+}
+
+// setGauges / setGaugesLocked refresh the queue and state gauges.
+func (m *Manager) setGauges() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.setGaugesLocked()
+}
+
+func (m *Manager) setGaugesLocked() {
+	if m.metrics == nil {
+		return
+	}
+	m.metrics.Gauge("queue_depth").Set(int64(len(m.queue)))
+	var running, queued int64
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateRunning:
+			running++
+		case StateQueued:
+			queued++
+		}
+	}
+	m.metrics.Gauge("jobs_running").Set(running)
+	m.metrics.Gauge("jobs_queued").Set(queued)
+}

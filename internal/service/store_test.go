@@ -1,0 +1,148 @@
+package service_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"unmasque/internal/core"
+	"unmasque/internal/service"
+)
+
+// TestStoreTornTailRecovery is the crash-recovery contract: a log
+// whose final record was half-written when the process died must
+// reopen cleanly, discard exactly the torn tail, preserve every
+// intact record, and leave the file valid for further appends.
+func TestStoreTornTailRecovery(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+
+	st, rec, err := service.OpenStore(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.MaxID != 0 || len(rec.Jobs) != 0 || rec.TornBytes != 0 {
+		t.Fatalf("fresh store recovered %+v, want empty", rec)
+	}
+	spec1 := inlineSpec("job-one")
+	spec2 := inlineSpec("job-two")
+	spec3 := inlineSpec("job-three")
+	records := []service.Record{
+		{ID: 1, State: service.StateQueued, Spec: &spec1},
+		{ID: 2, State: service.StateQueued, Spec: &spec2},
+		{ID: 1, State: service.StateRunning},
+		{ID: 1, State: service.StateDone, SQL: "select a from t", Stats: &core.Stats{AppInvocations: 42}},
+		{ID: 2, State: service.StateRunning},
+		{ID: 3, State: service.StateQueued, Spec: &spec3},
+	}
+	for _, r := range records {
+		if err := st.Append(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a partial record with no newline.
+	torn := `{"type":"job","id":4,"sta`
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec2, err := service.OpenStore(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.TornBytes != int64(len(torn)) {
+		t.Errorf("TornBytes = %d, want %d", rec2.TornBytes, len(torn))
+	}
+	if rec2.MaxID != 3 {
+		t.Errorf("MaxID = %d, want 3", rec2.MaxID)
+	}
+	if len(rec2.Jobs) != 3 {
+		t.Fatalf("recovered %d jobs, want 3", len(rec2.Jobs))
+	}
+	j1, j2, j3 := rec2.Jobs[0], rec2.Jobs[1], rec2.Jobs[2]
+	if j1.ID != 1 || j1.State != service.StateDone || j1.SQL != "select a from t" || j1.Stats.AppInvocations != 42 {
+		t.Errorf("job 1 recovered as %+v", j1)
+	}
+	if j1.Spec.Name != "job-one" {
+		t.Errorf("job 1 spec lost: %+v", j1.Spec)
+	}
+	if j2.ID != 2 || j2.State != service.StateRunning || j2.State.Terminal() {
+		t.Errorf("job 2 recovered as %+v, want non-terminal running", j2)
+	}
+	if j3.ID != 3 || j3.State != service.StateQueued {
+		t.Errorf("job 3 recovered as %+v, want queued", j3)
+	}
+
+	// The truncated file must be positioned for appends: add a record,
+	// reopen, and expect a clean (untorn) replay including it.
+	if err := st2.Append(ctx, service.Record{ID: 4, State: service.StateQueued, Spec: &spec1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec3, err := service.OpenStore(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.TornBytes != 0 {
+		t.Errorf("log torn again after truncation: %d bytes", rec3.TornBytes)
+	}
+	if rec3.MaxID != 4 || len(rec3.Jobs) != 4 {
+		t.Errorf("after append: MaxID %d jobs %d, want 4 and 4", rec3.MaxID, len(rec3.Jobs))
+	}
+}
+
+// TestStoreUnterminatedLineIsTorn: even a record that parses as
+// complete JSON is torn if its newline never made it to disk — the
+// append is atomic only once the terminator is durable.
+func TestStoreUnterminatedLineIsTorn(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	spec := inlineSpec("whole-but-unterminated")
+
+	st, _, err := service.OpenStore(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(ctx, service.Record{ID: 1, State: service.StateQueued, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := `{"type":"job","id":2,"state":"queued","ts_us":1}`
+	if _, err := f.WriteString(whole); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := service.OpenStore(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TornBytes != int64(len(whole)) {
+		t.Errorf("TornBytes = %d, want %d", rec.TornBytes, len(whole))
+	}
+	if rec.MaxID != 1 || len(rec.Jobs) != 1 {
+		t.Errorf("unterminated record survived replay: %+v", rec)
+	}
+}

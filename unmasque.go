@@ -19,6 +19,7 @@
 package unmasque
 
 import (
+	"context"
 	"io"
 
 	"unmasque/internal/app"
@@ -128,6 +129,13 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // recovers the hidden query.
 func Extract(exe Executable, di *Database, cfg Config) (*Extraction, error) {
 	return core.Extract(exe, di, cfg)
+}
+
+// ExtractContext is Extract under a caller-supplied context: when ctx
+// is cancelled or its deadline expires, the pipeline aborts between
+// probes and returns an error satisfying errors.Is against ctx.Err().
+func ExtractContext(ctx context.Context, exe Executable, di *Database, cfg Config) (*Extraction, error) {
+	return core.ExtractContext(ctx, exe, di, cfg)
 }
 
 // Parse parses a SQL statement in the supported dialect.
