@@ -28,6 +28,15 @@ go vet ./...
 echo "== unmasquelint"
 go run ./cmd/unmasquelint ./...
 
+# Bounded-equivalence smoke: every workload-corpus query must be
+# provably self-equivalent at k=2 — a fast end-to-end pass through the
+# canonicalizer, the constraint-aware enumerator and the evaluator of
+# internal/analysis/eqcequiv.
+echo "== bounded equivalence self-check (k=2)"
+for w in tpch tpcds job; do
+    go run ./cmd/unmasquelint -equiv-self -schema "$w" -bound 2 | tail -1
+done
+
 echo "== go test -race"
 go test -race ./...
 
@@ -135,5 +144,6 @@ check_cover ./internal/core 77.0
 check_cover ./internal/sqldb 81.0
 check_cover ./internal/obs 80.0
 check_cover ./internal/service 78.0
+check_cover ./internal/analysis/eqcequiv 80.0
 
 echo "ci: all checks passed"

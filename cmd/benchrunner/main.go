@@ -6,15 +6,18 @@
 //
 //	benchrunner -exp all            # every experiment, paper scales
 //	benchrunner -exp fig9 -quick    # one experiment, reduced scale
+//	benchrunner -exp equiv -quick -snapshot .   # also write BENCH_equiv.json
 //
 // Experiments: fig8, fig9, fig10, fig11, schemascale, enki, wilos,
-// rubis, tpcds, ablation, having, parallel, trace, service, all.
+// rubis, tpcds, ablation, having, parallel, equiv, trace, service,
+// all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"unmasque/internal/bench"
@@ -22,9 +25,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (fig8|fig9|fig10|fig11|schemascale|enki|wilos|rubis|tpcds|ablation|having|parallel|trace|service|all)")
-		quick = flag.Bool("quick", false, "reduced scales and budgets (~1 minute total)")
-		seed  = flag.Int64("seed", 1, "generation and extraction seed")
+		exp      = flag.String("exp", "all", "experiment to run (fig8|fig9|fig10|fig11|schemascale|enki|wilos|rubis|tpcds|ablation|having|parallel|equiv|trace|service|all)")
+		quick    = flag.Bool("quick", false, "reduced scales and budgets (~1 minute total)")
+		seed     = flag.Int64("seed", 1, "generation and extraction seed")
+		snapshot = flag.String("snapshot", "", "directory to write BENCH_<exp>.json row snapshots into")
 	)
 	flag.Parse()
 
@@ -32,23 +36,26 @@ func main() {
 	opt.Quick = *quick
 	opt.Seed = *seed
 
-	runners := map[string]func() error{
-		"fig8":        func() error { _, err := bench.Fig8(os.Stdout, opt); return err },
-		"fig9":        func() error { _, err := bench.Fig9(os.Stdout, opt); return err },
-		"fig10":       func() error { _, err := bench.Fig10(os.Stdout, opt); return err },
-		"fig11":       func() error { _, err := bench.Fig11(os.Stdout, opt); return err },
-		"schemascale": func() error { _, err := bench.SchemaScale(os.Stdout, opt); return err },
-		"enki":        func() error { _, err := bench.Enki(os.Stdout, opt); return err },
-		"wilos":       func() error { _, err := bench.Wilos(os.Stdout, opt); return err },
-		"rubis":       func() error { _, err := bench.Rubis(os.Stdout, opt); return err },
-		"tpcds":       func() error { _, err := bench.TPCDS(os.Stdout, opt); return err },
-		"ablation":    func() error { _, err := bench.Ablation(os.Stdout, opt); return err },
-		"having":      func() error { _, err := bench.Having(os.Stdout, opt); return err },
-		"parallel":    func() error { _, err := bench.Parallel(os.Stdout, opt); return err },
-		"trace":       func() error { _, err := bench.TraceProfile(os.Stdout, opt); return err },
-		"service":     func() error { _, err := bench.Service(os.Stdout, opt); return err },
+	// Each runner renders its table on stdout and returns its typed
+	// rows (nil for experiments without a row form) for -snapshot.
+	runners := map[string]func() (any, error){
+		"fig8":        func() (any, error) { return bench.Fig8(os.Stdout, opt) },
+		"fig9":        func() (any, error) { return bench.Fig9(os.Stdout, opt) },
+		"fig10":       func() (any, error) { return bench.Fig10(os.Stdout, opt) },
+		"fig11":       func() (any, error) { return bench.Fig11(os.Stdout, opt) },
+		"schemascale": func() (any, error) { return bench.SchemaScale(os.Stdout, opt) },
+		"enki":        func() (any, error) { return bench.Enki(os.Stdout, opt) },
+		"wilos":       func() (any, error) { return bench.Wilos(os.Stdout, opt) },
+		"rubis":       func() (any, error) { return bench.Rubis(os.Stdout, opt) },
+		"tpcds":       func() (any, error) { return bench.TPCDS(os.Stdout, opt) },
+		"ablation":    func() (any, error) { return bench.Ablation(os.Stdout, opt) },
+		"having":      func() (any, error) { return bench.Having(os.Stdout, opt) },
+		"parallel":    func() (any, error) { return bench.Parallel(os.Stdout, opt) },
+		"equiv":       func() (any, error) { return bench.Equiv(os.Stdout, opt) },
+		"trace":       func() (any, error) { return bench.TraceProfile(os.Stdout, opt) },
+		"service":     func() (any, error) { return bench.Service(os.Stdout, opt) },
 	}
-	order := []string{"fig8", "fig9", "fig10", "fig11", "schemascale", "enki", "wilos", "rubis", "tpcds", "ablation", "having", "parallel", "trace", "service"}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "schemascale", "enki", "wilos", "rubis", "tpcds", "ablation", "having", "parallel", "equiv", "trace", "service"}
 
 	var selected []string
 	if *exp == "all" {
@@ -64,9 +71,18 @@ func main() {
 		}
 	}
 	for _, name := range selected {
-		if err := runners[name](); err != nil {
+		rows, err := runners[name]()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
 			os.Exit(1)
+		}
+		if *snapshot != "" && rows != nil {
+			path := filepath.Join(*snapshot, "BENCH_"+name+".json")
+			if err := bench.WriteSnapshot(path, name, opt, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s: snapshot: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
 }

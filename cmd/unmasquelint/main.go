@@ -1,12 +1,12 @@
-// Command unmasquelint is the project's analysis driver. It has two
-// modes, mirroring the two tiers of internal/analysis:
+// Command unmasquelint is the project's analysis driver. It has four
+// modes, mirroring the tiers of internal/analysis:
 //
 // Lint mode (default): typecheck the module and run the custom Go
-// analyzers (GL001–GL004) over every non-test package.
+// analyzers (GL001–GL007) over every non-test package.
 //
 //	unmasquelint            # lint the module rooted at the cwd
 //	unmasquelint ./...      # same (spelled like go vet)
-//	unmasquelint path/to/mod
+//	unmasquelint -json path/to/mod
 //
 // Query mode: statically verify a SQL query against a workload schema
 // using the EQC verifier (EQC-* rules).
@@ -14,16 +14,33 @@
 //	unmasquelint -query "select ... from lineitem ..." -schema tpch
 //	unmasquelint -query ... -schema rubis -disjunction
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+// Equivalence mode: decide bounded equivalence of two EQC queries with
+// the symbolic checker (internal/analysis/eqcequiv).
+//
+//	unmasquelint -query "select ..." -equiv "select ..." -schema tpch -bound 2
+//
+// Self-equivalence smoke: prove every query of a workload's corpus
+// equivalent to itself within the bound — a fast end-to-end exercise
+// of the canonicalizer and enumerator that ci.sh runs per workload.
+//
+//	unmasquelint -equiv-self -schema tpch -bound 2
+//
+// The -json flag switches any mode's findings to one JSON object per
+// run on stdout, for machine consumption.
+//
+// Exit status: 0 clean/equivalent, 1 findings (or inequivalence /
+// exhausted budget), 2 usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
+	"unmasque/internal/analysis/eqcequiv"
 	"unmasque/internal/analysis/eqcverify"
 	"unmasque/internal/analysis/golint"
 	"unmasque/internal/sqldb"
@@ -46,6 +63,23 @@ var workloadSchemas = map[string]func() []sqldb.TableSchema{
 	"wilos": wilos.Schemas,
 }
 
+// workloadCorpora maps -schema names to their hidden-query corpora
+// (workloads that ship one), for -equiv-self.
+var workloadCorpora = map[string]func() map[string]string{
+	"tpch": func() map[string]string {
+		qs := map[string]string{}
+		for n, q := range tpch.HiddenQueries() {
+			qs[n] = q
+		}
+		for n, q := range tpch.HavingQueries() {
+			qs[n] = q
+		}
+		return qs
+	},
+	"tpcds": tpcds.HiddenQueries,
+	"job":   job.HiddenQueries,
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -56,17 +90,34 @@ func run(args []string, stdout, stderr *os.File) int {
 	query := fs.String("query", "", "SQL query to verify against the extractable class (query mode)")
 	schema := fs.String("schema", "", "workload schema for -query: "+strings.Join(schemaNames(), ", "))
 	disjunction := fs.Bool("disjunction", false, "admit single-column disjunctive filters (Section 9 extension)")
+	equiv := fs.String("equiv", "", "second SQL query: decide bounded equivalence against -query")
+	equivSelf := fs.Bool("equiv-self", false, "prove every corpus query of -schema self-equivalent within -bound")
+	bound := fs.Int("bound", eqcequiv.DefaultBound, "rows-per-table bound k for equivalence modes")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *query != "" {
-		return runQueryMode(*query, *schema, *disjunction, stdout, stderr)
+	switch {
+	case *equivSelf:
+		if *query != "" || *equiv != "" {
+			fmt.Fprintln(stderr, "unmasquelint: -equiv-self takes no -query/-equiv")
+			return 2
+		}
+		return runEquivSelf(*schema, *bound, *jsonOut, stdout, stderr)
+	case *equiv != "":
+		if *query == "" {
+			fmt.Fprintln(stderr, "unmasquelint: -equiv needs -query for the first query")
+			return 2
+		}
+		return runEquivMode(*query, *equiv, *schema, *bound, *jsonOut, stdout, stderr)
+	case *query != "":
+		return runQueryMode(*query, *schema, *disjunction, *jsonOut, stdout, stderr)
 	}
 	if *schema != "" || *disjunction {
 		fmt.Fprintln(stderr, "unmasquelint: -schema and -disjunction require -query")
 		return 2
 	}
-	return runLintMode(fs.Args(), stdout, stderr)
+	return runLintMode(fs.Args(), *jsonOut, stdout, stderr)
 }
 
 func schemaNames() []string {
@@ -78,13 +129,31 @@ func schemaNames() []string {
 	return names
 }
 
-// runQueryMode parses the query and reports EQC diagnostics with
-// clause spans pointing into the query text.
-func runQueryMode(query, schema string, disjunction bool, stdout, stderr *os.File) int {
+func lookupSchemas(schema string, stderr *os.File) ([]sqldb.TableSchema, bool) {
 	provider, ok := workloadSchemas[schema]
 	if !ok {
-		fmt.Fprintf(stderr, "unmasquelint: -query needs -schema, one of: %s\n",
+		fmt.Fprintf(stderr, "unmasquelint: need -schema, one of: %s\n",
 			strings.Join(schemaNames(), ", "))
+		return nil, false
+	}
+	return provider(), true
+}
+
+// queryFinding is the JSON form of one EQC diagnostic.
+type queryFinding struct {
+	Rule   string `json:"rule"`
+	Clause string `json:"clause"`
+	Span   string `json:"span,omitempty"`
+	Start  int    `json:"start,omitempty"`
+	End    int    `json:"end,omitempty"`
+	Msg    string `json:"msg"`
+}
+
+// runQueryMode parses the query and reports EQC diagnostics with
+// clause spans pointing into the query text.
+func runQueryMode(query, schema string, disjunction, jsonOut bool, stdout, stderr *os.File) int {
+	schemas, ok := lookupSchemas(schema, stderr)
+	if !ok {
 		return 2
 	}
 	stmt, spans, err := sqlparser.ParseWithSpans(query)
@@ -92,7 +161,22 @@ func runQueryMode(query, schema string, disjunction bool, stdout, stderr *os.Fil
 		fmt.Fprintf(stderr, "unmasquelint: %v\n", err)
 		return 2
 	}
-	diags := eqcverify.Verify(stmt, provider(), eqcverify.Options{AllowDisjunction: disjunction})
+	diags := eqcverify.Verify(stmt, schemas, eqcverify.Options{AllowDisjunction: disjunction})
+	if jsonOut {
+		out := []queryFinding{}
+		for _, d := range diags {
+			f := queryFinding{Rule: d.Rule, Clause: string(d.Clause), Span: d.Span, Msg: d.Msg}
+			if s := spans.Clause(d.Clause); !s.Empty() {
+				f.Start, f.End = s.Start, s.End
+			}
+			out = append(out, f)
+		}
+		writeJSON(stdout, map[string]any{"mode": "query", "findings": out})
+		if len(diags) > 0 {
+			return 1
+		}
+		return 0
+	}
 	for _, d := range diags {
 		loc := ""
 		if s := spans.Clause(d.Clause); !s.Empty() {
@@ -108,9 +192,138 @@ func runQueryMode(query, schema string, disjunction bool, stdout, stderr *os.Fil
 	return 0
 }
 
+// equivReport is the JSON form of one bounded-equivalence verdict.
+type equivReport struct {
+	Name      string `json:"name,omitempty"`
+	Outcome   string `json:"outcome"`
+	Bound     int    `json:"bound"`
+	Proof     string `json:"proof,omitempty"`
+	Instances int    `json:"instances"`
+	// Counterexample fields (inequivalent only).
+	CERows    int    `json:"ce_rows,omitempty"`
+	DigestA   string `json:"digest_a,omitempty"`
+	DigestB   string `json:"digest_b,omitempty"`
+	OrderOnly bool   `json:"order_only,omitempty"`
+}
+
+func reportOf(name string, v *eqcequiv.Verdict) equivReport {
+	r := equivReport{
+		Name:      name,
+		Outcome:   v.Outcome.String(),
+		Bound:     v.Bound,
+		Proof:     v.Proof,
+		Instances: v.Instances,
+	}
+	if ce := v.Counterexample; ce != nil {
+		r.CERows = ce.DB.TotalRows()
+		r.DigestA = fmt.Sprintf("%x", ce.DigestA)
+		r.DigestB = fmt.Sprintf("%x", ce.DigestB)
+		r.OrderOnly = ce.OrderOnly
+	}
+	return r
+}
+
+// runEquivMode decides bounded equivalence of two SQL queries.
+func runEquivMode(queryA, queryB, schema string, bound int, jsonOut bool, stdout, stderr *os.File) int {
+	schemas, ok := lookupSchemas(schema, stderr)
+	if !ok {
+		return 2
+	}
+	a, err := sqlparser.Parse(queryA)
+	if err != nil {
+		fmt.Fprintf(stderr, "unmasquelint: -query: %v\n", err)
+		return 2
+	}
+	b, err := sqlparser.Parse(queryB)
+	if err != nil {
+		fmt.Fprintf(stderr, "unmasquelint: -equiv: %v\n", err)
+		return 2
+	}
+	v, err := eqcequiv.Check(a, b, schemas, eqcequiv.Options{Bound: bound})
+	if err != nil {
+		fmt.Fprintf(stderr, "unmasquelint: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		writeJSON(stdout, map[string]any{"mode": "equiv", "verdict": reportOf("", v)})
+	} else {
+		fmt.Fprintln(stdout, v)
+	}
+	if v.Outcome == eqcequiv.Equivalent {
+		return 0
+	}
+	return 1
+}
+
+// runEquivSelf proves every corpus query of the workload equivalent to
+// itself within the bound. Each query must come back Equivalent; the
+// smoke fails on any other outcome (or on a query the canonicalizer
+// rejects).
+func runEquivSelf(schema string, bound int, jsonOut bool, stdout, stderr *os.File) int {
+	corpus, ok := workloadCorpora[schema]
+	if !ok {
+		names := make([]string, 0, len(workloadCorpora))
+		for n := range workloadCorpora {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(stderr, "unmasquelint: -equiv-self needs -schema with a query corpus, one of: %s\n",
+			strings.Join(names, ", "))
+		return 2
+	}
+	schemas, _ := lookupSchemas(schema, stderr)
+	queries := corpus()
+	names := make([]string, 0, len(queries))
+	for n := range queries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	reports := []equivReport{}
+	failures := 0
+	for _, name := range names {
+		stmt, err := sqlparser.Parse(queries[name])
+		if err != nil {
+			fmt.Fprintf(stderr, "unmasquelint: %s/%s: %v\n", schema, name, err)
+			return 2
+		}
+		v, err := eqcequiv.Check(stmt, sqldb.CloneStmt(stmt), schemas, eqcequiv.Options{Bound: bound})
+		if err != nil {
+			fmt.Fprintf(stderr, "unmasquelint: %s/%s: %v\n", schema, name, err)
+			return 2
+		}
+		if v.Outcome != eqcequiv.Equivalent {
+			failures++
+		}
+		reports = append(reports, reportOf(name, v))
+		if !jsonOut {
+			fmt.Fprintf(stdout, "%s/%s: %s\n", schema, name, v)
+		}
+	}
+	if jsonOut {
+		writeJSON(stdout, map[string]any{"mode": "equiv-self", "schema": schema, "bound": bound, "verdicts": reports})
+	} else {
+		fmt.Fprintf(stdout, "%s: %d/%d queries self-equivalent at k=%d\n",
+			schema, len(names)-failures, len(names), bound)
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// lintFinding is the JSON form of one Go lint finding.
+type lintFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
 // runLintMode lints the module rooted at the given path (default cwd;
 // a go-vet-style "./..." argument means the same).
-func runLintMode(args []string, stdout, stderr *os.File) int {
+func runLintMode(args []string, jsonOut bool, stdout, stderr *os.File) int {
 	root := "."
 	switch len(args) {
 	case 0:
@@ -127,6 +340,20 @@ func runLintMode(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "unmasquelint: %v\n", err)
 		return 2
 	}
+	if jsonOut {
+		out := []lintFinding{}
+		for _, f := range findings {
+			out = append(out, lintFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Rule: f.Rule, Msg: f.Msg,
+			})
+		}
+		writeJSON(stdout, map[string]any{"mode": "lint", "findings": out})
+		if len(findings) > 0 {
+			return 1
+		}
+		return 0
+	}
 	for _, f := range findings {
 		fmt.Fprintln(stdout, f)
 	}
@@ -135,4 +362,13 @@ func runLintMode(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// writeJSON emits one indented JSON document on stdout.
+func writeJSON(stdout *os.File, v any) {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "unmasquelint: encoding output: %v\n", err)
+	}
 }

@@ -1,0 +1,239 @@
+package eqcequiv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"unmasque/internal/sqldb"
+)
+
+// Canonicalization rewrites an EQC statement into a normal form in
+// which syntactically different but trivially equivalent queries
+// become identical ASTs: table-qualified lower-case column names,
+// sorted from clause, between expanded into inclusive bounds, strict
+// integral comparisons widened to inclusive ones, literals moved to
+// the right-hand side, and conjuncts/disjuncts/group keys sorted by
+// their rendering. Projections and order keys keep their positions —
+// those are part of the query's output contract, not of its logic.
+
+// canonicalize deep-copies and normalizes a statement. Schemas drive
+// column resolution; an unresolvable column is an error.
+func canonicalize(stmt *sqldb.SelectStmt, schemas []sqldb.TableSchema) (*sqldb.SelectStmt, error) {
+	byName := map[string]sqldb.TableSchema{}
+	for _, s := range schemas {
+		byName[strings.ToLower(s.Name)] = s
+	}
+	out := sqldb.CloneStmt(stmt)
+	for i, t := range out.From {
+		out.From[i] = strings.ToLower(t)
+		if _, ok := byName[out.From[i]]; !ok {
+			return nil, fmt.Errorf("eqcequiv: no schema for table %s", t)
+		}
+	}
+	qualify := func(e sqldb.Expr) error {
+		var err error
+		walkColumns(e, func(c *sqldb.ColumnExpr) {
+			c.Table = strings.ToLower(c.Table)
+			c.Column = strings.ToLower(c.Column)
+			if c.Table != "" {
+				return
+			}
+			for _, t := range out.From {
+				if byName[t].ColumnIndex(c.Column) >= 0 {
+					c.Table = t
+					return
+				}
+			}
+			if err == nil {
+				err = fmt.Errorf("eqcequiv: cannot resolve column %s", c.Column)
+			}
+		})
+		return err
+	}
+	exprs := make([]sqldb.Expr, 0, len(out.Items)+len(out.GroupBy)+len(out.OrderBy)+2)
+	for _, it := range out.Items {
+		exprs = append(exprs, it.Expr)
+	}
+	exprs = append(exprs, out.GroupBy...)
+	if out.Where != nil {
+		exprs = append(exprs, out.Where)
+	}
+	if out.Having != nil {
+		exprs = append(exprs, out.Having)
+	}
+	for _, k := range out.OrderBy {
+		// Order keys may reference output aliases rather than table
+		// columns; those legitimately stay unqualified.
+		if c, ok := k.Expr.(*sqldb.ColumnExpr); ok && c.Table == "" {
+			c.Column = strings.ToLower(c.Column)
+			for _, t := range out.From {
+				if byName[t].ColumnIndex(c.Column) >= 0 {
+					c.Table = t
+					break
+				}
+			}
+			continue
+		}
+		exprs = append(exprs, k.Expr)
+	}
+	for _, e := range exprs {
+		if err := qualify(e); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.Strings(out.From)
+	out.Where = normalizePredicate(out.Where)
+	out.Having = normalizePredicate(out.Having)
+	sort.Slice(out.GroupBy, func(i, j int) bool {
+		return out.GroupBy[i].String() < out.GroupBy[j].String()
+	})
+	return out, nil
+}
+
+// walkColumns visits every column node of an expression tree.
+func walkColumns(e sqldb.Expr, fn func(c *sqldb.ColumnExpr)) {
+	switch x := e.(type) {
+	case *sqldb.ColumnExpr:
+		fn(x)
+	case *sqldb.BinaryExpr:
+		walkColumns(x.L, fn)
+		walkColumns(x.R, fn)
+	case *sqldb.NegExpr:
+		walkColumns(x.X, fn)
+	case *sqldb.NotExpr:
+		walkColumns(x.X, fn)
+	case *sqldb.BetweenExpr:
+		walkColumns(x.X, fn)
+		walkColumns(x.Lo, fn)
+		walkColumns(x.Hi, fn)
+	case *sqldb.LikeExpr:
+		walkColumns(x.X, fn)
+	case *sqldb.IsNullExpr:
+		walkColumns(x.X, fn)
+	case *sqldb.AggExpr:
+		if x.Arg != nil {
+			walkColumns(x.Arg, fn)
+		}
+	}
+}
+
+// normalizePredicate rewrites a boolean tree into conjunct normal
+// order: every conjunct individually normalized, then the flattened
+// conjunct list sorted by rendering and re-joined left-deep.
+func normalizePredicate(e sqldb.Expr) sqldb.Expr {
+	if e == nil {
+		return nil
+	}
+	var conjs []sqldb.Expr
+	for _, c := range sqldb.Conjuncts(e) {
+		// Re-flatten after normalization: a between conjunct expands
+		// into a fresh top-level conjunction.
+		conjs = append(conjs, sqldb.Conjuncts(normalizeConjunct(c))...)
+	}
+	sort.Slice(conjs, func(i, j int) bool { return conjs[i].String() < conjs[j].String() })
+	dedup := conjs[:0]
+	for i, c := range conjs {
+		if i > 0 && c.String() == conjs[i-1].String() {
+			continue
+		}
+		dedup = append(dedup, c)
+	}
+	return sqldb.AndAll(dedup)
+}
+
+// normalizeConjunct normalizes one conjunct: between expansion,
+// literal-side and strictness normalization, OR-arm sorting.
+func normalizeConjunct(e sqldb.Expr) sqldb.Expr {
+	switch x := e.(type) {
+	case *sqldb.BetweenExpr:
+		lo, lok := x.Lo.(*sqldb.LiteralExpr)
+		hi, hok := x.Hi.(*sqldb.LiteralExpr)
+		if lok && hok {
+			if cmp, err := sqldb.Compare(lo.Val, hi.Val); err == nil && cmp == 0 {
+				return normalizeConjunct(sqldb.Bin(sqldb.OpEq, x.X, x.Lo))
+			}
+		}
+		ge := normalizeConjunct(sqldb.Bin(sqldb.OpGe, x.X, x.Lo))
+		le := normalizeConjunct(sqldb.Bin(sqldb.OpLe, sqldb.CloneExpr(x.X), x.Hi))
+		return sqldb.Bin(sqldb.OpAnd, ge, le)
+	case *sqldb.BinaryExpr:
+		if x.Op == sqldb.OpOr {
+			arms := disjuncts(x)
+			for i := range arms {
+				arms[i] = normalizeConjunct(arms[i])
+			}
+			sort.Slice(arms, func(i, j int) bool { return arms[i].String() < arms[j].String() })
+			out := arms[0]
+			for _, a := range arms[1:] {
+				out = sqldb.Bin(sqldb.OpOr, out, a)
+			}
+			return out
+		}
+		if x.Op == sqldb.OpAnd {
+			return normalizePredicate(x)
+		}
+		if x.Op.IsComparison() {
+			return normalizeComparison(x)
+		}
+	}
+	return e
+}
+
+// disjuncts flattens an OR tree into its arms.
+func disjuncts(e sqldb.Expr) []sqldb.Expr {
+	if b, ok := e.(*sqldb.BinaryExpr); ok && b.Op == sqldb.OpOr {
+		return append(disjuncts(b.L), disjuncts(b.R)...)
+	}
+	return []sqldb.Expr{e}
+}
+
+// mirror gives the comparison that holds when the operands swap.
+func mirror(op sqldb.BinOp) sqldb.BinOp {
+	switch op {
+	case sqldb.OpLt:
+		return sqldb.OpGt
+	case sqldb.OpLe:
+		return sqldb.OpGe
+	case sqldb.OpGt:
+		return sqldb.OpLt
+	case sqldb.OpGe:
+		return sqldb.OpLe
+	default:
+		return op
+	}
+}
+
+// normalizeComparison puts literals on the right, orders symmetric
+// column comparisons by rendering, and widens strict comparisons on
+// integral literals to their inclusive form (x > 5 ⇒ x >= 6), which
+// makes "between"-derived and strict spellings of the same range
+// coincide.
+func normalizeComparison(x *sqldb.BinaryExpr) sqldb.Expr {
+	if _, ok := x.L.(*sqldb.LiteralExpr); ok {
+		if _, rlit := x.R.(*sqldb.LiteralExpr); !rlit {
+			x = sqldb.Bin(mirror(x.Op), x.R, x.L)
+		}
+	}
+	_, llit := x.L.(*sqldb.LiteralExpr)
+	_, rlit := x.R.(*sqldb.LiteralExpr)
+	if !llit && !rlit && x.L.String() > x.R.String() {
+		x = sqldb.Bin(mirror(x.Op), x.R, x.L)
+	}
+	if lit, ok := x.R.(*sqldb.LiteralExpr); ok {
+		integral := lit.Val.Typ == sqldb.TInt || lit.Val.Typ == sqldb.TDate
+		one := sqldb.NewInt(1)
+		if integral && x.Op == sqldb.OpGt {
+			if v, err := sqldb.Add(lit.Val, one); err == nil {
+				return sqldb.Bin(sqldb.OpGe, x.L, sqldb.Lit(v))
+			}
+		}
+		if integral && x.Op == sqldb.OpLt {
+			if v, err := sqldb.Sub(lit.Val, one); err == nil {
+				return sqldb.Bin(sqldb.OpLe, x.L, sqldb.Lit(v))
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,537 @@
+// Package eqcequiv is a bounded symbolic equivalence checker for the
+// extractor's query class (EQC: single-block select/project/join with
+// optional aggregation, grouping, ordering and limit). Given two EQC
+// ASTs and the schema's integrity constraints it decides, by
+// exhaustive enumeration of canonical databases with at most k rows
+// per table over "interesting" value domains, whether the two queries
+// agree on every such database — returning either a bounded
+// equivalence proof or a concrete counterexample database together
+// with the differing result digests.
+//
+// The verdict is sound in one direction only: a counterexample is a
+// real inequivalence witness, but Equivalent means "equivalent on
+// every canonical database within the bound". Two queries that only
+// differ on larger databases, or on values outside the boundary
+// domains derived from their predicates, are beyond the bound — the
+// classic small-scope caveat of bounded verification (VeriEQL). The
+// checker is fully deterministic: the same AST pair and options
+// produce the identical verdict, counterexample and digests on every
+// run.
+package eqcequiv
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"unmasque/internal/sqldb"
+	"unmasque/internal/xdata"
+)
+
+// Options configures a bounded check.
+type Options struct {
+	// Bound is the maximum rows per table in enumerated databases
+	// (the k of the proof). Zero selects DefaultBound.
+	Bound int
+
+	// MaxColumnValues caps the value domain of a differing column.
+	// Zero selects DefaultMaxColumnValues.
+	MaxColumnValues int
+
+	// MaxInstances bounds the number of databases evaluated before
+	// the checker gives up with Exhausted. Zero selects
+	// DefaultMaxInstances.
+	MaxInstances int
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultBound           = 2
+	DefaultMaxColumnValues = 6
+	DefaultMaxInstances    = 200000
+)
+
+func (o Options) normalized() Options {
+	if o.Bound <= 0 {
+		o.Bound = DefaultBound
+	}
+	if o.MaxColumnValues <= 0 {
+		o.MaxColumnValues = DefaultMaxColumnValues
+	}
+	if o.MaxInstances <= 0 {
+		o.MaxInstances = DefaultMaxInstances
+	}
+	return o
+}
+
+// Outcome classifies a verdict.
+type Outcome int
+
+const (
+	// Equivalent: the queries agree on every canonical database
+	// within the bound.
+	Equivalent Outcome = iota
+	// Inequivalent: a concrete counterexample database was found.
+	Inequivalent
+	// Exhausted: no counterexample found, but the enumeration was
+	// truncated (instance budget or domain caps), so no proof either.
+	Exhausted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Equivalent:
+		return "equivalent"
+	case Inequivalent:
+		return "inequivalent"
+	case Exhausted:
+		return "exhausted"
+	default:
+		return "?outcome?"
+	}
+}
+
+// Counterexample is a database on which the two queries disagree.
+type Counterexample struct {
+	DB *sqldb.Database
+	// DigestA/DigestB hash the two results with column names
+	// normalized away; for an order-only disagreement the row
+	// position is folded in, so the digests always differ.
+	DigestA, DigestB sqldb.ResultDigest
+	RowsA, RowsB     int
+	// OrderOnly marks a disagreement in row order alone (the row
+	// multisets agree).
+	OrderOnly bool
+}
+
+// Verdict is the result of a bounded check.
+type Verdict struct {
+	Outcome Outcome
+	// Bound is the k the verdict holds for.
+	Bound int
+	// Proof tells how an Equivalent verdict was reached: "canonical"
+	// (the ASTs normalize to the same query) or "enumeration".
+	Proof string
+	// Instances is the number of databases evaluated.
+	Instances int
+	// Counterexample is set iff Outcome is Inequivalent.
+	Counterexample *Counterexample
+}
+
+func (v *Verdict) String() string {
+	switch v.Outcome {
+	case Equivalent:
+		return fmt.Sprintf("equivalent up to %d rows/table (%s, %d instances)", v.Bound, v.Proof, v.Instances)
+	case Inequivalent:
+		ce := v.Counterexample
+		return fmt.Sprintf("inequivalent: counterexample with %d rows (%d vs %d result rows, instance #%d)",
+			ce.DB.TotalRows(), ce.RowsA, ce.RowsB, v.Instances)
+	default:
+		return fmt.Sprintf("exhausted after %d instances (no counterexample, no proof)", v.Instances)
+	}
+}
+
+// Check decides bounded equivalence of two EQC statements under the
+// given schemas. It never mutates its arguments.
+func Check(a, b *sqldb.SelectStmt, schemas []sqldb.TableSchema, opt Options) (*Verdict, error) {
+	opt = opt.normalized()
+	ca, err := canonicalize(a, schemas)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := canonicalize(b, schemas)
+	if err != nil {
+		return nil, err
+	}
+	if ca.String() == cb.String() {
+		return &Verdict{Outcome: Equivalent, Bound: opt.Bound, Proof: "canonical"}, nil
+	}
+
+	aa, err := xdata.Analyze(ca, schemas)
+	if err != nil {
+		return nil, fmt.Errorf("eqcequiv: left query: %w", err)
+	}
+	ab, err := xdata.Analyze(cb, schemas)
+	if err != nil {
+		return nil, fmt.Errorf("eqcequiv: right query: %w", err)
+	}
+	diff := diffColumns(ca, cb)
+	hints := havingHints(ca, cb, schemas)
+	enum, err := buildEnumerator([]*xdata.Analysis{aa, ab}, schemas, diff, hints, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	orderIdx := orderKeyIndexes(ca)
+	for _, i := range orderKeyIndexes(cb) {
+		found := false
+		for _, j := range orderIdx {
+			if i == j {
+				found = true
+			}
+		}
+		if !found {
+			orderIdx = append(orderIdx, i)
+		}
+	}
+	checkOrder := len(ca.OrderBy) > 0 && len(cb.OrderBy) > 0
+
+	var ce *Counterexample
+	complete, visited, err := enum.enumerate(opt.MaxInstances, func(db *sqldb.Database) (bool, error) {
+		c, err := evaluate(ca, cb, db, checkOrder, orderIdx)
+		if err != nil {
+			return false, err
+		}
+		if c != nil {
+			ce = c
+			return true, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	v := &Verdict{Bound: opt.Bound, Instances: visited}
+	switch {
+	case ce != nil:
+		v.Outcome = Inequivalent
+		v.Counterexample = ce
+	case complete:
+		v.Outcome = Equivalent
+		v.Proof = "enumeration"
+	default:
+		v.Outcome = Exhausted
+	}
+	return v, nil
+}
+
+// evaluate runs both queries on one instance and returns a
+// counterexample when they disagree, nil when they agree. A query
+// erroring on the instance while the other evaluates counts as a
+// disagreement (the failing side has no result at all); both erroring
+// makes the instance unusable and it is skipped.
+func evaluate(a, b *sqldb.SelectStmt, db *sqldb.Database, checkOrder bool, orderIdx []int) (*Counterexample, error) {
+	ctx := context.Background()
+	ra, errA := db.Execute(ctx, a)
+	rb, errB := db.Execute(ctx, b)
+	if errA != nil && errB != nil {
+		return nil, nil
+	}
+	if errA != nil || errB != nil {
+		return errCounterexample(db, ra, rb, errA, errB), nil
+	}
+	ra, rb = normalize(ra), normalize(rb)
+	if !ra.EqualUnordered(rb) {
+		return &Counterexample{
+			DB:      db.Clone(),
+			DigestA: anonDigest(ra, false),
+			DigestB: anonDigest(rb, false),
+			RowsA:   ra.RowCount(),
+			RowsB:   rb.RowCount(),
+		}, nil
+	}
+	if checkOrder && !orderedAgree(ra, rb, orderIdx) {
+		return &Counterexample{
+			DB:        db.Clone(),
+			DigestA:   anonDigest(ra, true),
+			DigestB:   anonDigest(rb, true),
+			RowsA:     ra.RowCount(),
+			RowsB:     rb.RowCount(),
+			OrderOnly: true,
+		}, nil
+	}
+	return nil, nil
+}
+
+// errCounterexample encodes a one-sided evaluation failure. The
+// failing side's digest hashes the error text, which is stable for a
+// given AST+instance, keeping the verdict deterministic.
+func errCounterexample(db *sqldb.Database, ra, rb *sqldb.Result, errA, errB error) *Counterexample {
+	ce := &Counterexample{DB: db.Clone()}
+	if errA != nil {
+		ce.DigestA = errDigest(errA)
+		ce.DigestB = anonDigest(normalize(rb), false)
+		ce.RowsB = rb.RowCount()
+	} else {
+		ce.DigestA = anonDigest(normalize(ra), false)
+		ce.DigestB = errDigest(errB)
+		ce.RowsA = ra.RowCount()
+	}
+	return ce
+}
+
+func errDigest(err error) sqldb.ResultDigest {
+	r := &sqldb.Result{Columns: []string{"error"}, Rows: []sqldb.Row{{sqldb.NewText(err.Error())}}}
+	return r.Digest()
+}
+
+// normalize maps any unpopulated result (no rows, or the null row of
+// an ungrouped aggregate over empty input) to a bare empty result,
+// mirroring the extraction checker's comparison semantics.
+func normalize(r *sqldb.Result) *sqldb.Result {
+	if r == nil {
+		return &sqldb.Result{}
+	}
+	if !r.Populated() {
+		return &sqldb.Result{Columns: r.Columns}
+	}
+	return r
+}
+
+// anonDigest hashes a result with column names replaced by positions
+// (the checker compares content, not naming). withOrder folds each
+// row's position in, so two results equal as multisets but ordered
+// differently digest differently.
+func anonDigest(r *sqldb.Result, withOrder bool) sqldb.ResultDigest {
+	c := r.Clone()
+	if c == nil {
+		c = &sqldb.Result{}
+	}
+	for i := range c.Columns {
+		c.Columns[i] = fmt.Sprintf("c%d", i)
+	}
+	if withOrder {
+		c.Columns = append([]string{"pos"}, c.Columns...)
+		for i := range c.Rows {
+			c.Rows[i] = append(sqldb.Row{sqldb.NewInt(int64(i))}, c.Rows[i]...)
+		}
+	}
+	return c.Digest()
+}
+
+// orderedAgree checks that both orderings present the order-key
+// columns identically, position by position (float-tolerant). Only
+// order-key columns are pinned: ties may legitimately permute the
+// remaining columns.
+func orderedAgree(a, b *sqldb.Result, orderIdx []int) bool {
+	if len(orderIdx) == 0 {
+		// No key could be mapped to an output column; the physical
+		// order is unobservable through the projection, so there is
+		// nothing to compare.
+		return true
+	}
+	if a.RowCount() != b.RowCount() {
+		return false
+	}
+	for i := range a.Rows {
+		for _, j := range orderIdx {
+			if j >= len(a.Rows[i]) || j >= len(b.Rows[i]) {
+				continue
+			}
+			if !sqldb.ApproxEqual(a.Rows[i][j], b.Rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// orderKeyIndexes maps a statement's order keys to output column
+// positions: by alias/output name for bare column keys, by rendering
+// for expression keys. Keys that are not projected are dropped (their
+// order is unobservable in the result).
+func orderKeyIndexes(s *sqldb.SelectStmt) []int {
+	var out []int
+	for _, k := range s.OrderBy {
+		name := ""
+		if c, ok := k.Expr.(*sqldb.ColumnExpr); ok {
+			name = c.Column
+		}
+		for i, it := range s.Items {
+			match := false
+			if name != "" && it.OutputName() == name {
+				match = true
+			} else if it.Expr.String() == k.Expr.String() {
+				match = true
+			}
+			if match {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// havingHints extracts aggregate boundaries from both queries' having
+// clauses: for a conjunct agg(col) cmp literal, a one-row group makes
+// sum/min/max/avg(col) equal col, so planting the literal and its
+// off-by-one neighbours in col's domain lets the enumeration land a
+// group exactly on the boundary. count aggregates compare row counts,
+// not values, and get no hint.
+func havingHints(a, b *sqldb.SelectStmt, schemas []sqldb.TableSchema) map[sqldb.ColRef][]sqldb.Value {
+	byName := map[string]sqldb.TableSchema{}
+	for _, s := range schemas {
+		byName[strings.ToLower(s.Name)] = s
+	}
+	hints := map[sqldb.ColRef][]sqldb.Value{}
+	collect := func(s *sqldb.SelectStmt) {
+		for _, conj := range sqldb.Conjuncts(s.Having) {
+			cmp, ok := conj.(*sqldb.BinaryExpr)
+			if !ok || !cmp.Op.IsComparison() {
+				continue
+			}
+			agg, ok := cmp.L.(*sqldb.AggExpr)
+			if !ok || agg.Star || agg.Fn == sqldb.AggCount {
+				continue
+			}
+			col, ok := agg.Arg.(*sqldb.ColumnExpr)
+			if !ok || col.Table == "" {
+				continue
+			}
+			lit, ok := cmp.R.(*sqldb.LiteralExpr)
+			if !ok {
+				continue
+			}
+			def, err := byName[col.Table].Column(col.Column)
+			if err != nil {
+				continue
+			}
+			ref := col.Ref()
+			delta := sqldb.NewInt(1)
+			if lit.Val.Typ == sqldb.TFloat || def.Type == sqldb.TFloat {
+				delta = sqldb.NewFloat(0.01)
+			}
+			vals := []sqldb.Value{coerceTo(def, lit.Val)}
+			if v, err := sqldb.Sub(lit.Val, delta); err == nil {
+				vals = append(vals, coerceTo(def, v))
+			}
+			if v, err := sqldb.Add(lit.Val, delta); err == nil {
+				vals = append(vals, coerceTo(def, v))
+			}
+			hints[ref] = append(hints[ref], vals...)
+		}
+	}
+	collect(a)
+	collect(b)
+	return hints
+}
+
+// coerceTo adapts a literal to the column's type for insertion.
+func coerceTo(def sqldb.Column, v sqldb.Value) sqldb.Value {
+	if def.Type == sqldb.TFloat && v.Typ == sqldb.TInt {
+		return sqldb.NewFloat(float64(v.I))
+	}
+	if def.Type == sqldb.TDate && v.Typ == sqldb.TInt {
+		return sqldb.NewDate(v.I)
+	}
+	return v
+}
+
+// diffColumns collects the columns on which the two canonical
+// statements disagree — the only columns whose domains need more than
+// one representative value for a difference to surface. Everything is
+// compared on canonical renderings, so the set is deterministic.
+func diffColumns(a, b *sqldb.SelectStmt) map[sqldb.ColRef]bool {
+	diff := map[sqldb.ColRef]bool{}
+	addCols := func(stmt *sqldb.SelectStmt, e sqldb.Expr) {
+		for _, c := range sqldb.ColumnsOf(e) {
+			if c.Table != "" {
+				diff[c.Ref()] = true
+				continue
+			}
+			// Alias reference (order keys): chase the projected item.
+			for _, it := range stmt.Items {
+				if it.OutputName() == c.Column {
+					for _, ic := range sqldb.ColumnsOf(it.Expr) {
+						diff[ic.Ref()] = true
+					}
+				}
+			}
+		}
+	}
+
+	symmetricDiff := func(as, bs []sqldb.Expr) ([]sqldb.Expr, []sqldb.Expr) {
+		counts := map[string]int{}
+		for _, e := range bs {
+			counts[e.String()]++
+		}
+		var onlyA []sqldb.Expr
+		for _, e := range as {
+			if counts[e.String()] > 0 {
+				counts[e.String()]--
+			} else {
+				onlyA = append(onlyA, e)
+			}
+		}
+		counts = map[string]int{}
+		for _, e := range as {
+			counts[e.String()]++
+		}
+		var onlyB []sqldb.Expr
+		for _, e := range bs {
+			if counts[e.String()] > 0 {
+				counts[e.String()]--
+			} else {
+				onlyB = append(onlyB, e)
+			}
+		}
+		return onlyA, onlyB
+	}
+
+	preds := func(s *sqldb.SelectStmt) []sqldb.Expr {
+		return append(sqldb.Conjuncts(s.Where), sqldb.Conjuncts(s.Having)...)
+	}
+	da, dbb := symmetricDiff(preds(a), preds(b))
+	for _, e := range da {
+		addCols(a, e)
+	}
+	for _, e := range dbb {
+		addCols(b, e)
+	}
+
+	ga, gb := symmetricDiff(a.GroupBy, b.GroupBy)
+	for _, e := range ga {
+		addCols(a, e)
+	}
+	for _, e := range gb {
+		addCols(b, e)
+	}
+
+	n := len(a.Items)
+	if len(b.Items) > n {
+		n = len(b.Items)
+	}
+	for i := 0; i < n; i++ {
+		var ea, eb sqldb.Expr
+		if i < len(a.Items) {
+			ea = a.Items[i].Expr
+		}
+		if i < len(b.Items) {
+			eb = b.Items[i].Expr
+		}
+		if ea != nil && eb != nil && ea.String() == eb.String() {
+			continue
+		}
+		if ea != nil {
+			addCols(a, ea)
+		}
+		if eb != nil {
+			addCols(b, eb)
+		}
+	}
+
+	n = len(a.OrderBy)
+	if len(b.OrderBy) > n {
+		n = len(b.OrderBy)
+	}
+	for i := 0; i < n; i++ {
+		var ka, kb *sqldb.OrderKey
+		if i < len(a.OrderBy) {
+			ka = &a.OrderBy[i]
+		}
+		if i < len(b.OrderBy) {
+			kb = &b.OrderBy[i]
+		}
+		if ka != nil && kb != nil && ka.String() == kb.String() {
+			continue
+		}
+		if ka != nil {
+			addCols(a, ka.Expr)
+		}
+		if kb != nil {
+			addCols(b, kb.Expr)
+		}
+	}
+	return diff
+}

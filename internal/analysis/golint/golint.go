@@ -37,6 +37,16 @@
 //	        context.Context as its first parameter. Exempt: ServeHTTP
 //	        (signature fixed by http.Handler; the request carries its
 //	        own context) and Close (io.Closer convention).
+//	GL007 — the deterministic tiers (internal/core, internal/xdata and
+//	        everything under internal/analysis) never consult ambient
+//	        nondeterminism: calling time.Now/time.Since or any
+//	        top-level math/rand function is forbidden there. Time is
+//	        injected through core.Config.Clock, randomness through a
+//	        seeded *rand.Rand — so the extraction transcript, the
+//	        bounded-equivalence verdicts and the mutant accounting are
+//	        byte-identical across runs and worker counts. Constructing
+//	        a seeded generator (rand.New, rand.NewSource) is allowed,
+//	        as is referencing time.Now as a value (the default Clock).
 //
 // The entry point is LintDir, which loads and typechecks every
 // non-test package under a module root using a minimal module-aware
@@ -65,6 +75,7 @@ const (
 	RuleTableAccess = "GL004"
 	RuleDirectPrint = "GL005"
 	RuleServiceCtx  = "GL006"
+	RuleDeterminism = "GL007"
 )
 
 // Finding is one lint violation.
@@ -112,6 +123,7 @@ func LintDir(root string) ([]Finding, error) {
 		findings = append(findings, checkTableAccess(fset, p)...)
 		findings = append(findings, checkDirectPrint(fset, p)...)
 		findings = append(findings, checkServiceContext(fset, p)...)
+		findings = append(findings, checkDeterminism(fset, p)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos

@@ -190,6 +190,59 @@ func main() {
 	panic("cli crash is fine") // exempt: package main
 }
 `,
+		"internal/xdata/gen.go": `package xdata
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badClock reads the ambient clock from a deterministic tier: GL007.
+func badClock() int64 {
+	return time.Now().Unix() // want:GL007
+}
+
+// badElapsed measures wall time: GL007.
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want:GL007
+}
+
+// badGlobalRand draws from the shared global generator: GL007.
+func badGlobalRand() int {
+	return rand.Intn(10) // want:GL007
+}
+
+// seededRand builds and uses an explicitly seeded generator: legal.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// clockValue references time.Now as a value without calling it (the
+// injectable-default pattern): legal.
+func clockValue(clock func() time.Time) func() time.Time {
+	if clock == nil {
+		clock = time.Now
+	}
+	return clock
+}
+`,
+		"internal/analysis/check/check.go": `package check
+
+import "time"
+
+// badStamp shows the rule also covers internal/analysis: GL007.
+func badStamp() time.Time {
+	return time.Now() // want:GL007
+}
+`,
+		"internal/service/clock.go": `package service
+
+import "time"
+
+// Stamp is outside the deterministic tiers; GL007 does not apply.
+func Stamp() time.Time { return time.Now() }
+`,
 		"internal/service/svc.go": `package service
 
 import (
@@ -322,7 +375,7 @@ func TestRuleIDsCovered(t *testing.T) {
 	want := wantedFindings(t, root)
 	for _, rule := range []string{
 		golint.RulePanic, golint.RuleSourceMut, golint.RuleErrWrap, golint.RuleTableAccess,
-		golint.RuleDirectPrint, golint.RuleServiceCtx,
+		golint.RuleDirectPrint, golint.RuleServiceCtx, golint.RuleDeterminism,
 	} {
 		found := false
 		for k := range want {

@@ -426,6 +426,71 @@ func blockingWork(p *pkg, body *ast.BlockStmt) string {
 	return reason
 }
 
+// --- GL007: deterministic tiers stay deterministic ------------------
+
+// isDeterministicPkg reports whether the package belongs to the
+// deterministic tiers: the extraction pipeline, the instance/mutant
+// generator and the static-analysis layer (which includes the bounded
+// equivalence checker). Their outputs must be reproducible bit for
+// bit, so ambient clocks and global randomness are off-limits.
+func isDeterministicPkg(importPath string) bool {
+	return isCorePkg(importPath) ||
+		strings.Contains(importPath, "internal/xdata") ||
+		strings.Contains(importPath, "internal/analysis")
+}
+
+// seededRandCtors are the math/rand functions that build an explicitly
+// seeded generator — the sanctioned way to get randomness into the
+// deterministic tiers.
+var seededRandCtors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+}
+
+// checkDeterminism enforces GL007: no time.Now/time.Since calls and no
+// top-level math/rand calls (other than the seeded constructors)
+// inside the deterministic tiers. Only *calls* are flagged — assigning
+// time.Now as a value (core.Config's default Clock) keeps the call
+// site injectable and is allowed.
+func checkDeterminism(fset *token.FileSet, p *pkg) []Finding {
+	if !isDeterministicPkg(p.importPath) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Now", "Since"} {
+				if isPkgFunc(p, call.Fun, "time", name) {
+					out = append(out, Finding{
+						Pos:  fset.Position(call.Pos()),
+						Rule: RuleDeterminism,
+						Msg: fmt.Sprintf("time.%s called in deterministic package %s; "+
+							"inject the clock (core.Config.Clock) instead", name, p.importPath),
+					})
+					return true
+				}
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && !seededRandCtors[sel.Sel.Name] {
+				if isPkgFunc(p, call.Fun, "math/rand", sel.Sel.Name) {
+					out = append(out, Finding{
+						Pos:  fset.Position(call.Pos()),
+						Rule: RuleDeterminism,
+						Msg: fmt.Sprintf("top-level math/rand.%s called in deterministic package %s; "+
+							"use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))", sel.Sel.Name, p.importPath),
+					})
+					return true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
 // isOSFile matches *os.File (possibly through pointers).
 func isOSFile(t types.Type) bool {
 	if t == nil {

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/workloads/tpch"
+)
+
+// EquivRow compares one query's classical checker run against the
+// symbolically pruned bounded checker.
+type EquivRow struct {
+	Query string `json:"query"`
+	// Application invocations for the whole extraction (ledger
+	// AppInvocations) under each checker.
+	ClassicInvocations int64 `json:"classic_invocations"`
+	BoundedInvocations int64 `json:"bounded_invocations"`
+	// Checker wall time under each mode.
+	ClassicCheckerMS float64 `json:"classic_checker_ms"`
+	BoundedCheckerMS float64 `json:"bounded_checker_ms"`
+	// Bounded-proof accounting.
+	Bound             int `json:"bound"`
+	MutantsTotal      int `json:"mutants_total"`
+	KilledStatic      int `json:"mutants_killed_static"`
+	KilledWitness     int `json:"mutants_killed_witness"`
+	ProvenEquivalent  int `json:"mutants_proven_equivalent"`
+	MutantsUnresolved int `json:"mutants_unresolved"`
+	// SQLIdentical asserts the pruned checker changed nothing about
+	// the extraction itself.
+	SQLIdentical bool `json:"sql_identical"`
+}
+
+// Equiv measures the bounded-equivalence mutant pruning (the eqcequiv
+// checker wired into core) on the TPC-H suite: each hidden query is
+// extracted once with the classical XData instance suite and once with
+// Config.BoundedCheck = 2. The extracted SQL must be identical; the
+// table reports how many application invocations the symbolic layer
+// saved and how the mutant catalogue was classified.
+func Equiv(w io.Writer, opt Options) ([]EquivRow, error) {
+	scale := tpch.Scale100GB
+	if opt.Quick {
+		scale = tpch.ScaleTiny * 4
+	}
+	db := tpch.NewDatabase(scale, opt.Seed)
+	if err := tpch.PlantWitnesses(db, tpch.HiddenQueries()); err != nil {
+		return nil, err
+	}
+	classicCfg := core.DefaultConfig()
+	classicCfg.Seed = opt.Seed
+	boundedCfg := core.DefaultConfig()
+	boundedCfg.Seed = opt.Seed
+	boundedCfg.BoundedCheck = 2
+
+	var out []EquivRow
+	tbl := &TextTable{
+		Title:  "Bounded Equivalence — classical instance suite vs symbolic mutant pruning (TPC-H, k=2)",
+		Header: []string{"query", "classic_invocations", "bounded_invocations", "saved", "mutants", "static", "witness", "equivalent", "unresolved", "checker_ms(classic/bounded)", "sql_identical"},
+	}
+	for _, name := range tpch.QueryOrder() {
+		exe := app.MustSQLExecutable(name, tpch.HiddenQueries()[name])
+		classic, err := core.Extract(exe, db, classicCfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s classical: %w", name, err)
+		}
+		bounded, err := core.Extract(exe, db, boundedCfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s bounded: %w", name, err)
+		}
+		cs, bs := classic.Stats, bounded.Stats
+		row := EquivRow{
+			Query:              name,
+			ClassicInvocations: cs.AppInvocations,
+			BoundedInvocations: bs.AppInvocations,
+			ClassicCheckerMS:   float64(cs.Checker.Microseconds()) / 1000,
+			BoundedCheckerMS:   float64(bs.Checker.Microseconds()) / 1000,
+			Bound:              bs.BoundedBound,
+			MutantsTotal:       bs.MutantsTotal,
+			KilledStatic:       bs.MutantsKilledStatic,
+			KilledWitness:      bs.MutantsKilledWitness,
+			ProvenEquivalent:   bs.MutantsProvenEquivalent,
+			MutantsUnresolved:  bs.MutantsUnresolved,
+			SQLIdentical:       classic.SQL == bounded.SQL,
+		}
+		out = append(out, row)
+		tbl.Add(name, row.ClassicInvocations, row.BoundedInvocations,
+			row.ClassicInvocations-row.BoundedInvocations,
+			row.MutantsTotal, row.KilledStatic, row.KilledWitness,
+			row.ProvenEquivalent, row.MutantsUnresolved,
+			fmt.Sprintf("%.1f/%.1f", row.ClassicCheckerMS, row.BoundedCheckerMS),
+			row.SQLIdentical)
+	}
+	tbl.Note("mutants settled symbolically never reach the executable; only unresolved classes fall back to classical instances")
+	tbl.Render(w)
+	return out, nil
+}
+
+// Snapshot is the JSON envelope benchrunner writes for machine
+// consumers (one file per experiment).
+type Snapshot struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+	Seed       int64  `json:"seed"`
+	Generated  string `json:"generated"`
+	Rows       any    `json:"rows"`
+}
+
+// WriteSnapshot marshals one experiment's rows to path.
+func WriteSnapshot(path, experiment string, opt Options, rows any) error {
+	snap := Snapshot{
+		Experiment: experiment,
+		Quick:      opt.Quick,
+		Seed:       opt.Seed,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"testing"
+
+	"unmasque/internal/core"
+)
+
+// TestBoundedCheckRecordsProofBound asserts that an extraction run
+// with Config.BoundedCheck set records the proof bound and the mutant
+// accounting in Stats, and that the mutant catalogue is fully
+// classified (every mutant is killed, proven equivalent, or honestly
+// reported unresolved).
+func TestBoundedCheckRecordsProofBound(t *testing.T) {
+	db := warehouseDB(t, 6, 30, 90)
+	sql := "select o_orderkey, o_totalprice from orders where o_totalprice >= 1000 and o_shippriority = 1"
+
+	cfg := defaultCfg()
+	cfg.BoundedCheck = 2
+	ext := extractHidden(t, db, sql, cfg)
+
+	st := ext.Stats
+	if st.BoundedBound != 2 {
+		t.Fatalf("Stats.BoundedBound = %d, want 2", st.BoundedBound)
+	}
+	if st.MutantsTotal == 0 {
+		t.Fatalf("no mutants generated for %q", sql)
+	}
+	classified := st.MutantsKilledStatic + st.MutantsKilledWitness +
+		st.MutantsProvenEquivalent + st.MutantsUnresolved
+	if classified != st.MutantsTotal {
+		t.Fatalf("mutant accounting does not add up: %d classified of %d total (static=%d witness=%d equivalent=%d unresolved=%d)",
+			classified, st.MutantsTotal, st.MutantsKilledStatic, st.MutantsKilledWitness,
+			st.MutantsProvenEquivalent, st.MutantsUnresolved)
+	}
+	if st.MutantsKilledStatic+st.MutantsKilledWitness == 0 {
+		t.Fatalf("no mutants killed at all for %q", sql)
+	}
+}
+
+// TestBoundedCheckPrunesInvocations asserts the point of the pruned
+// checker: the same extraction needs fewer executable invocations with
+// BoundedCheck on than with the classical instance suite, because
+// symbolically settled mutants never reach the application.
+func TestBoundedCheckPrunesInvocations(t *testing.T) {
+	db := warehouseDB(t, 6, 30, 90)
+	sql := "select o_orderkey, o_totalprice from orders where o_totalprice >= 1000 and o_shippriority = 1"
+
+	classic := extractHidden(t, db, sql, defaultCfg())
+
+	cfg := defaultCfg()
+	cfg.BoundedCheck = 2
+	bounded := extractHidden(t, db, sql, cfg)
+
+	if bounded.SQL != classic.SQL {
+		t.Fatalf("bounded checking changed the extraction:\nclassic: %s\nbounded: %s", classic.SQL, bounded.SQL)
+	}
+	if bounded.Stats.AppInvocations >= classic.Stats.AppInvocations {
+		t.Fatalf("bounded checker did not prune invocations: classic=%d bounded=%d",
+			classic.Stats.AppInvocations, bounded.Stats.AppInvocations)
+	}
+	if classic.Stats.BoundedBound != 0 {
+		t.Fatalf("classic run unexpectedly recorded a proof bound: %d", classic.Stats.BoundedBound)
+	}
+}
+
+// TestBoundedCheckDeterministic asserts the bounded checker's Stats
+// are identical across runs and worker counts (the enumeration and the
+// mutant walk are sequential and seeded; nothing depends on wall
+// clock or scheduling).
+func TestBoundedCheckDeterministic(t *testing.T) {
+	db := warehouseDB(t, 6, 30, 90)
+	sql := "select o_orderkey, o_totalprice from orders where o_totalprice >= 1000 order by o_totalprice desc"
+
+	var base core.Stats
+	for i, workers := range []int{1, 4} {
+		cfg := defaultCfg()
+		cfg.BoundedCheck = 2
+		cfg.Workers = workers
+		ext := extractHidden(t, db, sql, cfg)
+		st := ext.Stats
+		if i == 0 {
+			base = st
+			continue
+		}
+		if st.BoundedBound != base.BoundedBound ||
+			st.MutantsTotal != base.MutantsTotal ||
+			st.MutantsKilledStatic != base.MutantsKilledStatic ||
+			st.MutantsKilledWitness != base.MutantsKilledWitness ||
+			st.MutantsProvenEquivalent != base.MutantsProvenEquivalent ||
+			st.MutantsUnresolved != base.MutantsUnresolved {
+			t.Fatalf("bounded stats differ across worker counts:\nworkers=1: %+v\nworkers=%d: %+v", base, workers, st)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"strings"
+
+	"unmasque/internal/analysis/eqcequiv"
+	"unmasque/internal/sqldb"
+	"unmasque/internal/xdata"
+)
+
+// boundedMaxInstances caps the symbolic enumeration per mutant check.
+// Extraction runs many checks back to back, so the per-check budget is
+// kept below the library default; a check that exhausts it falls back
+// to the classical instances targeting its mutant class, losing only
+// the pruning, never coverage.
+const boundedMaxInstances = 50000
+
+// plantedCE is a counterexample database produced by the symbolic
+// checker, kept together with the candidate's evaluated result on it.
+// Later mutants are replayed against planted counterexamples before
+// any symbolic work: a mutant disagreeing with the candidate on one is
+// killed without a new enumeration (and without the executable).
+type plantedCE struct {
+	db      *sqldb.Database
+	candRes *sqldb.Result
+}
+
+// checkBounded is the symbolically pruned Stage 2 of the extraction
+// checker, used when Config.BoundedCheck > 0. The classical checker
+// kills every mutant the same way: run the application and Q_E on a
+// suite of targeted instances and compare. Here the mutant catalogue
+// is walked explicitly and each mutant is settled at the cheapest
+// available tier, none of which invokes the executable:
+//
+//  1. Replay on a recorded witness (initial instance or a Stage-1
+//     random database, where the application's answer is known): a
+//     mutant disagreeing with the recorded application result is dead.
+//  2. Replay on a previously planted counterexample database: a
+//     mutant disagreeing with the candidate there is dead — the
+//     candidate already matches the application on every observed
+//     instance, so a divergent mutant is a separated hypothesis.
+//  3. eqcequiv.Check(Q_E, mutant, k): a concrete counterexample kills
+//     the mutant outright (the paper's mutant-killing instance, found
+//     symbolically instead of executed); its database is planted for
+//     tier 2. An Equivalent verdict retires the mutant — no database
+//     within the bound can separate it from Q_E, so no instance suite
+//     at this scale could kill it either.
+//
+// Only mutants the symbolic layer exhausts its budget on (and
+// off-by-one limits beyond the catalogue's range) fall back to the
+// classical XData instances — and only the instance classes targeting
+// those mutants, not the whole suite. The executable therefore runs
+// strictly fewer times than under the classical Stage 2.
+//
+// The walk is deterministic: the mutant catalogue is ordered, the
+// equivalence checker is deterministic, and witnesses are consulted in
+// recording order — the same extraction yields the same counters and
+// the same ledger on every run and worker count.
+func (s *Session) checkBounded(ext *Extraction, schemas []sqldb.TableSchema, witnesses []witness) error {
+	k := s.cfg.BoundedCheck
+	s.stats.BoundedBound = k
+	opt := eqcequiv.Options{Bound: k, MaxInstances: boundedMaxInstances}
+
+	mutants := xdata.Mutants(ext.Query, schemas)
+	s.stats.MutantsTotal = len(mutants)
+
+	seen := map[sqldb.Fingerprint]bool{}
+	for _, w := range witnesses {
+		seen[w.db.Fingerprint()] = true
+	}
+
+	var planted []plantedCE
+	var unresolved []string
+	for _, m := range mutants {
+		if s.mutantDiffersOnWitness(ext, m, witnesses) {
+			s.stats.MutantsKilledWitness++
+			continue
+		}
+		if s.mutantDiffersOnPlanted(ext, m, planted) {
+			s.stats.MutantsKilledStatic++
+			continue
+		}
+		v, err := eqcequiv.Check(ext.Query, m.Stmt, schemas, opt)
+		if err != nil {
+			// Analysis rejected the mutant (e.g. a grouping mutation
+			// outside the class the analyzer handles) — leave it to
+			// the classical instances and record it honestly.
+			s.stats.MutantsUnresolved++
+			unresolved = append(unresolved, m.Label)
+			continue
+		}
+		switch v.Outcome {
+		case eqcequiv.Equivalent:
+			s.stats.MutantsProvenEquivalent++
+		case eqcequiv.Inequivalent:
+			s.stats.MutantsKilledStatic++
+			ce := v.Counterexample
+			if fp := ce.DB.Fingerprint(); !seen[fp] {
+				seen[fp] = true
+				if candRes, err := s.executeStmt(ext.Query, ce.DB); err == nil {
+					planted = append(planted, plantedCE{db: ce.DB, candRes: candRes})
+				}
+			}
+		default: // Exhausted
+			s.stats.MutantsUnresolved++
+			unresolved = append(unresolved, m.Label)
+		}
+	}
+
+	// Classical fallback for whatever the symbolic layer left open —
+	// plus the order-limit instance when the query's limit exceeds the
+	// catalogue's off-by-one range (those limit mutants are not
+	// generated, so no symbolic verdict covers them).
+	want := fallbackClasses(unresolved)
+	if ext.Query.Limit > xdata.MutantLimitCap {
+		want["order-limit"] = true
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	instances, err := xdata.Generate(ext.Query, schemas, s.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	for _, inst := range instances {
+		class := inst.Label
+		if i := strings.IndexByte(class, ':'); i >= 0 {
+			class = class[:i]
+		}
+		if !want[class] && !want["*"] {
+			continue
+		}
+		if err := s.compareOn(ext, inst.DB, inst.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fallbackClasses maps unresolved mutant labels to the classical
+// instance classes (xdata.Generate labels, colon-suffix stripped) that
+// target them. An unrecognized label conservatively selects every
+// class ("*").
+func fallbackClasses(labels []string) map[string]bool {
+	want := map[string]bool{}
+	for _, l := range labels {
+		switch {
+		case strings.HasPrefix(l, "bound") || strings.HasPrefix(l, "like") || strings.HasPrefix(l, "texteq"):
+			want["witnesses"] = true
+			want["boundary"] = true
+		case strings.HasPrefix(l, "agg:") || strings.HasPrefix(l, "distinct") || strings.HasPrefix(l, "group-"):
+			want["witnesses"] = true
+			want["group-collapse"] = true
+			want["agg-separate"] = true
+		case strings.HasPrefix(l, "order-flip") || strings.HasPrefix(l, "limit:"):
+			want["order-limit"] = true
+		default:
+			want["*"] = true
+		}
+	}
+	return want
+}
+
+// mutantDiffersOnWitness evaluates the mutant on each recorded witness
+// and reports whether it disagrees with the application's recorded
+// answer on any of them, under the checker's comparison semantics
+// (null-normalized multisets, plus positional order keys when the
+// extraction orders its output). A mutant erroring on a witness
+// differs by definition — the application produced a result there.
+func (s *Session) mutantDiffersOnWitness(ext *Extraction, m xdata.Mutant, witnesses []witness) bool {
+	for _, w := range witnesses {
+		if resultsDiffer(s, ext, m.Stmt, w.db, w.appRes) {
+			return true
+		}
+	}
+	return false
+}
+
+// mutantDiffersOnPlanted replays the mutant on counterexample
+// databases planted by earlier symbolic kills, comparing against the
+// candidate's stored result.
+func (s *Session) mutantDiffersOnPlanted(ext *Extraction, m xdata.Mutant, planted []plantedCE) bool {
+	for _, ce := range planted {
+		if resultsDiffer(s, ext, m.Stmt, ce.db, ce.candRes) {
+			return true
+		}
+	}
+	return false
+}
+
+// resultsDiffer evaluates stmt on db and compares it to the reference
+// result under the checker's semantics.
+func resultsDiffer(s *Session, ext *Extraction, stmt *sqldb.SelectStmt, db *sqldb.Database, ref *sqldb.Result) bool {
+	mRes, err := s.executeStmt(stmt, db)
+	if err != nil {
+		return true
+	}
+	refRes := normalizeNull(ref)
+	mRes = normalizeNull(mRes)
+	if !refRes.EqualUnordered(mRes) {
+		return true
+	}
+	if len(ext.OrderBy) > 0 && !OrderedEquivalent(refRes, mRes, ext.OrderBy) {
+		return true
+	}
+	return false
+}

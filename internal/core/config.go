@@ -74,6 +74,17 @@ type Config struct {
 	// SkipChecker disables the final verification module.
 	SkipChecker bool
 
+	// BoundedCheck, when positive, upgrades the checker's mutant stage
+	// from instance equivalence to a bounded symbolic proof: the
+	// assembled Q_E is compared against the XData mutant catalogue
+	// with the internal/analysis/eqcequiv checker over all canonical
+	// databases of up to BoundedCheck rows per table. Mutants the
+	// checker disproves are killed without invoking the executable
+	// (their counterexample database is planted as the witness), so
+	// executable runs per extraction drop. The proof bound is recorded
+	// in Stats.BoundedBound. Zero keeps the classical instance suite.
+	BoundedCheck int
+
 	// VerifyEQC runs the static extractable-class verifier
 	// (internal/analysis/eqcverify) over the assembled query after the
 	// checker: extraction fails if Q_E falls outside the class the
@@ -143,6 +154,12 @@ type Config struct {
 	// Metrics, when set, receives probe/cache counters and latency
 	// histograms; publishable through expvar (obs.Metrics.Publish).
 	Metrics *obs.Metrics
+
+	// Clock supplies the pipeline's wall-clock readings (phase timing,
+	// probe latencies). Nil selects time.Now. Injectable so the
+	// deterministic pipeline packages never call time.Now directly
+	// (golint GL007) and so tests can freeze time.
+	Clock func() time.Time
 }
 
 // DefaultConfig returns the paper-faithful parameterization.
@@ -208,6 +225,12 @@ func (c *Config) validate() error {
 	if c.CacheMaxRows == 0 {
 		c.CacheMaxRows = 256
 	}
+	if c.BoundedCheck < 0 {
+		return fmt.Errorf("BoundedCheck must be non-negative")
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 	return nil
 }
 
@@ -262,6 +285,26 @@ type Stats struct {
 	RowsInitial       int
 	RowsAfterSampling int
 	RowsFinal         int
+
+	// BoundedBound is the k of the bounded equivalence proof the
+	// checker ran (Config.BoundedCheck); zero when the classical
+	// instance suite ran instead.
+	BoundedBound int
+
+	// Mutant accounting of the bounded checker: the catalogue size,
+	// how many mutants were killed purely symbolically (a concrete
+	// counterexample database found by enumeration, or disagreement
+	// with the candidate replayed on a previously planted
+	// counterexample — the executable is never invoked), how many were
+	// killed against an application-observed witness database at zero
+	// extra cost, how many were proven equivalent within the bound (no
+	// kill possible at this scale, no run needed), and how many were
+	// left to the classical instance fallback.
+	MutantsTotal            int
+	MutantsKilledStatic     int
+	MutantsKilledWitness    int
+	MutantsProvenEquivalent int
+	MutantsUnresolved       int
 }
 
 // CacheHitRate is the fraction of cache-eligible probes served from
@@ -298,14 +341,20 @@ func (s *Stats) String() string {
 	if s.CacheEnabled {
 		line += fmt.Sprintf(" cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
 	}
+	if s.BoundedBound > 0 {
+		line += fmt.Sprintf(" bounded-check k=%d mutants %d (static=%d witness=%d equivalent=%d unresolved=%d)",
+			s.BoundedBound, s.MutantsTotal, s.MutantsKilledStatic, s.MutantsKilledWitness,
+			s.MutantsProvenEquivalent, s.MutantsUnresolved)
+	}
 	return line
 }
 
-// timed runs fn and adds its duration to *slot.
-func timed(slot *time.Duration, fn func() error) error {
-	start := time.Now()
+// timed runs fn and adds its duration to *slot, reading the session
+// clock (GL007: core never calls time.Now directly).
+func (s *Session) timed(slot *time.Duration, fn func() error) error {
+	start := s.cfg.Clock()
 	err := fn()
-	*slot += time.Since(start)
+	*slot += s.cfg.Clock().Sub(start)
 	return err
 }
 

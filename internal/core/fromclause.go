@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"unmasque/internal/app"
 	"unmasque/internal/obs"
@@ -41,10 +40,10 @@ func (s *Session) extractFromClause() error {
 		// the full instance would dwarf the probe itself), so they
 		// record their ledger event here; a missing-table fault or
 		// timeout IS the observation, not an incident.
-		start := time.Now()
+		start := s.cfg.Clock()
 		res, err := app.RunCtx(s.ctx, s.exe, probe, s.cfg.ProbeTimeout)
 		s.observe(pc, obs.ProbeEvent{Kind: obs.KindRename, Table: names[i], Cache: obs.CacheNone},
-			res, err, time.Since(start))
+			res, err, s.cfg.Clock().Sub(start))
 		switch {
 		case errors.Is(err, sqldb.ErrNoSuchTable):
 			inQuery[i] = true
@@ -72,7 +71,7 @@ func (s *Session) extractFromClause() error {
 	// Build the silo: every table's schema, but rows only for T_E
 	// (referential constraints are irrelevant — the engine does not
 	// enforce them, matching the paper's dropped-RI silo).
-	return timed(&s.stats.SiloSetup, func() error {
+	return s.timed(&s.stats.SiloSetup, func() error {
 		relevant := map[string]bool{}
 		for _, t := range s.tables {
 			relevant[t] = true

@@ -18,12 +18,12 @@ import (
 // single-row) database.
 func (s *Session) minimize() error {
 	if !s.cfg.DisableSampling {
-		if err := timed(&s.stats.Sampling, s.samplePhase); err != nil {
+		if err := s.timed(&s.stats.Sampling, s.samplePhase); err != nil {
 			return moduleErr("minimizer/sampling", err)
 		}
 	}
 	s.stats.RowsAfterSampling = s.silo.TotalRows()
-	if err := timed(&s.stats.Partitioning, s.partitionPhase); err != nil {
+	if err := s.timed(&s.stats.Partitioning, s.partitionPhase); err != nil {
 		return moduleErr("minimizer/partitioning", err)
 	}
 	s.stats.RowsFinal = s.silo.TotalRows()

@@ -217,14 +217,14 @@ func (s *Session) runMemoized(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, 
 	for {
 		e, leader := s.cache.reserve(fp)
 		if !leader {
-			start := time.Now()
+			start := s.cfg.Clock()
 			<-e.done
 			if !e.ok {
 				continue // flight aborted (timeout); retry as leader
 			}
 			s.cache.hits.Add(1)
 			s.observe(pc, obs.ProbeEvent{Kind: obs.KindExec, FP: fp.Hex(), Cache: obs.CacheHit},
-				e.res, e.err, time.Since(start))
+				e.res, e.err, s.cfg.Clock().Sub(start))
 			return e.res.Clone(), e.err
 		}
 		s.cache.misses.Add(1)
@@ -244,9 +244,9 @@ func (s *Session) runMemoized(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, 
 // runObserved executes E once under the general deadline (and the
 // session context) and records the invocation.
 func (s *Session) runObserved(pc *probeCtx, db *sqldb.Database, cache, fp string) (*sqldb.Result, error) {
-	start := time.Now()
+	start := s.cfg.Clock()
 	res, err := app.RunCtx(s.ctx, s.exe, db, s.cfg.ExecTimeout)
-	s.observe(pc, obs.ProbeEvent{Kind: obs.KindExec, FP: fp, Cache: cache}, res, err, time.Since(start))
+	s.observe(pc, obs.ProbeEvent{Kind: obs.KindExec, FP: fp, Cache: cache}, res, err, s.cfg.Clock().Sub(start))
 	return res, err
 }
 

@@ -149,7 +149,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 	if !cfg.DisableRunCache {
 		s.cache = newRunCache()
 	}
-	start := time.Now()
+	start := s.cfg.Clock()
 	s.stats.RowsInitial = di.TotalRows()
 
 	steps := []struct {
@@ -204,7 +204,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 		span := s.beginPhase(step.name)
 		var err error
 		if step.slot != nil {
-			err = timed(step.slot, step.fn)
+			err = s.timed(step.slot, step.fn)
 		} else {
 			err = step.fn()
 		}
@@ -222,7 +222,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 	}
 	if !cfg.SkipChecker {
 		span := s.beginPhase("checker")
-		err := timed(&s.stats.Checker, func() error { return s.check(ext) })
+		err := s.timed(&s.stats.Checker, func() error { return s.check(ext) })
 		span.EndErr(err)
 		if err != nil {
 			return nil, moduleErr("checker", err)
@@ -236,7 +236,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 		// argument covers. Disjunctive single-column predicates are
 		// in-class exactly when the Section 9 extension extracted them.
 		span := s.beginPhase("eqc-verify")
-		err := timed(&s.stats.Checker, func() error {
+		err := s.timed(&s.stats.Checker, func() error {
 			diags := eqcverify.Verify(ext.Query, s.source.Schemas(),
 				eqcverify.Options{AllowDisjunction: cfg.ExtractDisjunction})
 			return eqcverify.Error(diags)
@@ -246,7 +246,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 			return nil, moduleErr("eqc-verify", err)
 		}
 	}
-	s.stats.Total = time.Since(start)
+	s.stats.Total = s.cfg.Clock().Sub(start)
 	s.stats.AppInvocations = s.exe.Invocations()
 	s.stats.Workers = s.cfg.Workers
 	s.stats.ParallelProbes = s.parallelProbes.Load()

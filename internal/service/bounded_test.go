@@ -1,0 +1,59 @@
+package service_test
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unmasque/internal/service"
+)
+
+// TestBoundedJob submits a job with the bounded-check knob and asserts
+// the result carries the proof bound and the mutant accounting.
+func TestBoundedJob(t *testing.T) {
+	ctx := context.Background()
+	mgr, err := service.Start(ctx, service.Config{
+		Workers:    1,
+		QueueDepth: 4,
+		StorePath:  filepath.Join(t.TempDir(), "jobs.jsonl"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Drain(ctx)
+
+	spec := inlineSpec("bounded-job")
+	spec.Bounded = 2
+	v, err := mgr.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, mgr, v.ID)
+
+	res, err := mgr.Result(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != service.StateDone {
+		t.Fatalf("job finished %s: %s", res.State, res.Error)
+	}
+	if res.BoundedBound != 2 {
+		t.Fatalf("result bounded_bound = %d, want 2", res.BoundedBound)
+	}
+	if res.MutantsKilled == 0 {
+		t.Fatalf("bounded job killed no mutants: %+v", res)
+	}
+	if !strings.Contains(res.SQL, "select") {
+		t.Fatalf("no extracted SQL in result: %+v", res)
+	}
+}
+
+// TestBoundedSpecValidation rejects a negative bound at admission.
+func TestBoundedSpecValidation(t *testing.T) {
+	spec := inlineSpec("bad-bound")
+	spec.Bounded = -1
+	if err := spec.Validate(); err == nil {
+		t.Fatal("negative bounded accepted")
+	}
+}

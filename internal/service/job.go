@@ -89,6 +89,12 @@ type Result struct {
 	CacheHits      int64 `json:"cache_hits"`
 	LedgerEvents   int64 `json:"ledger_events"`
 	Workers        int   `json:"workers,omitempty"`
+	// BoundedBound is the k of the bounded equivalence proof when the
+	// job ran with spec.Bounded > 0; MutantsKilled/MutantsProven count
+	// the checker's mutant classifications under that proof.
+	BoundedBound  int `json:"bounded_bound,omitempty"`
+	MutantsKilled int `json:"mutants_killed,omitempty"`
+	MutantsProven int `json:"mutants_proven,omitempty"`
 }
 
 // view renders the job snapshot; the caller holds the Manager lock.
@@ -120,6 +126,9 @@ func (j *Job) result() Result {
 		CacheHits:      j.stats.CacheHits,
 		LedgerEvents:   int64(j.ledger.Len()),
 		Workers:        j.stats.Workers,
+		BoundedBound:   j.stats.BoundedBound,
+		MutantsKilled:  j.stats.MutantsKilledStatic + j.stats.MutantsKilledWitness,
+		MutantsProven:  j.stats.MutantsProvenEquivalent,
 	}
 }
 

@@ -38,6 +38,10 @@ type JobSpec struct {
 	// Workers overrides the per-extraction probe worker pool (0 =
 	// pipeline default).
 	Workers int `json:"workers,omitempty"`
+	// Bounded turns on the symbolically pruned checker with a bounded
+	// equivalence proof at k = Bounded rows per table (0 = classical
+	// instance suite).
+	Bounded int `json:"bounded,omitempty"`
 }
 
 // TableSpec is one inline table: schema plus row data.
@@ -89,6 +93,9 @@ func (sp JobSpec) DisplayName() string {
 // anything: a bad spec must be rejected at admission, not discovered
 // by a worker.
 func (sp JobSpec) Validate() error {
+	if sp.Bounded < 0 {
+		return fmt.Errorf("spec: bounded must be non-negative")
+	}
 	inline := len(sp.Tables) > 0 || sp.SQL != ""
 	switch {
 	case sp.App == "" && !inline:

@@ -1,0 +1,61 @@
+package sqldb
+
+// CloneExpr deep-copies an expression tree. The analysis layer
+// (canonicalization, mutant generation) rewrites ASTs structurally and
+// must never alias nodes of the statement it derives from: the
+// extraction pipeline holds on to its assembled query, and a shared
+// node mutated by a rewrite would silently corrupt it.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColumnExpr:
+		c := *x
+		return &c
+	case *LiteralExpr:
+		l := *x
+		return &l
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *NegExpr:
+		return &NegExpr{X: CloneExpr(x.X)}
+	case *NotExpr:
+		return &NotExpr{X: CloneExpr(x.X)}
+	case *BetweenExpr:
+		return &BetweenExpr{X: CloneExpr(x.X), Lo: CloneExpr(x.Lo), Hi: CloneExpr(x.Hi)}
+	case *LikeExpr:
+		return &LikeExpr{X: CloneExpr(x.X), Pattern: x.Pattern, Not: x.Not}
+	case *IsNullExpr:
+		return &IsNullExpr{X: CloneExpr(x.X), Not: x.Not}
+	case *AggExpr:
+		return &AggExpr{Fn: x.Fn, Arg: CloneExpr(x.Arg), Star: x.Star, Distinct: x.Distinct}
+	default:
+		// Unknown node kinds cannot be deep-copied; returning the node
+		// unchanged keeps the clone usable (the engine evaluates it the
+		// same way) at the cost of aliasing — no such kinds exist today.
+		return e
+	}
+}
+
+// CloneStmt deep-copies a select statement, expression trees included.
+func CloneStmt(s *SelectStmt) *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	out := &SelectStmt{
+		From:  append([]string(nil), s.From...),
+		Where: CloneExpr(s.Where),
+		Limit: s.Limit,
+	}
+	for _, it := range s.Items {
+		out.Items = append(out.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias})
+	}
+	for _, g := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, CloneExpr(g))
+	}
+	out.Having = CloneExpr(s.Having)
+	for _, k := range s.OrderBy {
+		out.OrderBy = append(out.OrderBy, OrderKey{Expr: CloneExpr(k.Expr), Desc: k.Desc})
+	}
+	return out
+}
