@@ -51,8 +51,11 @@ type enumerator struct {
 
 // colDomain classifies a column and returns its value domain. hints
 // carries extra must-include values (aggregate boundaries from having
-// clauses) that the predicate analysis alone cannot see.
-func colDomain(ref sqldb.ColRef, def sqldb.Column, analyses []*xdata.Analysis, diff map[sqldb.ColRef]bool, hints []sqldb.Value, isKey bool, bound, maxVals int) ([]sqldb.Value, error) {
+// clauses) that the predicate analysis alone cannot see. capped
+// reports that the domain was truncated to maxVals — interesting
+// values were dropped, so an enumeration over it can still find
+// counterexamples but can no longer prove equivalence.
+func colDomain(ref sqldb.ColRef, def sqldb.Column, analyses []*xdata.Analysis, diff map[sqldb.ColRef]bool, hints []sqldb.Value, isKey bool, bound, maxVals int) (vals []sqldb.Value, capped bool, err error) {
 	covering := func() []*xdata.Analysis {
 		var out []*xdata.Analysis
 		for _, a := range analyses {
@@ -63,7 +66,7 @@ func colDomain(ref sqldb.ColRef, def sqldb.Column, analyses []*xdata.Analysis, d
 		return out
 	}()
 	if len(covering) == 0 {
-		return nil, fmt.Errorf("eqcequiv: table %s not analyzed", ref.Table)
+		return nil, false, fmt.Errorf("eqcequiv: table %s not analyzed", ref.Table)
 	}
 	isJoin := false
 	for _, a := range covering {
@@ -73,7 +76,6 @@ func colDomain(ref sqldb.ColRef, def sqldb.Column, analyses []*xdata.Analysis, d
 			}
 		}
 	}
-	var vals []sqldb.Value
 	if isJoin || isKey {
 		vals = append(vals, keyDomain(def, bound)...)
 	}
@@ -83,24 +85,25 @@ func colDomain(ref sqldb.ColRef, def sqldb.Column, analyses []*xdata.Analysis, d
 		for _, a := range covering {
 			bv, err := a.BoundaryValues(ref)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			vals = append(vals, bv...)
 		}
 		vals = dedupeValues(vals)
 		if len(vals) > maxVals {
 			vals = vals[:maxVals]
+			capped = true
 		}
 	case isJoin || isKey:
 		// Key domain only: enough rows to join and to violate nothing.
 	default:
 		v, err := covering[0].SatisfyingValue(ref, 0)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		vals = append(vals, v)
 	}
-	return dedupeValues(vals), nil
+	return dedupeValues(vals), capped, nil
 }
 
 // keyDomain yields bound distinct typed key values; joined columns on
@@ -202,9 +205,12 @@ func buildEnumerator(analyses []*xdata.Analysis, schemas []sqldb.TableSchema, di
 		domains := make([][]sqldb.Value, len(sch.Columns))
 		for i, col := range sch.Columns {
 			ref := sqldb.ColRef{Table: n, Column: strings.ToLower(col.Name)}
-			d, err := colDomain(ref, col, analyses, diff, hints[ref], isKey[strings.ToLower(col.Name)], opt.Bound, opt.MaxColumnValues)
+			d, capped, err := colDomain(ref, col, analyses, diff, hints[ref], isKey[strings.ToLower(col.Name)], opt.Bound, opt.MaxColumnValues)
 			if err != nil {
 				return nil, err
+			}
+			if capped {
+				e.capped = true
 			}
 			if len(d) == 0 {
 				return nil, fmt.Errorf("eqcequiv: empty domain for %s.%s", n, col.Name)

@@ -327,27 +327,35 @@ func orderedAgree(a, b *sqldb.Result, orderIdx []int) bool {
 }
 
 // orderKeyIndexes maps a statement's order keys to output column
-// positions: by alias/output name for bare column keys, by rendering
-// for expression keys. Keys that are not projected are dropped (their
+// positions: first by exact (qualified) rendering against each
+// projected expression, then — only for a genuinely unqualified
+// column key, which can be an alias reference — by the item's
+// alias/output name. Matching bare names before renderings would pin
+// the wrong position when two from-clause tables project a
+// same-named column. Keys that are not projected are dropped (their
 // order is unobservable in the result).
 func orderKeyIndexes(s *sqldb.SelectStmt) []int {
 	var out []int
 	for _, k := range s.OrderBy {
-		name := ""
-		if c, ok := k.Expr.(*sqldb.ColumnExpr); ok {
-			name = c.Column
-		}
+		match := -1
 		for i, it := range s.Items {
-			match := false
-			if name != "" && it.OutputName() == name {
-				match = true
-			} else if it.Expr.String() == k.Expr.String() {
-				match = true
-			}
-			if match {
-				out = append(out, i)
+			if it.Expr.String() == k.Expr.String() {
+				match = i
 				break
 			}
+		}
+		if match < 0 {
+			if c, ok := k.Expr.(*sqldb.ColumnExpr); ok && c.Table == "" {
+				for i, it := range s.Items {
+					if it.OutputName() == c.Column {
+						match = i
+						break
+					}
+				}
+			}
+		}
+		if match >= 0 {
+			out = append(out, match)
 		}
 	}
 	return out

@@ -303,6 +303,26 @@ func TestExhausted(t *testing.T) {
 	}
 }
 
+// TestDomainCapNeverProves pins the other half of the Exhausted
+// contract: a truncated *value domain* (MaxColumnValues), not just a
+// truncated instance budget, must forfeit the proof. The pair is
+// genuinely equivalent and the enumeration finds no counterexample,
+// but with the diff column's boundary values capped below their count
+// the dropped values could have separated the queries — so Equivalent
+// would be unsound, and the verdict must degrade to Exhausted.
+func TestDomainCapNeverProves(t *testing.T) {
+	v, err := Check(
+		parse(t, "select a from t where a >= 5"),
+		parse(t, "select a from t where a >= 5 and a >= 3"),
+		testSchemas(), Options{MaxColumnValues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Outcome != Exhausted {
+		t.Fatalf("outcome = %v, want exhausted under a capped domain (%s)", v.Outcome, v)
+	}
+}
+
 // TestSmallScopeCaveat pins the documented soundness limit (DESIGN.md
 // §10.2): "price > 0.05" and "price >= 0.06" differ on real numbers
 // (0.055 separates them) but are proven Equivalent by enumeration —

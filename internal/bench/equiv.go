@@ -95,7 +95,7 @@ func Equiv(w io.Writer, opt Options) ([]EquivRow, error) {
 			fmt.Sprintf("%.1f/%.1f", row.ClassicCheckerMS, row.BoundedCheckerMS),
 			row.SQLIdentical)
 	}
-	tbl.Note("mutants settled symbolically never reach the executable; only unresolved classes fall back to classical instances")
+	tbl.Note("replayed kills never run the executable; a symbolic kill runs it once to certify the counterexample; only unresolved classes fall back to classical instances")
 	tbl.Render(w)
 	return out, nil
 }

@@ -34,13 +34,16 @@ func (s *Session) check(ext *Extraction) error {
 	// are generated from the *extracted* predicate structure, so
 	// hidden logic invisible to the pipeline (e.g. negated patterns)
 	// could satisfy them by construction; D_I is the one instance the
-	// pipeline did not shape.
-	if err := s.compareOn(ext, s.source, "initial-instance"); err != nil {
+	// pipeline did not shape — which also makes it the first
+	// mutant-killing witness for the bounded checker.
+	var witnesses []witness
+	initRes, err := s.compareOnResult(ext, s.source, "initial-instance")
+	if err != nil {
 		return err
 	}
+	witnesses = append(witnesses, witness{db: s.source, appRes: initRes})
 
 	// Stage 1: randomized databases.
-	var witnesses []witness
 	for round := 0; round < s.cfg.CheckerRounds; round++ {
 		rng := newRNG(s.cfg.Seed + int64(round) + 1000)
 		db, err := analysis.RandomInstance(s.cfg.CheckerRows, rng)

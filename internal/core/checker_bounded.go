@@ -16,13 +16,15 @@ import (
 const boundedMaxInstances = 50000
 
 // plantedCE is a counterexample database produced by the symbolic
-// checker, kept together with the candidate's evaluated result on it.
-// Later mutants are replayed against planted counterexamples before
-// any symbolic work: a mutant disagreeing with the candidate on one is
-// killed without a new enumeration (and without the executable).
+// checker, kept together with the application's recorded result on it
+// (the planting step runs the executable once and requires it to side
+// with Q_E there). Later mutants are replayed against planted
+// counterexamples before any symbolic work: a mutant disagreeing with
+// the application on one is killed without a new enumeration (and
+// without another executable run).
 type plantedCE struct {
-	db      *sqldb.Database
-	candRes *sqldb.Result
+	db     *sqldb.Database
+	appRes *sqldb.Result
 }
 
 // checkBounded is the symbolically pruned Stage 2 of the extraction
@@ -30,27 +32,36 @@ type plantedCE struct {
 // kills every mutant the same way: run the application and Q_E on a
 // suite of targeted instances and compare. Here the mutant catalogue
 // is walked explicitly and each mutant is settled at the cheapest
-// available tier, none of which invokes the executable:
+// available tier:
 //
 //  1. Replay on a recorded witness (initial instance or a Stage-1
 //     random database, where the application's answer is known): a
 //     mutant disagreeing with the recorded application result is dead.
-//  2. Replay on a previously planted counterexample database: a
-//     mutant disagreeing with the candidate there is dead — the
-//     candidate already matches the application on every observed
-//     instance, so a divergent mutant is a separated hypothesis.
+//     No executable run.
+//  2. Replay on a previously planted counterexample database, where
+//     the application's answer is also already recorded: a mutant
+//     disagreeing with it there is dead. No executable run.
 //  3. eqcequiv.Check(Q_E, mutant, k): a concrete counterexample kills
-//     the mutant outright (the paper's mutant-killing instance, found
-//     symbolically instead of executed); its database is planted for
-//     tier 2. An Equivalent verdict retires the mutant — no database
-//     within the bound can separate it from Q_E, so no instance suite
-//     at this scale could kill it either.
+//     the mutant (the paper's mutant-killing instance, found
+//     symbolically instead of searched for dynamically) — but only
+//     after the separating database is certified: the application is
+//     executed once on it and must agree with Q_E there, exactly the
+//     comparison the classical suite would have made on a targeted
+//     instance. The certified database is then planted for tier 2,
+//     so the one executable run is amortized over every later mutant
+//     it kills. An Equivalent verdict retires the mutant — no
+//     database within the bound can separate it from Q_E, so no
+//     instance suite at this scale could kill it either.
 //
 // Only mutants the symbolic layer exhausts its budget on (and
 // off-by-one limits beyond the catalogue's range) fall back to the
 // classical XData instances — and only the instance classes targeting
 // those mutants, not the whole suite. The executable therefore runs
-// strictly fewer times than under the classical Stage 2.
+// once per *distinct counterexample database* plus the fallback
+// instances, instead of once per suite instance — strictly fewer
+// times than under the classical Stage 2, without giving up the
+// classical guarantee that every kill is anchored to an instance on
+// which the application itself was observed to side with Q_E.
 //
 // The walk is deterministic: the mutant catalogue is ordered, the
 // equivalence checker is deterministic, and witnesses are consulted in
@@ -93,14 +104,20 @@ func (s *Session) checkBounded(ext *Extraction, schemas []sqldb.TableSchema, wit
 		case eqcequiv.Equivalent:
 			s.stats.MutantsProvenEquivalent++
 		case eqcequiv.Inequivalent:
-			s.stats.MutantsKilledStatic++
 			ce := v.Counterexample
 			if fp := ce.DB.Fingerprint(); !seen[fp] {
 				seen[fp] = true
-				if candRes, err := s.executeStmt(ext.Query, ce.DB); err == nil {
-					planted = append(planted, plantedCE{db: ce.DB, candRes: candRes})
+				// Certify the separating instance: one executable run,
+				// and the application must side with Q_E on it (a
+				// disagreement here is a failed extraction check, the
+				// same as on any classical instance).
+				appRes, err := s.compareOnResult(ext, ce.DB, "bounded-ce:"+m.Label)
+				if err != nil {
+					return err
 				}
+				planted = append(planted, plantedCE{db: ce.DB, appRes: appRes})
 			}
+			s.stats.MutantsKilledStatic++
 		default: // Exhausted
 			s.stats.MutantsUnresolved++
 			unresolved = append(unresolved, m.Label)
@@ -178,10 +195,11 @@ func (s *Session) mutantDiffersOnWitness(ext *Extraction, m xdata.Mutant, witnes
 
 // mutantDiffersOnPlanted replays the mutant on counterexample
 // databases planted by earlier symbolic kills, comparing against the
-// candidate's stored result.
+// application's recorded result on each (captured when the database
+// was certified at planting time).
 func (s *Session) mutantDiffersOnPlanted(ext *Extraction, m xdata.Mutant, planted []plantedCE) bool {
 	for _, ce := range planted {
-		if resultsDiffer(s, ext, m.Stmt, ce.db, ce.candRes) {
+		if resultsDiffer(s, ext, m.Stmt, ce.db, ce.appRes) {
 			return true
 		}
 	}
