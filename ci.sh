@@ -40,13 +40,30 @@ done
 echo "== go test -race"
 go test -race ./...
 
+# Differential engine harness: the corpus/edge-case/e2e tests execute
+# every query under both exec modes internally; here the CLI is also
+# cross-checked so the -exec knob itself (flag -> Config -> engine) is
+# covered end to end.
+echo "== differential engine harness (tree oracle vs vector)"
+go test -run 'TestEngineDiff|TestExecDiff|TestVecEval|TestExtractionIdenticalAcrossExecModes' \
+    ./internal/sqldb ./internal/core
+tree_sql=$(go run ./cmd/unmasque -app enki/posts_by_tag -exec tree | grep -v '^--')
+vector_sql=$(go run ./cmd/unmasque -app enki/posts_by_tag -exec vector | grep -v '^--')
+if [ "$tree_sql" != "$vector_sql" ]; then
+    echo "engine differential: -exec tree and -exec vector extract different SQL" >&2
+    printf 'tree:   %s\nvector: %s\n' "$tree_sql" "$vector_sql" >&2
+    exit 1
+fi
+
 # Fuzz smoke: each native fuzz target runs briefly so a regression in
 # a fuzzed invariant (parser round-trip, LIKE matcher, expression
-# evaluator) fails CI even before a long fuzzing campaign would.
+# evaluator, engine equivalence) fails CI even before a long fuzzing
+# campaign would.
 echo "== fuzz smoke (5s per target)"
 go test -fuzz='^FuzzParse$' -fuzztime=5s -run='^$' ./internal/sqlparser
 go test -fuzz='^FuzzLike$' -fuzztime=5s -run='^$' ./internal/sqldb
 go test -fuzz='^FuzzExprEval$' -fuzztime=5s -run='^$' ./internal/sqldb
+go test -fuzz='^FuzzExecDiff$' -fuzztime=5s -run='^$' ./internal/sqldb
 
 # Trace end-to-end: one real extraction with the observability layer
 # on, then schema-validate the JSONL it produced (first line must be
@@ -145,5 +162,24 @@ check_cover ./internal/sqldb 81.0
 check_cover ./internal/obs 80.0
 check_cover ./internal/service 78.0
 check_cover ./internal/analysis/eqcequiv 80.0
+
+# Per-file floor on the vectorized engine: the differential harness
+# must actually exercise the new batch/index/scan/join code, not just
+# keep the package average up.
+echo "== per-file coverage floor (vectorized engine, 80%)"
+prof=$(mktemp /tmp/unmasque-cover.XXXXXX)
+go test -coverprofile="$prof" ./internal/sqldb >/dev/null
+for f in batch.go vector.go index.go exec_vector.go; do
+    pct=$(awk -v f="internal/sqldb/$f:" \
+        'index($1, f) { total += $2; if ($3 > 0) covered += $2 }
+         END { if (total == 0) print "0.0"; else printf "%.1f", 100 * covered / total }' "$prof")
+    echo "coverage: internal/sqldb/$f $pct% (floor 80%)"
+    if awk -v p="$pct" 'BEGIN { exit !(p < 80.0) }'; then
+        echo "coverage: internal/sqldb/$f dropped below 80%" >&2
+        rm -f "$prof"
+        exit 1
+    fi
+done
+rm -f "$prof"
 
 echo "ci: all checks passed"

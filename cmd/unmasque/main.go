@@ -133,7 +133,7 @@ func validateTrace(path string) error {
 // runAdhoc hides an arbitrary user query inside an executable over
 // the chosen workload database and unmasks it — a self-demo of the
 // full loop on any EQC query the user types.
-func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool, bounded int, ob *obsFlags) error {
+func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool, bounded int, execMode string, ob *obsFlags) error {
 	db, plant, err := registry.AdhocDatabase(workload, seed)
 	if err != nil {
 		return err
@@ -150,6 +150,7 @@ func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool, b
 	cfg.ExtractHaving = having
 	cfg.SkipChecker = noChecker
 	cfg.BoundedCheck = bounded
+	cfg.ExecMode = execMode
 	ob.attach(&cfg)
 	ext, err := core.Extract(exe, db, cfg)
 	if ferr := ob.finish(exe.Name(), cfg, ext); ferr != nil {
@@ -176,6 +177,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "data generation / extraction seed")
 		noChecker = flag.Bool("no-checker", false, "skip the final verification module")
 		bounded   = flag.Int("bounded-check", 0, "mutant-prune the checker with a bounded equivalence proof at k rows/table (0 = classical suite)")
+		execMode  = flag.String("exec", "", "sqldb execution engine for probes: vector (default) or tree (the differential-testing oracle)")
 		tracePath = flag.String("trace", "", "write the probe trace (run header, spans, ledger) as JSONL to this file")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry after extraction")
 		debugAddr = flag.String("debug-addr", "", "serve expvar and pprof on this address during extraction, e.g. localhost:6060")
@@ -197,7 +199,7 @@ func main() {
 	ob := &obsFlags{tracePath: *tracePath, metrics: *metrics}
 
 	if *adhocSQL != "" {
-		if err := runAdhoc(*workload, *adhocSQL, *seed, *having, *noChecker, *stats, *bounded, ob); err != nil {
+		if err := runAdhoc(*workload, *adhocSQL, *seed, *having, *noChecker, *stats, *bounded, *execMode, ob); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
@@ -229,6 +231,7 @@ func main() {
 	cfg.ExtractHaving = *having || strings.Contains(*appName, "/H")
 	cfg.SkipChecker = *noChecker
 	cfg.BoundedCheck = *bounded
+	cfg.ExecMode = *execMode
 	ob.attach(&cfg)
 
 	ext, err := core.Extract(exe, db, cfg)

@@ -47,6 +47,11 @@
 //	        byte-identical across runs and worker counts. Constructing
 //	        a seeded generator (rand.New, rand.NewSource) is allowed,
 //	        as is referencing time.Now as a value (the default Clock).
+//	GL008 — internal/sqldb never allocates a map with sqldb.Value
+//	        elements inside a loop. Per-row map[string]Value was the
+//	        dominant allocation cost of the pre-vectorized executor;
+//	        the columnar engine's hot paths must hoist and reuse such
+//	        maps or use positional slices keyed by resolved slots.
 //
 // The entry point is LintDir, which loads and typechecks every
 // non-test package under a module root using a minimal module-aware
@@ -76,6 +81,7 @@ const (
 	RuleDirectPrint = "GL005"
 	RuleServiceCtx  = "GL006"
 	RuleDeterminism = "GL007"
+	RuleBatchAlloc  = "GL008"
 )
 
 // Finding is one lint violation.
@@ -124,6 +130,7 @@ func LintDir(root string) ([]Finding, error) {
 		findings = append(findings, checkDirectPrint(fset, p)...)
 		findings = append(findings, checkServiceContext(fset, p)...)
 		findings = append(findings, checkDeterminism(fset, p)...)
+		findings = append(findings, checkBatchAlloc(fset, p)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos

@@ -52,6 +52,38 @@ func (d *Database) RenameTable(a, b string) error { return nil }
 func (d *Database) Insert(name string, r Row) error { return nil }
 func (d *Database) Table(name string) *Table      { return d.tables[name] }
 func (d *Database) Clone() *Database              { return &Database{} }
+
+type Value struct{ I int64 }
+
+// badPerRowAlloc allocates Value maps once per row: GL008.
+func badPerRowAlloc(rows []Row) int {
+	n := 0
+	for range rows {
+		m := make(map[string]Value) // want:GL008
+		l := map[int]Value{}        // want:GL008
+		n += len(m) + len(l)
+	}
+	return n
+}
+
+// goodHoistedAlloc reuses one map across the loop: legal.
+func goodHoistedAlloc(rows []Row) int {
+	m := make(map[string]Value)
+	for i := range rows {
+		m["k"] = Value{I: int64(i)}
+	}
+	return len(m)
+}
+
+// goodNonValueMap allocates a map of plain ints in a loop: GL008 only
+// guards Value elements.
+func goodNonValueMap(rows []Row) int {
+	n := 0
+	for range rows {
+		n += len(make(map[string]int64))
+	}
+	return n
+}
 `,
 		"internal/core/session.go": `package core
 
@@ -376,6 +408,7 @@ func TestRuleIDsCovered(t *testing.T) {
 	for _, rule := range []string{
 		golint.RulePanic, golint.RuleSourceMut, golint.RuleErrWrap, golint.RuleTableAccess,
 		golint.RuleDirectPrint, golint.RuleServiceCtx, golint.RuleDeterminism,
+		golint.RuleBatchAlloc,
 	} {
 		found := false
 		for k := range want {

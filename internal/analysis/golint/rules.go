@@ -491,6 +491,75 @@ func checkDeterminism(fset *token.FileSet, p *pkg) []Finding {
 	return out
 }
 
+// --- GL008: no per-row Value-map allocation in the storage engine ---
+
+// checkBatchAlloc enforces GL008: inside internal/sqldb, no map with
+// sqldb.Value elements may be allocated inside a loop. Per-row
+// map[string]Value (or map[*AggExpr]Value) allocations were the
+// dominant cost of the pre-vectorized executor — one map per row per
+// probe, millions per extraction — and the columnar engine exists to
+// avoid them. Hoist the allocation out of the loop and reuse it, or
+// use positional slices keyed by resolved slots.
+func checkBatchAlloc(fset *token.FileSet, p *pkg) []Finding {
+	if !isSqldbPkg(p.importPath) {
+		return nil
+	}
+	var out []Finding
+	flagAllocs := func(loop ast.Node, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			var t types.Type
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				id, ok := x.Fun.(*ast.Ident)
+				if !ok || id.Name != "make" {
+					return true
+				}
+				if b, ok := p.info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+					return true
+				}
+				t = p.info.Types[x].Type
+			case *ast.CompositeLit:
+				t = p.info.Types[x].Type
+			default:
+				return true
+			}
+			if !isValueMap(t) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(n.Pos()),
+				Rule: RuleBatchAlloc,
+				Msg: "map with sqldb.Value elements allocated inside a loop; " +
+					"hoist and reuse it, or use a positional slice (GL008)",
+			})
+			return true
+		})
+	}
+	funcsOf(p, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ForStmt:
+				flagAllocs(x, x.Body)
+				return false // inner loops are covered by the outer walk
+			case *ast.RangeStmt:
+				flagAllocs(x, x.Body)
+				return false
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// isValueMap matches map[K]sqldb.Value after stripping named types.
+func isValueMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	return ok && isSqldbNamed(m.Elem(), "Value")
+}
+
 // isOSFile matches *os.File (possibly through pointers).
 func isOSFile(t types.Type) bool {
 	if t == nil {

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"unmasque/internal/app"
+	"unmasque/internal/core"
+	"unmasque/internal/sqldb"
+	"unmasque/internal/sqlparser"
+	"unmasque/internal/workloads/tpch"
+)
+
+// ---------------------------------------------------------------- E15
+
+// EngineRow is one tree-vs-vector engine measurement: a point-lookup
+// microbenchmark or an end-to-end extraction.
+type EngineRow struct {
+	Case         string
+	Tree         time.Duration
+	Vector       time.Duration
+	Speedup      float64
+	IndexBuilds  int64
+	IndexHits    int64
+	JoinReuses   int64
+	SQLIdentical bool // e2e cases: extracted SQL byte-identical across engines
+}
+
+// SqldbEngine measures the vectorized, index-assisted execution
+// engine (PR 7) against the tree-walking oracle: first a point-lookup
+// microbenchmark (the probe shape minimization hammers on), then
+// full TPC-H extractions under both exec modes. The extracted SQL
+// must be byte-identical; only the wall clock and the engine counters
+// may differ.
+func SqldbEngine(w io.Writer, opt Options) ([]EngineRow, error) {
+	var out []EngineRow
+	tbl := &TextTable{
+		Title:  "Execution Engine — tree-walking oracle vs vectorized+indexed (PR 7)",
+		Header: []string{"case", "tree_ms", "vector_ms", "speedup", "index_hits", "join_reuse", "sql_identical"},
+	}
+
+	micro, err := pointLookupMicrobench(opt)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, micro)
+	tbl.Add(micro.Case, ms(micro.Tree), ms(micro.Vector),
+		fmt.Sprintf("%.2f", micro.Speedup), micro.IndexHits, micro.JoinReuses, "n/a")
+
+	scale := tpch.Scale100GB
+	if opt.Quick {
+		scale = tpch.ScaleTiny * 4
+	}
+	queries := tpch.HiddenQueries()
+	db := tpch.NewDatabase(scale, opt.Seed)
+	if err := tpch.PlantWitnesses(db, queries); err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"Q3", "Q6", "Q10"} {
+		exe := app.MustSQLExecutable(name, queries[name])
+
+		treeCfg := core.DefaultConfig()
+		treeCfg.Seed = opt.Seed
+		treeCfg.ExecMode = "tree"
+		treeExt, err := core.Extract(exe, db, treeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s under tree engine: %w", name, err)
+		}
+
+		vecCfg := core.DefaultConfig()
+		vecCfg.Seed = opt.Seed
+		vecCfg.ExecMode = "vector"
+		vecExt, err := core.Extract(exe, db, vecCfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s under vector engine: %w", name, err)
+		}
+
+		row := EngineRow{
+			Case:         "extract/" + name,
+			Tree:         treeExt.Stats.Total,
+			Vector:       vecExt.Stats.Total,
+			Speedup:      float64(treeExt.Stats.Total) / float64(vecExt.Stats.Total),
+			IndexBuilds:  vecExt.Stats.IndexBuilds,
+			IndexHits:    vecExt.Stats.IndexHits,
+			JoinReuses:   vecExt.Stats.JoinBuildsReused,
+			SQLIdentical: treeExt.SQL == vecExt.SQL,
+		}
+		out = append(out, row)
+		tbl.Add(row.Case, ms(row.Tree), ms(row.Vector), fmt.Sprintf("%.2f", row.Speedup),
+			row.IndexHits, row.JoinReuses, row.SQLIdentical)
+	}
+
+	tbl.Note("contract: byte-identical SQL under both engines; target >=3x on point lookups, >=1.5x end to end")
+	tbl.Render(w)
+	return out, nil
+}
+
+// pointLookupMicrobench times repeated point-lookup probes — the
+// dominant query shape of predicate minimization — under both
+// engines on one indexed-size table.
+func pointLookupMicrobench(opt Options) (EngineRow, error) {
+	rows, iters := 20000, 3000
+	if opt.Quick {
+		rows, iters = 5000, 600
+	}
+	db := sqldb.NewDatabase()
+	if err := db.CreateTable(sqldb.TableSchema{
+		Name: "pt",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TInt},
+			{Name: "grp", Type: sqldb.TInt},
+			{Name: "payload", Type: sqldb.TText},
+		},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		return EngineRow{}, err
+	}
+	for i := 0; i < rows; i++ {
+		if err := db.Insert("pt",
+			sqldb.NewInt(int64(i)), sqldb.NewInt(int64(i%97)),
+			sqldb.NewText(fmt.Sprintf("p-%06d", i))); err != nil {
+			return EngineRow{}, err
+		}
+	}
+	stmts := make([]*sqldb.SelectStmt, 64)
+	for k := range stmts {
+		stmt, err := sqlparser.Parse(fmt.Sprintf(
+			"select payload from pt where id = %d and grp >= 0", k*131%rows))
+		if err != nil {
+			return EngineRow{}, err
+		}
+		stmts[k] = stmt
+	}
+	ctx := context.Background()
+	run := func(mode sqldb.ExecMode) (time.Duration, error) {
+		db.SetExecMode(mode)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := db.Execute(ctx, stmts[i%len(stmts)]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	before := db.EngineCounters()
+	treeTime, err := run(sqldb.ExecTree)
+	if err != nil {
+		return EngineRow{}, fmt.Errorf("point-lookup microbench under tree engine: %w", err)
+	}
+	vecTime, err := run(sqldb.ExecVector)
+	if err != nil {
+		return EngineRow{}, fmt.Errorf("point-lookup microbench under vector engine: %w", err)
+	}
+	after := db.EngineCounters()
+	return EngineRow{
+		Case:        fmt.Sprintf("point-lookup/%drows", rows),
+		Tree:        treeTime,
+		Vector:      vecTime,
+		Speedup:     float64(treeTime) / float64(vecTime),
+		IndexBuilds: after.IndexBuilds - before.IndexBuilds,
+		IndexHits:   after.IndexHits - before.IndexHits,
+	}, nil
+}

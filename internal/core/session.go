@@ -149,6 +149,15 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 	if !cfg.DisableRunCache {
 		s.cache = newRunCache()
 	}
+	// Select the probe execution engine. The silo and every probe
+	// clone inherit the mode (and share di's engine counters), so one
+	// knob switches the whole extraction.
+	mode, err := sqldb.ParseExecMode(cfg.ExecMode)
+	if err != nil {
+		return nil, moduleErr("config", err)
+	}
+	di.SetExecMode(mode)
+	engineStart := di.EngineCounters()
 	start := s.cfg.Clock()
 	s.stats.RowsInitial = di.TotalRows()
 
@@ -255,6 +264,14 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 		s.stats.CacheHits = s.cache.hits.Load()
 		s.stats.CacheMisses = s.cache.misses.Load()
 	}
+	// Engine counters are deltas over this extraction: di (and its
+	// shared counters) may serve many sequential extractions.
+	s.stats.ExecMode = mode.String()
+	engineEnd := di.EngineCounters()
+	s.stats.IndexBuilds = engineEnd.IndexBuilds - engineStart.IndexBuilds
+	s.stats.IndexHits = engineEnd.IndexHits - engineStart.IndexHits
+	s.stats.JoinBuildsReused = engineEnd.JoinReuses - engineStart.JoinReuses
+	s.stats.VectorBatches = engineEnd.VectorBatches - engineStart.VectorBatches
 	ext.Stats = s.stats
 	s.tracer.Root().End()
 	ext.Trace = s.tracer.Events()

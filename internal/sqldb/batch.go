@@ -1,0 +1,160 @@
+package sqldb
+
+// batch.go — typed column batches for the vectorized engine.
+//
+// A batch exposes one table's rows, restricted to a selection of row
+// ids, as typed column vectors: per-column value slices plus a
+// validity (null) bitmap, gathered lazily on first reference. The
+// vectorized predicate evaluator (vector.go) computes over these
+// instead of per-row []Value wide rows, which removes the tree
+// engine's dominant allocation (one width-sized Row per scanned row).
+
+// vec is one column vector: len(sel) logical elements of a single
+// type. Storage is typed — ints carries TInt/TDate/TBool payloads,
+// floats TFloat, strs TText — with null as the validity bitmap (a nil
+// null slice means no NULLs). Two special layouts exist:
+//
+//   - isConst: a broadcast scalar (literal); physical length 1.
+//   - vals:    boxed Values, used for computed results (arithmetic,
+//     negation) whose elements are produced by the scalar operators
+//     to keep semantics identical to the tree engine.
+//
+// A vec's non-null elements all share the vec's type; the nominal
+// type of a NULL element is not tracked because no predicate outcome
+// or error can observe it (every operator null-checks before any
+// type-sensitive step, mirroring the tree evaluator).
+type vec struct {
+	typ     Type
+	n       int // logical length
+	isConst bool
+	null    []bool
+	ints    []int64
+	floats  []float64
+	strs    []string
+	vals    []Value
+}
+
+// at maps a logical position to a physical storage index.
+func (v *vec) at(k int) int {
+	if v.isConst {
+		return 0
+	}
+	return k
+}
+
+func (v *vec) nullAt(k int) bool {
+	if v.vals != nil {
+		return v.vals[v.at(k)].Null
+	}
+	return v.null != nil && v.null[v.at(k)]
+}
+
+// valueAt reconstructs the element as a scalar Value. For typed
+// storage this is exact: stored values are coerced to their column
+// type on insert, so a TFloat element always has I==0 and a
+// TInt/TDate/TBool element always has F==0 — reconstruction loses
+// nothing the tree engine could observe.
+func (v *vec) valueAt(k int) Value {
+	i := v.at(k)
+	if v.vals != nil {
+		return v.vals[i]
+	}
+	if v.null != nil && v.null[i] {
+		return NewNull(v.typ)
+	}
+	switch v.typ {
+	case TFloat:
+		return Value{Typ: TFloat, F: v.floats[i]}
+	case TText:
+		return Value{Typ: TText, S: v.strs[i]}
+	default: // TInt, TDate, TBool
+		return Value{Typ: v.typ, I: v.ints[i]}
+	}
+}
+
+// boolAt reports the element's truth value (Value.Bool semantics:
+// NULL is false, and only the I payload counts).
+func (v *vec) boolAt(k int) bool {
+	if v.nullAt(k) {
+		return false
+	}
+	if v.vals != nil {
+		return v.vals[v.at(k)].Bool()
+	}
+	switch v.typ {
+	case TFloat, TText:
+		return false // I payload is zero for these layouts
+	default:
+		return v.ints[v.at(k)] != 0
+	}
+}
+
+// newBoolVec allocates a TBool result vector of length n.
+func newBoolVec(n int) *vec {
+	return &vec{typ: TBool, n: n, null: make([]bool, n), ints: make([]int64, n)}
+}
+
+// newValsVec allocates a boxed-values vector of length n for computed
+// results; typ is refined as elements are produced.
+func newValsVec(n int) *vec {
+	return &vec{typ: TUnknown, n: n, vals: make([]Value, n)}
+}
+
+// constVec broadcasts one scalar (a literal) across the batch.
+func constVec(val Value, n int) *vec {
+	return &vec{typ: val.Typ, n: n, isConst: true, vals: []Value{val}}
+}
+
+// batch is one table's rows restricted to a selection, with lazily
+// gathered column vectors aligned to that selection.
+type batch struct {
+	tbl *Table
+	off int     // the table's first slot in the wide row
+	sel []int32 // selected row ids, ascending scan order
+	es  *EngineStats
+
+	cols map[int]*vec // local column index -> gathered vector
+}
+
+func newBatch(tbl *Table, off int, sel []int32, es *EngineStats) *batch {
+	return &batch{tbl: tbl, off: off, sel: sel, es: es, cols: map[int]*vec{}}
+}
+
+// col gathers (once) and returns the vector for a local column.
+func (b *batch) col(ci int) *vec {
+	if v, ok := b.cols[ci]; ok {
+		return v
+	}
+	n := len(b.sel)
+	typ := b.tbl.Schema.Columns[ci].Type
+	v := &vec{typ: typ, n: n}
+	switch typ {
+	case TFloat:
+		v.floats = make([]float64, n)
+	case TText:
+		v.strs = make([]string, n)
+	default:
+		v.ints = make([]int64, n)
+	}
+	for k, ri := range b.sel {
+		val := b.tbl.Rows[ri][ci]
+		if val.Null {
+			if v.null == nil {
+				v.null = make([]bool, n)
+			}
+			v.null[k] = true
+			continue
+		}
+		switch typ {
+		case TFloat:
+			v.floats[k] = val.F
+		case TText:
+			v.strs[k] = val.S
+		default:
+			v.ints[k] = val.I
+		}
+	}
+	b.cols[ci] = v
+	b.es.VectorBatches.Add(1)
+	return v
+}

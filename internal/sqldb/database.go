@@ -21,11 +21,20 @@ type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	order  []string // creation order, for deterministic iteration
+
+	mode   ExecMode     // which engine Execute dispatches to
+	estats *EngineStats // engine counters, shared with every clone
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{tables: map[string]*Table{}}
+	return &Database{tables: map[string]*Table{}, estats: &EngineStats{}}
+}
+
+// newLike creates an empty database inheriting db's exec mode and
+// (shared) engine counters — the base of every clone flavour.
+func (db *Database) newLike() *Database {
+	return &Database{tables: map[string]*Table{}, mode: db.mode, estats: db.estats}
 }
 
 // CreateTable adds a new empty table.
@@ -154,7 +163,7 @@ func (db *Database) SchemaGraph() SchemaGraph {
 func (db *Database) Clone() *Database {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := NewDatabase()
+	out := db.newLike()
 	for _, n := range db.order {
 		out.tables[n] = db.tables[n].Clone()
 		out.order = append(out.order, n)
@@ -166,7 +175,7 @@ func (db *Database) Clone() *Database {
 func (db *Database) CloneSchema() *Database {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := NewDatabase()
+	out := db.newLike()
 	for _, n := range db.order {
 		out.tables[n] = NewTable(db.tables[n].Schema)
 		out.order = append(out.order, n)
@@ -180,7 +189,7 @@ func (db *Database) CloneSchema() *Database {
 func (db *Database) CloneTables(withRows map[string]bool) *Database {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := NewDatabase()
+	out := db.newLike()
 	for _, n := range db.order {
 		if withRows[n] {
 			out.tables[n] = db.tables[n].Clone()

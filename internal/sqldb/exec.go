@@ -12,6 +12,12 @@ import (
 // repeatedly against different database states (as the extractor
 // does). Execution observes ctx cancellation at row granularity so
 // callers can impose probe timeouts.
+//
+// Two engines implement the plan: the default vectorized engine
+// (exec_vector.go: columnar batches, secondary hash indexes,
+// hash-join build reuse) and the original tree-walking engine, kept
+// as the differential-testing oracle. SetExecMode selects between
+// them; both produce identical results, column names and row order.
 func (db *Database) Execute(ctx context.Context, stmt *SelectStmt) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -19,7 +25,19 @@ func (db *Database) Execute(ctx context.Context, stmt *SelectStmt) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	return ex.run(ctx)
+	if db.mode == ExecTree {
+		db.estats.TreeQueries.Add(1)
+		return ex.runTree(ctx)
+	}
+	db.estats.VectorQueries.Add(1)
+	return ex.runVector(ctx)
+}
+
+// colSlot is one resolved column reference: the owning table and the
+// column's slot in the wide row.
+type colSlot struct {
+	tbl string
+	idx int
 }
 
 // execution holds the per-run state: name resolution, classified
@@ -33,14 +51,26 @@ type execution struct {
 	schemas map[string]*TableSchema
 	width   int
 
-	colIdx map[*ColumnExpr]int    // resolved wide-row slot per reference
-	colTbl map[*ColumnExpr]string // resolved owning table
+	// Column resolution is keyed on the resolved (table, column) NAME,
+	// not on *ColumnExpr pointer identity, so a statement cloned
+	// between resolution and evaluation (CloneStmt) still evaluates
+	// correctly. ptrSlot is a pure cache over the pointers seen at
+	// resolve time; slotOf falls back to the name maps for any pointer
+	// it has not seen.
+	cols    map[string]colSlot // "tbl\x00col" -> slot
+	unq     map[string]colSlot // unqualified column -> slot (unambiguous only)
+	ptrSlot map[*ColumnExpr]colSlot
 
-	pushdown map[string][]Expr // single-table conjuncts
+	pushdown map[string][]Expr // single-table conjuncts, WHERE order
 	joins    []joinEdge        // equi-join conjuncts between tables
 	residual []Expr            // everything else
 
-	aggs []*AggExpr // every aggregate node in items/having/order
+	// Aggregates are deduplicated by canonical rendering: structurally
+	// identical AggExpr nodes (including clones) share one accumulator
+	// slot. aggPtr caches the nodes seen at resolve time.
+	aggs   []*AggExpr
+	aggIdx map[string]int
+	aggPtr map[*AggExpr]int
 }
 
 type joinEdge struct {
@@ -55,9 +85,12 @@ func newExecution(db *Database, stmt *SelectStmt) (*execution, error) {
 		stmt:     stmt,
 		offsets:  map[string]int{},
 		schemas:  map[string]*TableSchema{},
-		colIdx:   map[*ColumnExpr]int{},
-		colTbl:   map[*ColumnExpr]string{},
+		cols:     map[string]colSlot{},
+		unq:      map[string]colSlot{},
+		ptrSlot:  map[*ColumnExpr]colSlot{},
 		pushdown: map[string][]Expr{},
+		aggIdx:   map[string]int{},
+		aggPtr:   map[*AggExpr]int{},
 	}
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("query has no from clause")
@@ -98,19 +131,23 @@ func newExecution(db *Database, stmt *SelectStmt) (*execution, error) {
 			return nil, err
 		}
 	}
-	ex.classifyWhere()
+	if err := ex.classifyWhere(); err != nil {
+		return nil, err
+	}
 	ex.collectAggs()
 	return ex, nil
 }
 
-// resolve fills colIdx/colTbl for every column reference in e.
+// resolve validates every column reference in e and records its
+// resolution in the name-keyed maps.
 func (ex *execution) resolve(e Expr) error {
 	if e == nil {
 		return nil
 	}
 	switch x := e.(type) {
 	case *ColumnExpr:
-		return ex.resolveColumn(x)
+		_, err := ex.resolveColumn(x)
+		return err
 	case *LiteralExpr:
 		return nil
 	case *BinaryExpr:
@@ -144,38 +181,61 @@ func (ex *execution) resolve(e Expr) error {
 	}
 }
 
-func (ex *execution) resolveColumn(c *ColumnExpr) error {
+func (ex *execution) resolveColumn(c *ColumnExpr) (colSlot, error) {
 	tbl := strings.ToLower(c.Table)
 	col := strings.ToLower(c.Column)
 	if tbl != "" {
 		s, ok := ex.schemas[tbl]
 		if !ok {
-			return fmt.Errorf("column reference %s.%s: table not in from clause", tbl, col)
+			return colSlot{}, fmt.Errorf("column reference %s.%s: table not in from clause", tbl, col)
 		}
 		ci := s.ColumnIndex(col)
 		if ci < 0 {
-			return fmt.Errorf("table %s has no column %s", tbl, col)
+			return colSlot{}, fmt.Errorf("table %s has no column %s", tbl, col)
 		}
-		ex.colIdx[c] = ex.offsets[tbl] + ci
-		ex.colTbl[c] = tbl
-		return nil
+		slot := colSlot{tbl: tbl, idx: ex.offsets[tbl] + ci}
+		ex.cols[tbl+"\x00"+col] = slot
+		ex.ptrSlot[c] = slot
+		return slot, nil
 	}
 	found := ""
 	idx := -1
 	for _, t := range ex.tables {
 		if ci := ex.schemas[t].ColumnIndex(col); ci >= 0 {
 			if found != "" {
-				return fmt.Errorf("column %s is ambiguous (%s, %s)", col, found, t)
+				return colSlot{}, fmt.Errorf("column %s is ambiguous (%s, %s)", col, found, t)
 			}
 			found, idx = t, ex.offsets[t]+ci
 		}
 	}
 	if found == "" {
-		return fmt.Errorf("unknown column %s", col)
+		return colSlot{}, fmt.Errorf("unknown column %s", col)
 	}
-	ex.colIdx[c] = idx
-	ex.colTbl[c] = found
-	return nil
+	slot := colSlot{tbl: found, idx: idx}
+	ex.unq[col] = slot
+	ex.cols[found+"\x00"+col] = slot
+	ex.ptrSlot[c] = slot
+	return slot, nil
+}
+
+// slotOf resolves a column reference at evaluation time. The pointer
+// cache serves references resolved by this execution; the name maps
+// serve structurally identical references from cloned statements.
+func (ex *execution) slotOf(c *ColumnExpr) (colSlot, error) {
+	if slot, ok := ex.ptrSlot[c]; ok {
+		return slot, nil
+	}
+	col := strings.ToLower(c.Column)
+	if c.Table != "" {
+		if slot, ok := ex.cols[strings.ToLower(c.Table)+"\x00"+col]; ok {
+			return slot, nil
+		}
+	} else if slot, ok := ex.unq[col]; ok {
+		return slot, nil
+	}
+	// Not seen during resolution: resolve it now (validates against
+	// the schemas and caches the result).
+	return ex.resolveColumn(c)
 }
 
 // resolveOrderKey resolves an ORDER BY expression, tolerating
@@ -193,22 +253,36 @@ func (ex *execution) resolveOrderKey(e Expr) error {
 
 // classifyWhere splits the WHERE conjunction into per-table pushdown
 // filters, equi-join edges and residual predicates.
-func (ex *execution) classifyWhere() {
+func (ex *execution) classifyWhere() error {
 	for _, c := range Conjuncts(ex.stmt.Where) {
 		if b, ok := c.(*BinaryExpr); ok && b.Op == OpEq {
 			lc, lok := b.L.(*ColumnExpr)
 			rc, rok := b.R.(*ColumnExpr)
-			if lok && rok && ex.colTbl[lc] != ex.colTbl[rc] {
-				ex.joins = append(ex.joins, joinEdge{
-					lt: ex.colTbl[lc], rt: ex.colTbl[rc],
-					li: ex.colIdx[lc], ri: ex.colIdx[rc],
-				})
-				continue
+			if lok && rok {
+				ls, err := ex.slotOf(lc)
+				if err != nil {
+					return err
+				}
+				rs, err := ex.slotOf(rc)
+				if err != nil {
+					return err
+				}
+				if ls.tbl != rs.tbl {
+					ex.joins = append(ex.joins, joinEdge{
+						lt: ls.tbl, rt: rs.tbl,
+						li: ls.idx, ri: rs.idx,
+					})
+					continue
+				}
 			}
 		}
 		tbls := map[string]bool{}
 		for _, col := range ColumnsOf(c) {
-			tbls[ex.colTbl[col]] = true
+			s, err := ex.slotOf(col)
+			if err != nil {
+				return err
+			}
+			tbls[s.tbl] = true
 		}
 		if len(tbls) == 1 {
 			for t := range tbls {
@@ -218,15 +292,27 @@ func (ex *execution) classifyWhere() {
 		}
 		ex.residual = append(ex.residual, c)
 	}
+	return nil
 }
 
 func (ex *execution) collectAggs() {
+	record := func(x *AggExpr) {
+		key := x.String()
+		if i, ok := ex.aggIdx[key]; ok {
+			ex.aggPtr[x] = i
+			return
+		}
+		i := len(ex.aggs)
+		ex.aggs = append(ex.aggs, x)
+		ex.aggIdx[key] = i
+		ex.aggPtr[x] = i
+	}
 	var walk func(Expr)
 	walk = func(e Expr) {
 		switch x := e.(type) {
 		case nil:
 		case *AggExpr:
-			ex.aggs = append(ex.aggs, x)
+			record(x)
 		case *BinaryExpr:
 			walk(x.L)
 			walk(x.R)
@@ -253,6 +339,19 @@ func (ex *execution) collectAggs() {
 	}
 }
 
+// aggPos maps an aggregate node to its accumulator slot. Clones of
+// registered aggregates resolve through their canonical rendering.
+func (ex *execution) aggPos(x *AggExpr) (int, bool) {
+	if i, ok := ex.aggPtr[x]; ok {
+		return i, true
+	}
+	i, ok := ex.aggIdx[x.String()]
+	if ok {
+		ex.aggPtr[x] = i
+	}
+	return i, ok
+}
+
 const cancelCheckEvery = 4096
 
 func checkCtx(ctx context.Context, n *int) error {
@@ -267,8 +366,11 @@ func checkCtx(ctx context.Context, n *int) error {
 	return nil
 }
 
-// run executes the compiled plan.
-func (ex *execution) run(ctx context.Context) (*Result, error) {
+// runTree executes the compiled plan with the original tree-walking
+// engine: per-row predicate evaluation over wide rows, then the
+// shared post-join pipeline. It is the oracle the vectorized engine
+// is differentially tested against.
+func (ex *execution) runTree(ctx context.Context) (*Result, error) {
 	var ticks int
 	// 1. Scan + filter each table into wide-row fragments.
 	filtered := map[string][]Row{}
@@ -309,11 +411,21 @@ func (ex *execution) run(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 
+	// 3-6. Residual, aggregation/projection, order, limit — shared
+	// with the vectorized engine so both produce identical results.
+	return ex.finish(ctx, current, &ticks)
+}
+
+// finish runs the engine-independent tail of the plan over the joined
+// wide rows: residual predicates, grouping/aggregation or projection,
+// order by, and limit. Both engines converge here, which guarantees
+// identical semantics for every post-join stage by construction.
+func (ex *execution) finish(ctx context.Context, current []Row, ticks *int) (*Result, error) {
 	// 3. Residual predicates.
 	if len(ex.residual) > 0 {
 		kept := current[:0]
 		for _, w := range current {
-			if err := checkCtx(ctx, &ticks); err != nil {
+			if err := checkCtx(ctx, ticks); err != nil {
 				return nil, err
 			}
 			ok := true
@@ -336,10 +448,11 @@ func (ex *execution) run(ctx context.Context) (*Result, error) {
 
 	// 4. Grouping / aggregation, or plain projection.
 	var out *Result
+	var err error
 	if len(ex.stmt.GroupBy) > 0 || len(ex.aggs) > 0 {
-		out, err = ex.aggregate(ctx, current, &ticks)
+		out, err = ex.aggregate(ctx, current, ticks)
 	} else {
-		out, err = ex.project(ctx, current, &ticks)
+		out, err = ex.project(ctx, current, ticks)
 	}
 	if err != nil {
 		return nil, err
@@ -645,7 +758,8 @@ func (a *aggAcc) final(fn AggFn) Value {
 }
 
 // aggregate performs hash grouping and evaluates items/having per
-// group.
+// group. Per-group aggregate results live in a positional slice
+// aligned with ex.aggs — never in a per-group map (GL008).
 func (ex *execution) aggregate(ctx context.Context, rows []Row, ticks *int) (*Result, error) {
 	groups := map[string]*group{}
 	var order []string
@@ -692,11 +806,11 @@ func (ex *execution) aggregate(ctx context.Context, rows []Row, ticks *int) (*Re
 		res.aggEmptyInput = true
 	}
 
+	aggVals := make([]Value, len(ex.aggs))
 	for _, key := range order {
 		grp := groups[key]
-		aggVals := map[*AggExpr]Value{}
 		for i, ag := range ex.aggs {
-			aggVals[ag] = grp.accs[i].final(ag.Fn)
+			aggVals[i] = grp.accs[i].final(ag.Fn)
 		}
 		if ex.stmt.Having != nil {
 			ok, err := ex.evalBool(ex.stmt.Having, grp.rep, aggVals)
@@ -808,15 +922,16 @@ func (ex *execution) matchOutputColumn(e Expr) int {
 }
 
 // eval evaluates a scalar expression against a wide row; aggVals is
-// non-nil when evaluating post-aggregation (items/having).
-func (ex *execution) eval(e Expr, row Row, aggVals map[*AggExpr]Value) (Value, error) {
+// non-nil when evaluating post-aggregation (items/having), positioned
+// parallel to ex.aggs.
+func (ex *execution) eval(e Expr, row Row, aggVals []Value) (Value, error) {
 	switch x := e.(type) {
 	case *ColumnExpr:
-		idx, ok := ex.colIdx[x]
-		if !ok {
-			return Value{}, fmt.Errorf("unresolved column %s", x)
+		slot, err := ex.slotOf(x)
+		if err != nil {
+			return Value{}, fmt.Errorf("unresolved column %s: %w", x, err)
 		}
-		return row[idx], nil
+		return row[slot.idx], nil
 	case *LiteralExpr:
 		return x.Val, nil
 	case *NegExpr:
@@ -829,11 +944,11 @@ func (ex *execution) eval(e Expr, row Row, aggVals map[*AggExpr]Value) (Value, e
 		if aggVals == nil {
 			return Value{}, fmt.Errorf("aggregate %s outside grouping context", x)
 		}
-		v, ok := aggVals[x]
+		i, ok := ex.aggPos(x)
 		if !ok {
 			return Value{}, fmt.Errorf("unregistered aggregate %s", x)
 		}
-		return v, nil
+		return aggVals[i], nil
 	case *BinaryExpr:
 		switch x.Op {
 		case OpAnd, OpOr:
@@ -956,7 +1071,7 @@ func (ex *execution) eval(e Expr, row Row, aggVals map[*AggExpr]Value) (Value, e
 }
 
 // evalLogic implements three-valued AND/OR.
-func (ex *execution) evalLogic(x *BinaryExpr, row Row, aggVals map[*AggExpr]Value) (Value, error) {
+func (ex *execution) evalLogic(x *BinaryExpr, row Row, aggVals []Value) (Value, error) {
 	l, err := ex.eval(x.L, row, aggVals)
 	if err != nil {
 		return Value{}, err
@@ -994,7 +1109,7 @@ func (ex *execution) evalLogic(x *BinaryExpr, row Row, aggVals map[*AggExpr]Valu
 
 // evalBool evaluates a predicate; NULL counts as false (WHERE/HAVING
 // semantics).
-func (ex *execution) evalBool(e Expr, row Row, aggVals map[*AggExpr]Value) (bool, error) {
+func (ex *execution) evalBool(e Expr, row Row, aggVals []Value) (bool, error) {
 	v, err := ex.eval(e, row, aggVals)
 	if err != nil {
 		return false, err

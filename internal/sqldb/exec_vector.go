@@ -1,0 +1,325 @@
+package sqldb
+
+import (
+	"context"
+	"strings"
+)
+
+// exec_vector.go — the vectorized, index-assisted execution engine.
+//
+// runVector executes the same compiled plan as runTree but replaces
+// the two hot stages:
+//
+//   - scan+filter works on selections ([]int32 row ids) narrowed by
+//     vectorized predicate evaluation over column batches, with a
+//     secondary hash index serving eligible leading equality
+//     predicates (the point lookups minimization hammers on);
+//   - the greedy hash join runs over row-id tuple columns and reuses
+//     cached build sides, materializing wide rows only for tuples
+//     that survive every join.
+//
+// Everything after the join (residual predicates, aggregation,
+// projection, ORDER BY, LIMIT) is the shared finish() pipeline, so
+// post-join semantics are identical to the tree engine by
+// construction. The join replicates the tree engine's greedy order
+// (smallest fragment first, from-clause tie-break) and emission order
+// (probe order x bucket order), so row order matches too.
+
+// indexMinRows gates the secondary index: tables smaller than this
+// are cheaper to scan than to index.
+const indexMinRows = 16
+
+func (ex *execution) runVector(ctx context.Context) (*Result, error) {
+	var ticks int
+	sels := map[string][]int32{}
+	for _, t := range ex.tables {
+		sel, err := ex.scanVector(ctx, t, &ticks)
+		if err != nil {
+			return nil, err
+		}
+		sels[t] = sel
+	}
+	current, err := ex.joinVector(ctx, sels, &ticks)
+	if err != nil {
+		return nil, err
+	}
+	return ex.finish(ctx, current, &ticks)
+}
+
+// scanVector evaluates a table's pushdown predicates over a narrowing
+// selection of row ids. The first predicate may be answered by a
+// point lookup on a secondary hash index; the rest evaluate
+// vectorized, in WHERE order, each over only the rows the previous
+// ones kept (matching the tree engine's per-row short-circuit).
+func (ex *execution) scanVector(ctx context.Context, t string, ticks *int) ([]int32, error) {
+	tbl := ex.db.tables[t]
+	preds := ex.pushdown[t]
+	var sel []int32
+	start := 0
+	if len(preds) > 0 && len(tbl.Rows) >= indexMinRows {
+		if ci, key, ok := ex.indexableEq(t, preds[0]); ok {
+			sel = tbl.pointLookup(ci, key, ex.db.estats)
+			start = 1
+		}
+	}
+	if start == 0 {
+		sel = make([]int32, len(tbl.Rows))
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+	}
+	for _, p := range preds[start:] {
+		if len(sel) == 0 {
+			break // no rows left; the tree engine evaluates nothing either
+		}
+		b := newBatch(tbl, ex.offsets[t], sel, ex.db.estats)
+		v, err := ex.evalVec(p, b)
+		if err != nil {
+			return nil, err
+		}
+		// Fresh slice: sel may be owned by the index (or by a cached
+		// build side) and must never be narrowed in place.
+		kept := make([]int32, 0, len(sel))
+		for k := range sel {
+			if err := checkCtx(ctx, ticks); err != nil {
+				return nil, err
+			}
+			if !v.nullAt(k) && v.boolAt(k) {
+				kept = append(kept, sel[k])
+			}
+		}
+		sel = kept
+	}
+	return sel, nil
+}
+
+// indexableEq recognizes a predicate a point lookup can answer with
+// semantics identical to scanning: `col = literal` (either operand
+// order) where the literal is non-NULL and its type equals the
+// column's type, the column being int, date, bool or text. For those
+// pairings Compare()==0 coincides exactly with group-key equality, so
+// the index returns precisely the rows the tree engine keeps, and the
+// comparison can never error. Floats are excluded (-0.0 vs 0.0 and
+// int/float widening break the key equivalence), as are cross-class
+// pairs (the tree engine may need to raise a comparison error).
+func (ex *execution) indexableEq(t string, p Expr) (ci int, key string, ok bool) {
+	b, isBin := p.(*BinaryExpr)
+	if !isBin || b.Op != OpEq {
+		return 0, "", false
+	}
+	col, isCol := b.L.(*ColumnExpr)
+	lit, isLit := b.R.(*LiteralExpr)
+	if !isCol || !isLit {
+		col, isCol = b.R.(*ColumnExpr)
+		lit, isLit = b.L.(*LiteralExpr)
+		if !isCol || !isLit {
+			return 0, "", false
+		}
+	}
+	if lit.Val.Null {
+		return 0, "", false
+	}
+	slot, err := ex.slotOf(col)
+	if err != nil || slot.tbl != t {
+		return 0, "", false
+	}
+	ci = slot.idx - ex.offsets[t]
+	colTyp := ex.schemas[t].Columns[ci].Type
+	if colTyp != lit.Val.Typ {
+		return 0, "", false
+	}
+	switch colTyp {
+	case TInt, TDate, TBool, TText:
+		return ci, lit.Val.GroupKey(), true
+	default:
+		return 0, "", false
+	}
+}
+
+// joinVector replicates the tree engine's greedy hash join over
+// columnar tuples: one []int32 of row ids per joined table, aligned
+// by tuple position. Build sides come from the per-table cache, so a
+// probe re-executed on an unchanged (or non-key-mutated) clone
+// rebuilds nothing. Wide rows materialize only after every join and
+// cycle edge has been applied.
+func (ex *execution) joinVector(ctx context.Context, sels map[string][]int32, ticks *int) ([]Row, error) {
+	// Reverse slot mapping for probe-side key construction.
+	slotTab := make([]string, ex.width)
+	for _, t := range ex.tables {
+		off := ex.offsets[t]
+		for i := range ex.schemas[t].Columns {
+			slotTab[off+i] = t
+		}
+	}
+
+	remaining := map[string]bool{}
+	for _, t := range ex.tables {
+		remaining[t] = true
+	}
+	start := ex.tables[0]
+	for _, t := range ex.tables[1:] {
+		if len(sels[t]) < len(sels[start]) {
+			start = t
+		}
+	}
+	delete(remaining, start)
+	joined := map[string]bool{start: true}
+	cols := map[string][]int32{start: sels[start]}
+	tupLen := len(sels[start])
+
+	for len(remaining) > 0 {
+		next := ""
+		for _, t := range ex.tables {
+			if !remaining[t] {
+				continue
+			}
+			connected := false
+			for _, e := range ex.joins {
+				if (joined[e.lt] && e.rt == t) || (joined[e.rt] && e.lt == t) {
+					connected = true
+					break
+				}
+			}
+			if connected && (next == "" || len(sels[t]) < len(sels[next])) {
+				next = t
+			}
+		}
+		cross := false
+		if next == "" {
+			cross = true
+			for _, t := range ex.tables {
+				if !remaining[t] {
+					continue
+				}
+				if next == "" || len(sels[t]) < len(sels[next]) {
+					next = t
+				}
+			}
+		}
+		delete(remaining, next)
+		nOff := ex.offsets[next]
+		nTbl := ex.db.tables[next]
+
+		if cross {
+			out := map[string][]int32{}
+			for t := range joined {
+				out[t] = nil
+			}
+			out[next] = nil
+			newLen := 0
+			for i := 0; i < tupLen; i++ {
+				for _, rid := range sels[next] {
+					if err := checkCtx(ctx, ticks); err != nil {
+						return nil, err
+					}
+					for t := range joined {
+						out[t] = append(out[t], cols[t][i])
+					}
+					out[next] = append(out[next], rid)
+					newLen++
+				}
+			}
+			cols = out
+			tupLen = newLen
+			joined[next] = true
+			continue
+		}
+
+		var probeIdx, buildLocal []int
+		for i := range ex.joins {
+			e := &ex.joins[i]
+			switch {
+			case joined[e.lt] && e.rt == next:
+				probeIdx = append(probeIdx, e.li)
+				buildLocal = append(buildLocal, e.ri-nOff)
+				e.used = true
+			case joined[e.rt] && e.lt == next:
+				probeIdx = append(probeIdx, e.ri)
+				buildLocal = append(buildLocal, e.li-nOff)
+				e.used = true
+			}
+		}
+		build := nTbl.joinBuildFor(buildLocal, sels[next], ex.db.estats)
+		out := map[string][]int32{}
+		for t := range joined {
+			out[t] = nil
+		}
+		out[next] = nil
+		newLen := 0
+		var kb strings.Builder
+		for i := 0; i < tupLen; i++ {
+			if err := checkCtx(ctx, ticks); err != nil {
+				return nil, err
+			}
+			kb.Reset()
+			nullKey := false
+			for _, p := range probeIdx {
+				pt := slotTab[p]
+				v := ex.db.tables[pt].Rows[cols[pt][i]][p-ex.offsets[pt]]
+				if v.Null {
+					nullKey = true
+					break
+				}
+				kb.WriteString(v.GroupKey())
+				kb.WriteByte('|')
+			}
+			if nullKey {
+				continue
+			}
+			for _, rid := range build[kb.String()] {
+				for t := range joined {
+					out[t] = append(out[t], cols[t][i])
+				}
+				out[next] = append(out[next], rid)
+				newLen++
+			}
+		}
+		cols = out
+		tupLen = newLen
+		joined[next] = true
+	}
+
+	// Enforce cycle edges not consumed as hash keys.
+	valAt := func(i, slot int) Value {
+		t := slotTab[slot]
+		return ex.db.tables[t].Rows[cols[t][i]][slot-ex.offsets[t]]
+	}
+	var unused []joinEdge
+	for _, e := range ex.joins {
+		if !e.used {
+			unused = append(unused, e)
+		}
+	}
+	keepTuple := make([]bool, tupLen)
+	kept := 0
+	for i := 0; i < tupLen; i++ {
+		ok := true
+		for _, e := range unused {
+			if !Equal(valAt(i, e.li), valAt(i, e.ri)) {
+				ok = false
+				break
+			}
+		}
+		keepTuple[i] = ok
+		if ok {
+			kept++
+		}
+	}
+
+	// Materialize wide rows for surviving tuples only.
+	current := make([]Row, 0, kept)
+	for i := 0; i < tupLen; i++ {
+		if !keepTuple[i] {
+			continue
+		}
+		if err := checkCtx(ctx, ticks); err != nil {
+			return nil, err
+		}
+		wide := make(Row, ex.width)
+		for _, t := range ex.tables {
+			copy(wide[ex.offsets[t]:], ex.db.tables[t].Rows[cols[t][i]])
+		}
+		current = append(current, wide)
+	}
+	return current, nil
+}

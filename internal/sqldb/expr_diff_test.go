@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -403,6 +404,45 @@ func diffTrial(t *testing.T, rng *rand.Rand) int {
 	return checked
 }
 
+// vecTrial generates one boolean WHERE expression, plants it in a
+// single-table statement over generated rows, and executes it under
+// both exec modes: the vectorized evaluator must agree with the tree
+// walker on digests and on error presence. This is the third corner
+// of the differential triangle (tree vs oracle vs vector).
+func vecTrial(t *testing.T, rng *rand.Rand) {
+	t.Helper()
+	db := NewDatabase()
+	if err := db.CreateTable(diffSchema); err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.tables["t"]
+	for r := 0; r < 24; r++ {
+		tbl.Rows = append(tbl.Rows, genRow(rng))
+	}
+	tbl.invalidateIndexes()
+
+	e := genBool(rng, 3)
+	stmt := &SelectStmt{
+		Items: []SelectItem{{Expr: &ColumnExpr{Column: "a"}}, {Expr: &ColumnExpr{Column: "s"}}},
+		From:  []string{"t"},
+		Where: e,
+	}
+	ctx := context.Background()
+	db.SetExecMode(ExecTree)
+	rt, errT := db.Execute(ctx, stmt)
+	db.SetExecMode(ExecVector)
+	rv, errV := db.Execute(ctx, stmt)
+	if (errT != nil) != (errV != nil) {
+		t.Fatalf("error presence divergence on where %s\ntree: %v\nvector: %v", e, errT, errV)
+	}
+	if errT != nil {
+		return
+	}
+	if rt.Digest() != rv.Digest() {
+		t.Fatalf("engine divergence on where %s\ntree:\n%s\nvector:\n%s", e, rt, rv)
+	}
+}
+
 // TestExprEvalDifferential is the deterministic property-test entry:
 // many generated expressions, fixed seed.
 func TestExprEvalDifferential(t *testing.T) {
@@ -413,6 +453,15 @@ func TestExprEvalDifferential(t *testing.T) {
 	}
 	if total < 400*16 {
 		t.Fatalf("checked only %d evaluations", total)
+	}
+}
+
+// TestVecEvalDifferential is the deterministic vectorized
+// counterpart: generated WHERE clauses through both engines.
+func TestVecEvalDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 400; trial++ {
+		vecTrial(t, rng)
 	}
 }
 
@@ -430,6 +479,7 @@ func FuzzExprEval(f *testing.F) {
 		rng := rand.New(rand.NewSource(seed))
 		for trial := 0; trial < 8; trial++ {
 			diffTrial(t, rng)
+			vecTrial(t, rng)
 		}
 	})
 }

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Row is one tuple; values are positionally aligned with the table's
@@ -16,10 +17,18 @@ func (r Row) Clone() Row {
 	return out
 }
 
-// Table stores the rows of one table together with its schema.
+// Table stores the rows of one table together with its schema, plus
+// lazily built engine caches (secondary hash indexes and hash-join
+// build sides). The caches are strictly derived state: every mutator
+// below invalidates the affected entries, clones start with none, and
+// idxMu serializes lazy builds under concurrent read-only Executes.
 type Table struct {
 	Schema TableSchema
 	Rows   []Row
+
+	idxMu   sync.Mutex
+	indexes map[int]map[string][]int32 // column -> group key -> row ids
+	builds  []*joinBuild               // cached hash-join build sides
 }
 
 // NewTable creates an empty table for the schema.
@@ -52,7 +61,10 @@ func (t *Table) SnapshotRows() []Row { return t.Rows }
 // SetRows replaces the table's rows wholesale. The slice is adopted,
 // not copied; pass a fresh slice (e.g. from CopyRows) when the caller
 // keeps a snapshot it intends to restore later.
-func (t *Table) SetRows(rows []Row) { t.Rows = rows }
+func (t *Table) SetRows(rows []Row) {
+	t.Rows = rows
+	t.invalidateIndexes()
+}
 
 // CopyRows shallow-copies a row slice: a fresh backing array whose
 // elements reference the same Row values. Row-set mutations (sampling,
@@ -75,6 +87,7 @@ func (t *Table) Insert(vals ...Value) error {
 		row[i] = cv
 	}
 	t.Rows = append(t.Rows, row)
+	t.invalidateIndexes()
 	return nil
 }
 
@@ -154,6 +167,7 @@ func (t *Table) Set(row int, col string, v Value) error {
 		return err
 	}
 	t.Rows[row][ci] = cv
+	t.invalidateColumn(ci)
 	return nil
 }
 
@@ -170,6 +184,7 @@ func (t *Table) SetAll(col string, v Value) error {
 	for i := range t.Rows {
 		t.Rows[i][ci] = cv
 	}
+	t.invalidateColumn(ci)
 	return nil
 }
 
@@ -187,11 +202,15 @@ func (t *Table) NegateColumn(col string) error {
 		}
 		t.Rows[i][ci] = n
 	}
+	t.invalidateColumn(ci)
 	return nil
 }
 
 // Truncate removes all rows.
-func (t *Table) Truncate() { t.Rows = t.Rows[:0] }
+func (t *Table) Truncate() {
+	t.Rows = t.Rows[:0]
+	t.invalidateIndexes()
+}
 
 // KeepRange retains only rows in [lo, hi) — the minimizer's halving
 // primitive.
@@ -202,6 +221,7 @@ func (t *Table) KeepRange(lo, hi int) error {
 	kept := make([]Row, hi-lo)
 	copy(kept, t.Rows[lo:hi])
 	t.Rows = kept
+	t.invalidateIndexes()
 	return nil
 }
 
@@ -223,6 +243,7 @@ func (t *Table) Sample(fraction float64, rng *rand.Rand) {
 		kept = append(kept, t.Rows[rng.Intn(len(t.Rows))])
 	}
 	t.Rows = kept
+	t.invalidateIndexes()
 }
 
 // DeleteRow removes the row at the given index.
@@ -231,6 +252,7 @@ func (t *Table) DeleteRow(i int) error {
 		return fmt.Errorf("table %s has no row %d", t.Schema.Name, i)
 	}
 	t.Rows = append(t.Rows[:i], t.Rows[i+1:]...)
+	t.invalidateIndexes()
 	return nil
 }
 
@@ -241,5 +263,6 @@ func (t *Table) AppendRowCopy(i int) (int, error) {
 		return 0, fmt.Errorf("table %s has no row %d", t.Schema.Name, i)
 	}
 	t.Rows = append(t.Rows, t.Rows[i].Clone())
+	t.invalidateIndexes()
 	return len(t.Rows) - 1, nil
 }

@@ -1,0 +1,405 @@
+package sqldb
+
+import "fmt"
+
+// vector.go — vectorized predicate evaluation over column batches.
+//
+// evalVec computes an expression across every selected row of a batch
+// at once, replacing the tree engine's per-row eval() walk for
+// pushdown predicates. Semantics must match the tree engine exactly,
+// including which (row, subexpression) pairs get evaluated — that is
+// what makes error *presence* identical between the engines:
+//
+//   - predicates are applied in WHERE order over a narrowing
+//     selection, so a row rejected by an earlier predicate is never
+//     touched by a later one (like the tree engine's per-row break);
+//   - AND/OR evaluate their right side only on the sub-selection the
+//     left side leaves undecided (masked short-circuit), mirroring
+//     the tree engine's scalar short-circuit row by row;
+//   - arithmetic and negation call the scalar operators per element,
+//     so overflow-free paths, NULL propagation and error messages are
+//     shared with the tree engine rather than re-implemented.
+//
+// Within one predicate the engines may surface a different error
+// first (the tree engine scans row-major, this one operand-major),
+// but whether *an* error occurs is identical.
+
+// evalVec evaluates e over the batch and returns a vector with one
+// element per selected row.
+func (ex *execution) evalVec(e Expr, b *batch) (*vec, error) {
+	n := len(b.sel)
+	switch x := e.(type) {
+	case *ColumnExpr:
+		slot, err := ex.slotOf(x)
+		if err != nil {
+			return nil, fmt.Errorf("unresolved column %s: %w", x, err)
+		}
+		ci := slot.idx - b.off
+		if ci < 0 || ci >= len(b.tbl.Schema.Columns) {
+			return nil, fmt.Errorf("column %s does not belong to table %s", x, b.tbl.Schema.Name)
+		}
+		return b.col(ci), nil
+	case *LiteralExpr:
+		return constVec(x.Val, n), nil
+	case *NegExpr:
+		v, err := ex.evalVec(x.X, b)
+		if err != nil {
+			return nil, err
+		}
+		out := newValsVec(n)
+		for k := 0; k < n; k++ {
+			r, err := Neg(v.valueAt(k))
+			if err != nil {
+				return nil, err
+			}
+			out.vals[k] = r
+			if !r.Null && out.typ == TUnknown {
+				out.typ = r.Typ
+			}
+		}
+		return out, nil
+	case *BinaryExpr:
+		switch x.Op {
+		case OpAnd, OpOr:
+			return ex.evalVecLogic(x, b)
+		case OpAdd, OpSub, OpMul, OpDiv:
+			lv, err := ex.evalVec(x.L, b)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := ex.evalVec(x.R, b)
+			if err != nil {
+				return nil, err
+			}
+			out := newValsVec(n)
+			for k := 0; k < n; k++ {
+				var r Value
+				switch x.Op {
+				case OpAdd:
+					r, err = Add(lv.valueAt(k), rv.valueAt(k))
+				case OpSub:
+					r, err = Sub(lv.valueAt(k), rv.valueAt(k))
+				case OpMul:
+					r, err = Mul(lv.valueAt(k), rv.valueAt(k))
+				default:
+					r, err = Div(lv.valueAt(k), rv.valueAt(k))
+				}
+				if err != nil {
+					return nil, err
+				}
+				out.vals[k] = r
+				if !r.Null && out.typ == TUnknown {
+					out.typ = r.Typ
+				}
+			}
+			return out, nil
+		default: // comparison
+			lv, err := ex.evalVec(x.L, b)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := ex.evalVec(x.R, b)
+			if err != nil {
+				return nil, err
+			}
+			return cmpVec(x.Op, lv, rv)
+		}
+	case *NotExpr:
+		v, err := ex.evalVec(x.X, b)
+		if err != nil {
+			return nil, err
+		}
+		out := newBoolVec(n)
+		for k := 0; k < n; k++ {
+			if v.nullAt(k) {
+				out.null[k] = true
+				continue
+			}
+			if !v.boolAt(k) {
+				out.ints[k] = 1
+			}
+		}
+		return out, nil
+	case *BetweenExpr:
+		// All three operands evaluate before any null check or
+		// comparison, exactly like the tree engine — composing this
+		// from two cmpVec calls would raise class-mismatch errors on
+		// rows where the tree engine returns NULL.
+		xv, err := ex.evalVec(x.X, b)
+		if err != nil {
+			return nil, err
+		}
+		lov, err := ex.evalVec(x.Lo, b)
+		if err != nil {
+			return nil, err
+		}
+		hiv, err := ex.evalVec(x.Hi, b)
+		if err != nil {
+			return nil, err
+		}
+		out := newBoolVec(n)
+		for k := 0; k < n; k++ {
+			if xv.nullAt(k) || lov.nullAt(k) || hiv.nullAt(k) {
+				out.null[k] = true
+				continue
+			}
+			c1, err := Compare(xv.valueAt(k), lov.valueAt(k))
+			if err != nil {
+				return nil, err
+			}
+			c2, err := Compare(xv.valueAt(k), hiv.valueAt(k))
+			if err != nil {
+				return nil, err
+			}
+			if c1 >= 0 && c2 <= 0 {
+				out.ints[k] = 1
+			}
+		}
+		return out, nil
+	case *LikeExpr:
+		v, err := ex.evalVec(x.X, b)
+		if err != nil {
+			return nil, err
+		}
+		out := newBoolVec(n)
+		for k := 0; k < n; k++ {
+			if v.nullAt(k) {
+				out.null[k] = true
+				continue
+			}
+			val := v.valueAt(k)
+			if val.Typ != TText {
+				return nil, fmt.Errorf("like on non-text value (%s)", val.Typ)
+			}
+			m := LikeMatch(x.Pattern, val.S)
+			if x.Not {
+				m = !m
+			}
+			if m {
+				out.ints[k] = 1
+			}
+		}
+		return out, nil
+	case *IsNullExpr:
+		v, err := ex.evalVec(x.X, b)
+		if err != nil {
+			return nil, err
+		}
+		out := newBoolVec(n)
+		for k := 0; k < n; k++ {
+			m := v.nullAt(k)
+			if x.Not {
+				m = !m
+			}
+			if m {
+				out.ints[k] = 1
+			}
+		}
+		return out, nil
+	case *AggExpr:
+		return nil, fmt.Errorf("aggregate %s outside grouping context", x)
+	default:
+		return nil, fmt.Errorf("unsupported expression node %T", e)
+	}
+}
+
+// evalVecLogic implements three-valued AND/OR with a masked
+// short-circuit: the right operand is evaluated only on the
+// sub-selection the left side leaves undecided, so the set of
+// evaluated (row, subexpression) pairs matches the tree engine's
+// scalar short-circuit exactly.
+func (ex *execution) evalVecLogic(x *BinaryExpr, b *batch) (*vec, error) {
+	n := len(b.sel)
+	lv, err := ex.evalVec(x.L, b)
+	if err != nil {
+		return nil, err
+	}
+	and := x.Op == OpAnd
+	// A position is decided when the left side alone fixes the
+	// outcome: false for AND, true for OR (never when NULL).
+	decided := make([]bool, n)
+	var subSel []int32
+	for k := 0; k < n; k++ {
+		lnull := lv.nullAt(k)
+		lb := lv.boolAt(k)
+		if !lnull && (and && !lb || !and && lb) {
+			decided[k] = true
+			continue
+		}
+		subSel = append(subSel, b.sel[k])
+	}
+	var rv *vec
+	if len(subSel) > 0 {
+		sub := newBatch(b.tbl, b.off, subSel, b.es)
+		rv, err = ex.evalVec(x.R, sub)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := newBoolVec(n)
+	j := 0
+	for k := 0; k < n; k++ {
+		if decided[k] {
+			if !and {
+				out.ints[k] = 1
+			}
+			continue
+		}
+		rnull := rv.nullAt(j)
+		rb := rv.boolAt(j)
+		j++
+		lnull := lv.nullAt(k)
+		if and {
+			switch {
+			case !rnull && !rb:
+				// false
+			case lnull || rnull:
+				out.null[k] = true
+			default:
+				out.ints[k] = 1
+			}
+			continue
+		}
+		switch {
+		case !rnull && rb:
+			out.ints[k] = 1
+		case lnull || rnull:
+			out.null[k] = true
+		default:
+			// false
+		}
+	}
+	return out, nil
+}
+
+// cmpVec compares two vectors element-wise under the engine's
+// comparison semantics: NULL operands yield NULL, compatible classes
+// compare via Compare, incompatible classes error (first offending
+// element, via Compare, for an identical message). Same-class typed
+// storage takes allocation-free fast paths.
+func cmpVec(op BinOp, l, r *vec) (*vec, error) {
+	n := l.n
+	out := newBoolVec(n)
+	switch {
+	case l.typed() && r.typed() && l.typ == r.typ && l.typ != TFloat && l.typ != TText:
+		// TInt/TDate/TBool vs same: integer payload comparison.
+		for k := 0; k < n; k++ {
+			if l.nullAt(k) || r.nullAt(k) {
+				out.null[k] = true
+				continue
+			}
+			a, bv := l.intAt(k), r.intAt(k)
+			c := 0
+			if a < bv {
+				c = -1
+			} else if a > bv {
+				c = 1
+			}
+			if cmpHolds(op, c) {
+				out.ints[k] = 1
+			}
+		}
+		return out, nil
+	case l.typed() && r.typed() && l.typ.IsNumeric() && r.typ.IsNumeric():
+		// Mixed or float numerics: AsFloat comparison.
+		for k := 0; k < n; k++ {
+			if l.nullAt(k) || r.nullAt(k) {
+				out.null[k] = true
+				continue
+			}
+			a, bv := l.floatAt(k), r.floatAt(k)
+			c := 0
+			if a < bv {
+				c = -1
+			} else if a > bv {
+				c = 1
+			}
+			if cmpHolds(op, c) {
+				out.ints[k] = 1
+			}
+		}
+		return out, nil
+	case l.typed() && r.typed() && l.typ == TText && r.typ == TText:
+		for k := 0; k < n; k++ {
+			if l.nullAt(k) || r.nullAt(k) {
+				out.null[k] = true
+				continue
+			}
+			a, bv := l.strAt(k), r.strAt(k)
+			c := 0
+			if a < bv {
+				c = -1
+			} else if a > bv {
+				c = 1
+			}
+			if cmpHolds(op, c) {
+				out.ints[k] = 1
+			}
+		}
+		return out, nil
+	}
+	for k := 0; k < n; k++ {
+		if l.nullAt(k) || r.nullAt(k) {
+			out.null[k] = true
+			continue
+		}
+		c, err := Compare(l.valueAt(k), r.valueAt(k))
+		if err != nil {
+			return nil, err
+		}
+		if cmpHolds(op, c) {
+			out.ints[k] = 1
+		}
+	}
+	return out, nil
+}
+
+// typed reports whether the vec's non-null elements are uniformly of
+// vec.typ with unboxed or constant storage — the precondition for the
+// comparison fast paths. Boxed computed vectors (vals with mixed
+// provenance) still qualify: their non-null elements share out.typ by
+// construction; but a TUnknown (all-null) vec does not.
+func (v *vec) typed() bool { return v.typ != TUnknown }
+
+func (v *vec) intAt(k int) int64 {
+	if v.vals != nil {
+		return v.vals[v.at(k)].I
+	}
+	return v.ints[v.at(k)]
+}
+
+func (v *vec) floatAt(k int) float64 {
+	if v.vals != nil {
+		return v.vals[v.at(k)].AsFloat()
+	}
+	if v.typ == TFloat {
+		return v.floats[v.at(k)]
+	}
+	return float64(v.ints[v.at(k)])
+}
+
+func (v *vec) strAt(k int) string {
+	if v.vals != nil {
+		return v.vals[v.at(k)].S
+	}
+	return v.strs[v.at(k)]
+}
+
+func cmpHolds(op BinOp, c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
