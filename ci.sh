@@ -128,6 +128,25 @@ jq -e '.ledger_events > 0 and .ledger_events == .app_invocations + .cache_hits' 
 }
 curl -sf "http://$addr/jobs/$job_id/trace" > "$e2e_dir/trace.jsonl"
 go run ./cmd/unmasque -validate-trace "$e2e_dir/trace.jsonl"
+
+# Telemetry end-to-end against the same daemon: (a) the Prometheus
+# exposition of /metrics must parse under the strict text-format
+# validator and carry the job counters, (b) a live SSE subscription
+# opened on a just-submitted job must replay+stream frames that pass
+# the stream validator and end at a terminal lifecycle state.
+echo "== telemetry end-to-end (prom scrape + live SSE)"
+curl -sf "http://$addr/metrics?format=prom" > "$e2e_dir/metrics.prom"
+go run ./cmd/unmasque -validate-prom "$e2e_dir/metrics.prom"
+grep -q '^unmasque_jobs_done' "$e2e_dir/metrics.prom" || {
+    echo "telemetry e2e: unmasque_jobs_done missing from prom exposition" >&2
+    cat "$e2e_dir/metrics.prom" >&2
+    exit 1
+}
+sse_id=$(curl -sf -X POST "http://$addr/jobs" -d '{"app":"enki/posts_by_tag"}' | jq -r .id)
+# The stream closes itself when the job reaches a terminal state;
+# --max-time only guards against a hung stream.
+curl -s --max-time 120 "http://$addr/jobs/$sse_id/trace/stream" > "$e2e_dir/stream.sse"
+go run ./cmd/unmasque -validate-stream "$e2e_dir/stream.sse"
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=
@@ -160,6 +179,7 @@ check_cover() {
 check_cover ./internal/core 77.0
 check_cover ./internal/sqldb 81.0
 check_cover ./internal/obs 80.0
+check_cover ./internal/obs/telemetry 80.0
 check_cover ./internal/service 78.0
 check_cover ./internal/analysis/eqcequiv 80.0
 

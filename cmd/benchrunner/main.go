@@ -10,7 +10,7 @@
 //
 // Experiments: fig8, fig9, fig10, fig11, schemascale, enki, wilos,
 // rubis, tpcds, ablation, having, parallel, equiv, sqldb, trace,
-// service, all.
+// service, obs, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig8|fig9|fig10|fig11|schemascale|enki|wilos|rubis|tpcds|ablation|having|parallel|equiv|sqldb|trace|service|all)")
+		exp      = flag.String("exp", "all", "experiment to run (fig8|fig9|fig10|fig11|schemascale|enki|wilos|rubis|tpcds|ablation|having|parallel|equiv|sqldb|trace|service|obs|all)")
 		quick    = flag.Bool("quick", false, "reduced scales and budgets (~1 minute total)")
 		seed     = flag.Int64("seed", 1, "generation and extraction seed")
 		snapshot = flag.String("snapshot", "", "directory to write BENCH_<exp>.json row snapshots into")
@@ -55,8 +55,9 @@ func main() {
 		"sqldb":       func() (any, error) { return bench.SqldbEngine(os.Stdout, opt) },
 		"trace":       func() (any, error) { return bench.TraceProfile(os.Stdout, opt) },
 		"service":     func() (any, error) { return bench.Service(os.Stdout, opt) },
+		"obs":         func() (any, error) { return bench.Obs(os.Stdout, opt) },
 	}
-	order := []string{"fig8", "fig9", "fig10", "fig11", "schemascale", "enki", "wilos", "rubis", "tpcds", "ablation", "having", "parallel", "equiv", "sqldb", "trace", "service"}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "schemascale", "enki", "wilos", "rubis", "tpcds", "ablation", "having", "parallel", "equiv", "sqldb", "trace", "service", "obs"}
 
 	var selected []string
 	if *exp == "all" {

@@ -13,7 +13,14 @@
 //	unmasque -app tpch/H1 -having           # Section 7 pipeline
 //	unmasque -app tpch/Q3 -trace out.jsonl  # record the probe trace
 //	unmasque -app tpch/Q3 -metrics          # print the metrics registry
+//	unmasque -app tpch/Q3 -chrome t.json    # Chrome trace-event export
+//	unmasque -to-chrome out.jsonl           # convert a recorded trace
 //	unmasque -validate-trace out.jsonl      # schema-check a trace file
+//	unmasque -validate-prom scrape.prom     # check a /metrics scrape
+//	unmasque -validate-stream capture.sse   # check an SSE stream capture
+//
+// The -chrome / -to-chrome outputs open directly in about://tracing
+// and https://ui.perfetto.dev.
 package main
 
 import (
@@ -30,21 +37,23 @@ import (
 	"unmasque/internal/app"
 	"unmasque/internal/core"
 	"unmasque/internal/obs"
+	"unmasque/internal/obs/telemetry"
 	"unmasque/internal/workloads/registry"
 )
 
 // obsFlags holds the observability command-line surface.
 type obsFlags struct {
-	tracePath string // -trace: write the JSONL probe trace here
-	metrics   bool   // -metrics: print the metrics registry after extraction
-	ledger    *obs.Ledger
-	registry  *obs.Metrics
+	tracePath  string // -trace: write the JSONL probe trace here
+	chromePath string // -chrome: write the Chrome trace-event export here
+	metrics    bool   // -metrics: print the metrics registry after extraction
+	ledger     *obs.Ledger
+	registry   *obs.Metrics
 }
 
 // attach wires the requested observability hooks into the pipeline
 // config.
 func (o *obsFlags) attach(cfg *core.Config) {
-	if o.tracePath != "" {
+	if o.tracePath != "" || o.chromePath != "" {
 		cfg.Tracer = obs.NewTracer("extract")
 		o.ledger = obs.NewLedger()
 		cfg.Ledger = o.ledger
@@ -61,7 +70,7 @@ func (o *obsFlags) attach(cfg *core.Config) {
 // extractions too — a trace of a failed run (open spans, the probes up
 // to the fault) is exactly what debugging needs — so ext may be nil.
 func (o *obsFlags) finish(appName string, cfg core.Config, ext *core.Extraction) error {
-	if o.tracePath != "" {
+	if o.tracePath != "" || o.chromePath != "" {
 		spans := cfg.Tracer.Events() // ext==nil: tree up to the failure
 		if ext != nil {
 			spans = ext.Trace
@@ -70,18 +79,34 @@ func (o *obsFlags) finish(appName string, cfg core.Config, ext *core.Extraction)
 		if ext != nil {
 			header.Workers = ext.Stats.Workers
 		}
-		f, err := os.Create(o.tracePath)
-		if err != nil {
-			return err
+		if o.tracePath != "" {
+			f, err := os.Create(o.tracePath)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteTrace(f, header, spans, o.ledger); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("-- trace: %d spans, %d probe events -> %s\n", len(spans), o.ledger.Len(), o.tracePath)
 		}
-		if err := obs.WriteTrace(f, header, spans, o.ledger); err != nil {
-			f.Close()
-			return err
+		if o.chromePath != "" {
+			f, err := os.Create(o.chromePath)
+			if err != nil {
+				return err
+			}
+			if err := telemetry.WriteCatapult(f, header, spans, o.ledger.Events()); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("-- chrome trace -> %s (open in about://tracing or ui.perfetto.dev)\n", o.chromePath)
 		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("-- trace: %d spans, %d probe events -> %s\n", len(spans), o.ledger.Len(), o.tracePath)
 	}
 	if o.metrics {
 		fmt.Printf("-- metrics: %s\n", o.registry.String())
@@ -130,6 +155,68 @@ func validateTrace(path string) error {
 	return nil
 }
 
+// validatePromFile checks a captured /metrics?format=prom scrape
+// against the exposition-format invariants.
+func validatePromFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fams, err := telemetry.ParsePromText(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var samples int
+	for _, fam := range fams {
+		samples += len(fam.Samples)
+	}
+	fmt.Printf("%s: valid (%d families, %d samples)\n", path, len(fams), samples)
+	return nil
+}
+
+// validateStreamFile checks a captured SSE trace stream (or raw JSONL
+// frame log) against the live-frame schema.
+func validateStreamFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := obs.ValidateStream(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: valid (%s)\n", path, sum)
+	return nil
+}
+
+// traceToChrome converts a recorded JSONL trace into Chrome
+// trace-event JSON at outPath (default: inPath + ".chrome.json").
+func traceToChrome(inPath, outPath string) error {
+	if outPath == "" {
+		outPath = inPath + ".chrome.json"
+	}
+	in, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.CatapultFromTrace(out, in); err != nil {
+		out.Close()
+		return fmt.Errorf("%s: %w", inPath, err)
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%s -> %s (open in about://tracing or ui.perfetto.dev)\n", inPath, outPath)
+	return nil
+}
+
 // runAdhoc hides an arbitrary user query inside an executable over
 // the chosen workload database and unmasks it — a self-demo of the
 // full loop on any EQC query the user types.
@@ -168,27 +255,51 @@ func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool, b
 
 func main() {
 	var (
-		appName   = flag.String("app", "", "registered application to unmask, e.g. tpch/Q3")
-		adhocSQL  = flag.String("sql", "", "ad-hoc hidden query to extract against -workload")
-		workload  = flag.String("workload", "tpch", "database for -sql (tpch|tpcds|job|enki|wilos|rubis)")
-		list      = flag.Bool("list", false, "list registered applications")
-		stats     = flag.Bool("stats", false, "print the per-module timing profile")
-		having    = flag.Bool("having", false, "use the Section 7 pipeline (having extraction)")
-		seed      = flag.Int64("seed", 1, "data generation / extraction seed")
-		noChecker = flag.Bool("no-checker", false, "skip the final verification module")
-		bounded   = flag.Int("bounded-check", 0, "mutant-prune the checker with a bounded equivalence proof at k rows/table (0 = classical suite)")
-		execMode  = flag.String("exec", "", "sqldb execution engine for probes: vector (default) or tree (the differential-testing oracle)")
-		tracePath = flag.String("trace", "", "write the probe trace (run header, spans, ledger) as JSONL to this file")
-		metrics   = flag.Bool("metrics", false, "print the metrics registry after extraction")
-		debugAddr = flag.String("debug-addr", "", "serve expvar and pprof on this address during extraction, e.g. localhost:6060")
-		checkFile = flag.String("validate-trace", "", "schema-check a previously recorded trace file and exit")
+		appName    = flag.String("app", "", "registered application to unmask, e.g. tpch/Q3")
+		adhocSQL   = flag.String("sql", "", "ad-hoc hidden query to extract against -workload")
+		workload   = flag.String("workload", "tpch", "database for -sql (tpch|tpcds|job|enki|wilos|rubis)")
+		list       = flag.Bool("list", false, "list registered applications")
+		stats      = flag.Bool("stats", false, "print the per-module timing profile")
+		having     = flag.Bool("having", false, "use the Section 7 pipeline (having extraction)")
+		seed       = flag.Int64("seed", 1, "data generation / extraction seed")
+		noChecker  = flag.Bool("no-checker", false, "skip the final verification module")
+		bounded    = flag.Int("bounded-check", 0, "mutant-prune the checker with a bounded equivalence proof at k rows/table (0 = classical suite)")
+		execMode   = flag.String("exec", "", "sqldb execution engine for probes: vector (default) or tree (the differential-testing oracle)")
+		tracePath  = flag.String("trace", "", "write the probe trace (run header, spans, ledger) as JSONL to this file")
+		chromePath = flag.String("chrome", "", "write the Chrome trace-event export to this file (with -app/-sql, or as -to-chrome output)")
+		metrics    = flag.Bool("metrics", false, "print the metrics registry after extraction")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar and pprof on this address during extraction, e.g. localhost:6060")
+		checkFile  = flag.String("validate-trace", "", "schema-check a previously recorded trace file and exit")
+		promFile   = flag.String("validate-prom", "", "check a captured Prometheus /metrics scrape and exit")
+		streamFile = flag.String("validate-stream", "", "check a captured SSE trace stream and exit")
+		toChrome   = flag.String("to-chrome", "", "convert a recorded JSONL trace to Chrome trace-event JSON and exit")
 	)
 	flag.Parse()
 
-	if *checkFile != "" {
-		if err := validateTrace(*checkFile); err != nil {
+	if *checkFile != "" || *promFile != "" || *streamFile != "" || *toChrome != "" {
+		fail := func(err error) {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
+		}
+		if *checkFile != "" {
+			if err := validateTrace(*checkFile); err != nil {
+				fail(err)
+			}
+		}
+		if *promFile != "" {
+			if err := validatePromFile(*promFile); err != nil {
+				fail(err)
+			}
+		}
+		if *streamFile != "" {
+			if err := validateStreamFile(*streamFile); err != nil {
+				fail(err)
+			}
+		}
+		if *toChrome != "" {
+			if err := traceToChrome(*toChrome, *chromePath); err != nil {
+				fail(err)
+			}
 		}
 		return
 	}
@@ -196,7 +307,7 @@ func main() {
 		stop := startDebugServer(*debugAddr)
 		defer stop()
 	}
-	ob := &obsFlags{tracePath: *tracePath, metrics: *metrics}
+	ob := &obsFlags{tracePath: *tracePath, chromePath: *chromePath, metrics: *metrics}
 
 	if *adhocSQL != "" {
 		if err := runAdhoc(*workload, *adhocSQL, *seed, *having, *noChecker, *stats, *bounded, *execMode, ob); err != nil {

@@ -52,6 +52,15 @@
 //	        dominant allocation cost of the pre-vectorized executor;
 //	        the columnar engine's hot paths must hoist and reuse such
 //	        maps or use positional slices keyed by resolved slots.
+//	GL009 — telemetry primitives are bound once, in internal/obs: no
+//	        other package imports log, log/slog or expvar directly.
+//	        Loggers obtained from internal/obs carry job_id/phase
+//	        correlation and honor the daemon's level flag; metrics
+//	        registered through obs.Metrics appear in both the JSON
+//	        and Prometheus expositions of /metrics. Direct stdlib use
+//	        bypasses all of that. Exempt: internal/obs itself (and
+//	        subpackages) and the opaque application simulations
+//	        (internal/workloads, examples/).
 //
 // The entry point is LintDir, which loads and typechecks every
 // non-test package under a module root using a minimal module-aware
@@ -74,14 +83,15 @@ import (
 
 // Rule IDs.
 const (
-	RulePanic       = "GL001"
-	RuleSourceMut   = "GL002"
-	RuleErrWrap     = "GL003"
-	RuleTableAccess = "GL004"
-	RuleDirectPrint = "GL005"
-	RuleServiceCtx  = "GL006"
-	RuleDeterminism = "GL007"
-	RuleBatchAlloc  = "GL008"
+	RulePanic        = "GL001"
+	RuleSourceMut    = "GL002"
+	RuleErrWrap      = "GL003"
+	RuleTableAccess  = "GL004"
+	RuleDirectPrint  = "GL005"
+	RuleServiceCtx   = "GL006"
+	RuleDeterminism  = "GL007"
+	RuleBatchAlloc   = "GL008"
+	RuleObsConstruct = "GL009"
 )
 
 // Finding is one lint violation.
@@ -131,6 +141,7 @@ func LintDir(root string) ([]Finding, error) {
 		findings = append(findings, checkServiceContext(fset, p)...)
 		findings = append(findings, checkDeterminism(fset, p)...)
 		findings = append(findings, checkBatchAlloc(fset, p)...)
+		findings = append(findings, checkObsConstruct(fset, p)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos

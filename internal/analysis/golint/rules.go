@@ -551,6 +551,57 @@ func checkBatchAlloc(fset *token.FileSet, p *pkg) []Finding {
 	return out
 }
 
+// --- GL009: telemetry primitives live behind internal/obs -----------
+
+// obsOnlyImports are the standard-library telemetry packages that the
+// rest of the tree must reach through internal/obs instead of
+// importing directly.
+var obsOnlyImports = map[string]string{
+	"log":      "obs.Logger",
+	"log/slog": "obs.Logger",
+	"expvar":   "obs.Metrics",
+}
+
+// isObsPkg reports whether the package is (under) the observability
+// layer, the one place allowed to bind to the standard telemetry
+// packages.
+func isObsPkg(importPath string) bool {
+	return strings.Contains(importPath, "internal/obs")
+}
+
+// checkObsConstruct enforces GL009: outside internal/obs (and the
+// opaque application simulations), no package imports log, log/slog
+// or expvar directly. The observability layer owns the process's
+// telemetry surface — loggers carry job/phase correlation attrs,
+// metrics export through one registry with a single exposition
+// encoder — and a stray slog.Info or expvar.NewInt bypasses all of
+// it: uncorrelated records, metrics invisible to /metrics. The
+// import is flagged rather than individual calls: any use requires
+// it, and types smuggled out of these packages are as binding as
+// calls.
+func checkObsConstruct(fset *token.FileSet, p *pkg) []Finding {
+	if isObsPkg(p.importPath) || isAppSimulation(p.importPath) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			repl, ok := obsOnlyImports[path]
+			if !ok {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(spec.Pos()),
+				Rule: RuleObsConstruct,
+				Msg: fmt.Sprintf("package %s imports %q directly; route telemetry through internal/obs (%s) "+
+					"so records stay correlated and metrics stay scrapeable (GL009)", p.importPath, path, repl),
+			})
+		}
+	}
+	return out
+}
+
 // isValueMap matches map[K]sqldb.Value after stripping named types.
 func isValueMap(t types.Type) bool {
 	if t == nil {

@@ -1,0 +1,21 @@
+package bench
+
+import (
+	"syscall"
+	"time"
+)
+
+// procCPU returns the process's cumulative CPU time (user + system,
+// all threads). Unlike wall clock it is immune to run-queue delay
+// and CPU steal on shared machines, which makes it the right meter
+// for instrumentation overhead: telemetry costs cycles, not waiting.
+// Getrusage is a unix-family call, which is also why this file is
+// not build-tagged: the project's own linter loads every file
+// tag-blind, and the toolchain targets are unix-only.
+func procCPU() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano()), true
+}

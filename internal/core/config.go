@@ -162,7 +162,15 @@ type Config struct {
 
 	// Metrics, when set, receives probe/cache counters and latency
 	// histograms; publishable through expvar (obs.Metrics.Publish).
+	// Per-phase wall time lands in phase_ms.<phase> histograms and the
+	// engine counter deltas are bridged into engine_* counters at the
+	// end of the extraction.
 	Metrics *obs.Metrics
+
+	// Logger, when set, receives structured pipeline lifecycle records
+	// (phase completions with durations, extraction failures). Nil
+	// disables logging at zero cost; all record sites are nil-safe.
+	Logger *obs.Logger
 
 	// Clock supplies the pipeline's wall-clock readings (phase timing,
 	// probe latencies). Nil selects time.Now. Injectable so the

@@ -217,3 +217,65 @@ func TestStatsCacheAccounting(t *testing.T) {
 		t.Errorf("enabled cache not reported: %s", extOn.Stats.String())
 	}
 }
+
+// TestPhaseHistogramsAndEngineBridge (telemetry PR): every pipeline
+// phase lands exactly one observation in its phase_ms.<name>
+// histogram, the engine counter deltas are bridged into engine_*
+// counters at session end, and the structured logger carries phase
+// correlation attrs on its records.
+func TestPhaseHistogramsAndEngineBridge(t *testing.T) {
+	db := warehouseDB(t, 25, 50, 160)
+	cfg := defaultCfg()
+	cfg.Metrics = obs.NewMetrics()
+	var logBuf bytes.Buffer
+	cfg.Logger = obs.NewLogger(&logBuf, obs.LevelDebug)
+	ext, err := core.Extract(app.MustSQLExecutable("ph", concurrencyQueries[0]), db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{
+		"from-clause", "minimizer", "join-graph", "filters", "disjunctions",
+		"projection", "group-by", "aggregation", "order-by", "limit",
+		"assemble", "checker", "eqc-verify",
+	} {
+		if got := cfg.Metrics.Histogram("phase_ms." + phase).Count(); got != 1 {
+			t.Errorf("phase_ms.%s has %d observations, want 1", phase, got)
+		}
+	}
+	m := cfg.Metrics
+	if got := m.Counter("engine_index_hits").Value(); got != ext.Stats.IndexHits {
+		t.Errorf("engine_index_hits metric %d, stats %d", got, ext.Stats.IndexHits)
+	}
+	if got := m.Counter("engine_vector_batches").Value(); got != ext.Stats.VectorBatches {
+		t.Errorf("engine_vector_batches metric %d, stats %d", got, ext.Stats.VectorBatches)
+	}
+	if ext.Stats.ExecMode == "vector" && ext.Stats.VectorBatches == 0 {
+		t.Error("vector engine reported zero batches — bridge has nothing to measure")
+	}
+
+	var phaseDone, complete int
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		if strings.Contains(line, `"msg":"phase done"`) {
+			phaseDone++
+			if !strings.Contains(line, `"phase":`) {
+				t.Errorf("phase record without phase attr: %s", line)
+			}
+		}
+		if strings.Contains(line, `"msg":"extraction complete"`) {
+			complete++
+		}
+	}
+	if phaseDone != 13 || complete != 1 {
+		t.Errorf("log records: %d phase-done (want 13), %d complete (want 1)\n%s",
+			phaseDone, complete, logBuf.String())
+	}
+}
+
+// TestPhaseInstrumentationNilSafe: an extraction with no metrics and
+// no logger still succeeds (all record sites are nil-safe).
+func TestPhaseInstrumentationNilSafe(t *testing.T) {
+	db := warehouseDB(t, 25, 50, 160)
+	if _, err := core.Extract(app.MustSQLExecutable("nil", concurrencyQueries[0]), db, defaultCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,12 +45,14 @@ type Session struct {
 	// are written only by the main goroutine between fan-outs, so pool
 	// workers read them race-free (happens-before via goroutine
 	// creation).
-	tracer    *obs.Tracer
-	ledger    *obs.Ledger
-	metrics   *obs.Metrics
-	phaseName string
-	phaseSeq  int
-	phaseSpan *obs.Span
+	tracer     *obs.Tracer
+	ledger     *obs.Ledger
+	metrics    *obs.Metrics
+	logger     *obs.Logger
+	phaseName  string
+	phaseSeq   int
+	phaseSpan  *obs.Span
+	phaseStart time.Time
 
 	// source is the provided D_I; it is only read (plus temporarily
 	// renamed tables during from-clause probing on the silo clone).
@@ -145,6 +147,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 		tracer:     cfg.Tracer,
 		ledger:     cfg.Ledger,
 		metrics:    cfg.Metrics,
+		logger:     cfg.Logger,
 	}
 	if !cfg.DisableRunCache {
 		s.cache = newRunCache()
@@ -218,6 +221,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 			err = step.fn()
 		}
 		span.EndErr(err)
+		s.endPhase(step.name, err)
 		if err != nil {
 			return nil, moduleErr(step.name, err)
 		}
@@ -226,6 +230,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 	span := s.beginPhase("assemble")
 	ext, err := s.assemble()
 	span.EndErr(err)
+	s.endPhase("assemble", err)
 	if err != nil {
 		return nil, moduleErr("assembler", err)
 	}
@@ -233,6 +238,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 		span := s.beginPhase("checker")
 		err := s.timed(&s.stats.Checker, func() error { return s.check(ext) })
 		span.EndErr(err)
+		s.endPhase("checker", err)
 		if err != nil {
 			return nil, moduleErr("checker", err)
 		}
@@ -251,6 +257,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 			return eqcverify.Error(diags)
 		})
 		span.EndErr(err)
+		s.endPhase("eqc-verify", err)
 		if err != nil {
 			return nil, moduleErr("eqc-verify", err)
 		}
@@ -272,9 +279,19 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 	s.stats.IndexHits = engineEnd.IndexHits - engineStart.IndexHits
 	s.stats.JoinBuildsReused = engineEnd.JoinReuses - engineStart.JoinReuses
 	s.stats.VectorBatches = engineEnd.VectorBatches - engineStart.VectorBatches
+	// Bridge the engine deltas into the metrics registry so a scrape of
+	// a long-lived process accumulates them across extractions.
+	s.metrics.Counter("engine_index_builds").Add(s.stats.IndexBuilds)
+	s.metrics.Counter("engine_index_hits").Add(s.stats.IndexHits)
+	s.metrics.Counter("engine_join_builds_reused").Add(s.stats.JoinBuildsReused)
+	s.metrics.Counter("engine_vector_batches").Add(s.stats.VectorBatches)
 	ext.Stats = s.stats
 	s.tracer.Root().End()
 	ext.Trace = s.tracer.Events()
+	s.logger.Info("extraction complete",
+		"total_ms", float64(s.stats.Total)/float64(time.Millisecond),
+		"invocations", s.stats.AppInvocations,
+		"exec_mode", s.stats.ExecMode)
 	return ext, nil
 }
 
@@ -286,7 +303,21 @@ func (s *Session) beginPhase(name string) *obs.Span {
 	s.phaseSeq++
 	s.phaseName = name
 	s.phaseSpan = s.tracer.Root().Child(name, obs.SeqAuto)
+	s.phaseStart = s.cfg.Clock()
 	return s.phaseSpan
+}
+
+// endPhase records the completed phase's wall time into the
+// phase_ms.<name> histogram and emits a structured debug record. It
+// pairs with beginPhase; both run on the main goroutine only.
+func (s *Session) endPhase(name string, err error) {
+	ms := float64(s.cfg.Clock().Sub(s.phaseStart)) / float64(time.Millisecond)
+	s.metrics.Histogram("phase_ms." + name).Observe(ms)
+	if err != nil {
+		s.logger.WithPhase(name).Warn("phase failed", "ms", ms, "err", err.Error())
+		return
+	}
+	s.logger.WithPhase(name).Debug("phase done", "ms", ms)
 }
 
 // run executes E against db with the general execution deadline,

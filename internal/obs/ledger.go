@@ -22,11 +22,24 @@ type Ledger struct {
 	mu     sync.Mutex
 	events []ProbeEvent
 	start  time.Time
+	sink   func(ProbeEvent)
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
 	return &Ledger{start: time.Now()}
+}
+
+// SetSink installs a live-export hook: every Record also hands the
+// stamped event to the sink, in arrival (not canonical) order. The
+// sink runs outside the ledger lock; nil uninstalls. Nil-safe.
+func (l *Ledger) SetSink(fn func(ProbeEvent)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = fn
+	l.mu.Unlock()
 }
 
 // Record appends one event, stamping its arrival order and timestamp.
@@ -40,7 +53,11 @@ func (l *Ledger) Record(e ProbeEvent) {
 	e.Seq = int64(len(l.events))
 	e.TSUS = time.Since(l.start).Microseconds()
 	l.events = append(l.events, e)
+	fn := l.sink
 	l.mu.Unlock()
+	if fn != nil {
+		fn(e)
+	}
 }
 
 // Len reports the number of recorded events.

@@ -99,6 +99,52 @@ func (m *Metrics) Snapshot() map[string]any {
 	return out
 }
 
+// HistogramSnapshot is the typed point-in-time state of one
+// histogram: bucket upper bounds, per-bucket (non-cumulative) counts
+// with the overflow bucket last, and the observation count and sum.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// RegistrySnapshot is a typed point-in-time copy of the registry.
+// Unlike Snapshot's generic map — which renders counters and gauges
+// indistinguishably — it preserves the metric kinds, which exposition
+// formats with per-family type declarations (Prometheus TYPE lines)
+// need.
+type RegistrySnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Export returns the typed registry snapshot; nil registries export
+// empty (non-nil) maps so encoders need no nil checks.
+func (m *Metrics) Export() RegistrySnapshot {
+	out := RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if m == nil {
+		return out
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, c := range m.counters {
+		out.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		out.Gauges[name] = g.Value()
+	}
+	for name, h := range m.hists {
+		out.Histograms[name] = h.Snapshot()
+	}
+	return out
+}
+
 // String renders the snapshot as JSON with deterministically sorted
 // keys; it implements expvar.Var.
 func (m *Metrics) String() string {
@@ -257,6 +303,21 @@ func (h *Histogram) Sum() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.sum
+}
+
+// Snapshot copies the histogram state; nil-safe (zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.n,
+		Sum:    h.sum,
+	}
 }
 
 func (h *Histogram) snapshot() map[string]any {

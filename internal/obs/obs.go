@@ -46,6 +46,10 @@ const (
 	TypeRun   = "run"
 	TypeSpan  = "span"
 	TypeProbe = "probe"
+	// TypeJob appears only in live trace streams (never in trace
+	// files): a job lifecycle transition, emitted by the service tier.
+	// A terminal job frame is the stream's closing frame.
+	TypeJob = "job"
 )
 
 // Probe kinds.
@@ -83,6 +87,17 @@ type RunHeader struct {
 	App     string `json:"app"`
 	Workers int    `json:"workers,omitempty"`
 	Seed    int64  `json:"seed,omitempty"`
+}
+
+// JobEvent is one job lifecycle frame of a live trace stream: the
+// job's id and its new state ("queued", "running", "done", "failed",
+// "cancelled"). It never appears in trace files — Validate rejects
+// it; ValidateStream requires a terminal one to close the stream.
+type JobEvent struct {
+	Type  string `json:"type"` // "job"
+	ID    int64  `json:"id,omitempty"`
+	State string `json:"state"`
+	Err   string `json:"err,omitempty"`
 }
 
 // SpanEvent is one flattened span of the trace tree. IDs are assigned

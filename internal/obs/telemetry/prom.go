@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"unmasque/internal/obs"
+)
+
+// PromContentType is the Content-Type of the text exposition format
+// the encoder emits.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promPrefix namespaces every exported family, per Prometheus naming
+// conventions (one prefix per exporting binary/subsystem).
+const promPrefix = "unmasque_"
+
+// promFamily is one metric family being assembled for exposition.
+type promFamily struct {
+	name    string // fully sanitized, prefixed
+	typ     string // counter | gauge | histogram
+	samples []promPoint
+}
+
+// promPoint is one sample of a family: its label value (empty for the
+// unlabeled form) plus either a scalar or a histogram snapshot.
+type promPoint struct {
+	label string
+	value float64
+	hist  *obs.HistogramSnapshot
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format 0.0.4. The output is deterministic for a given registry
+// state: families are sorted by name, samples by label value, and
+// histogram buckets are emitted cumulatively in bound order with the
+// trailing +Inf, _sum and _count series.
+//
+// Registry names map onto families as follows: a dotted name like
+// "phase_probes.filters" becomes family "phase_probes" with a label
+// ({phase="filters"} for the phase_* families, {key="..."}
+// otherwise); undotted names become unlabeled families. Characters
+// outside the Prometheus name alphabet are rewritten to '_', and
+// every family is prefixed "unmasque_". A nil registry renders
+// nothing.
+func WritePrometheus(w io.Writer, m *obs.Metrics) error {
+	snap := m.Export()
+	fams := map[string]*promFamily{}
+
+	add := func(rawName, typ string, p promPoint) error {
+		family, label := splitName(rawName)
+		name := promPrefix + sanitizeName(family)
+		if label != "" {
+			p.label = label
+		}
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, typ: typ}
+			fams[name] = f
+		}
+		if f.typ != typ {
+			return fmt.Errorf("telemetry: metric family %s has conflicting types %s and %s", name, f.typ, typ)
+		}
+		f.samples = append(f.samples, p)
+		return nil
+	}
+
+	for name, v := range snap.Counters {
+		if err := add(name, "counter", promPoint{value: float64(v)}); err != nil {
+			return err
+		}
+	}
+	for name, v := range snap.Gauges {
+		if err := add(name, "gauge", promPoint{value: float64(v)}); err != nil {
+			return err
+		}
+	}
+	for name, h := range snap.Histograms {
+		h := h
+		if err := add(name, "histogram", promPoint{hist: &h}); err != nil {
+			return err
+		}
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].label < f.samples[j].label })
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, p := range f.samples {
+			if f.typ == "histogram" {
+				writeHistogram(&b, f.name, p)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, labelSuffix(f.name, p.label, ""), formatValue(p.value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits the cumulative bucket series plus _sum/_count.
+func writeHistogram(b *strings.Builder, name string, p promPoint) {
+	h := p.hist
+	var cum int64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelSuffix(name, p.label, formatValue(bound)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelSuffix(name, p.label, "+Inf"), h.Count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labelSuffix(name, p.label, ""), formatValue(h.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelSuffix(name, p.label, ""), h.Count)
+}
+
+// labelSuffix renders the {…} label block: the family's value label
+// (if any) first, the histogram le label last — a fixed, deterministic
+// order. Empty when there are no labels.
+func labelSuffix(family, label, le string) string {
+	var parts []string
+	if label != "" {
+		// %q produces Go-syntax escaping, which coincides with the
+		// exposition format's for backslash, quote and newline.
+		parts = append(parts, fmt.Sprintf("%s=%q", labelKey(family), label))
+	}
+	if le != "" {
+		parts = append(parts, fmt.Sprintf("le=%q", le))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// splitName separates a registry name into its family and label value
+// at the first dot ("phase_probes.from-clause" → "phase_probes",
+// "from-clause"). Undotted names have no label.
+func splitName(name string) (family, label string) {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return name, ""
+}
+
+// labelKey picks the label key of a dotted family: the phase-keyed
+// families read naturally as {phase="…"}; anything else gets the
+// generic "key".
+func labelKey(family string) string {
+	switch {
+	case strings.HasPrefix(family, promPrefix+"phase_"):
+		return "phase"
+	default:
+		return "key"
+	}
+}
+
+// sanitizeName rewrites a registry name into the Prometheus metric
+// name alphabet [a-zA-Z0-9_:] (invalid leading digits get an
+// underscore prefix).
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePromTextLabelsAndTimestamps(t *testing.T) {
+	in := `# HELP http_requests_total The total number of HTTP requests.
+# TYPE http_requests_total counter
+http_requests_total{method="post",code="200"} 1027 1395066363000
+http_requests_total{method="post",code="400"} 3 1395066363000
+# TYPE msdos_file_access_time_seconds untyped
+msdos_file_access_time_seconds{path="C:\\DIR\\FILE.TXT",error="Cannot find file:\n\"FILE.TXT\""} 1.458255915e9
+`
+	fams, err := ParsePromText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("spec example rejected: %v", err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("expected 2 families, got %d", len(fams))
+	}
+	if fams[0].Name != "http_requests_total" || len(fams[0].Samples) != 2 {
+		t.Errorf("family 0 wrong: %+v", fams[0])
+	}
+	if fams[0].Samples[0].Value != 1027 {
+		t.Errorf("value wrong: %+v", fams[0].Samples[0])
+	}
+	esc := fams[1].Samples[0].Labels
+	if esc["path"] != `C:\DIR\FILE.TXT` {
+		t.Errorf("backslash escape: %q", esc["path"])
+	}
+	if esc["error"] != "Cannot find file:\n\"FILE.TXT\"" {
+		t.Errorf("newline/quote escape: %q", esc["error"])
+	}
+}
+
+func TestParsePromTextRejections(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":  "orphan_metric 1\n",
+		"malformed TYPE":       "# TYPE too few\n",
+		"unknown type":         "# TYPE x sparkline\nx 1\n",
+		"duplicate TYPE":       "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"bad metric name":      "# TYPE 9x counter\n9x 1\n",
+		"bad value":            "# TYPE x counter\nx one\n",
+		"duplicate series":     "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n",
+		"unterminated labels":  "# TYPE x counter\nx{a=\"1\" 2\n",
+		"unquoted label value": "# TYPE x counter\nx{a=1} 2\n",
+		"bad escape":           "# TYPE x counter\nx{a=\"\\t\"} 2\n",
+		"duplicate label":      "# TYPE x counter\nx{a=\"1\",a=\"2\"} 2\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"buckets out of order": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+		"missing sum": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"malformed le": "# TYPE h histogram\n" +
+			"h_bucket{le=\"wide\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"stray histogram series": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\nh_quantile 3\n",
+	}
+	for name, in := range cases {
+		if _, err := ParsePromText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParsePromTextEmptyIsValid(t *testing.T) {
+	fams, err := ParsePromText(strings.NewReader(""))
+	if err != nil || len(fams) != 0 {
+		t.Errorf("empty document: %v, %v", fams, err)
+	}
+}
+
+func TestParsePromTextHistogramPerLabelSet(t *testing.T) {
+	in := "# TYPE h histogram\n" +
+		"h_bucket{phase=\"a\",le=\"1\"} 1\nh_bucket{phase=\"a\",le=\"+Inf\"} 2\nh_sum{phase=\"a\"} 3\nh_count{phase=\"a\"} 2\n" +
+		"h_bucket{phase=\"b\",le=\"1\"} 4\nh_bucket{phase=\"b\",le=\"+Inf\"} 4\nh_sum{phase=\"b\"} 2\nh_count{phase=\"b\"} 4\n"
+	if _, err := ParsePromText(strings.NewReader(in)); err != nil {
+		t.Errorf("independent label sets rejected: %v", err)
+	}
+}

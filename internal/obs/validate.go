@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -173,6 +174,143 @@ func checkProbe(p *ProbeEvent) error {
 		return fmt.Errorf("negative timing")
 	}
 	return nil
+}
+
+// StreamSummary is the outcome of validating a live trace stream
+// (the SSE feed of GET /jobs/{id}/trace/stream, or its captured
+// transcript).
+type StreamSummary struct {
+	// Frames counts every validated frame; Spans/Probes/Jobs break
+	// them down by type (run headers are counted in Frames and listed
+	// in Apps).
+	Frames int
+	Spans  int
+	Probes int
+	Jobs   int
+	// OpenSpans counts span frames emitted at span start (Open=true).
+	OpenSpans int
+	// Apps lists the run headers seen.
+	Apps []string
+	// Final is the state of the last job frame ("" when the capture
+	// was cut before any lifecycle frame); a complete stream ends with
+	// a terminal one.
+	Final string
+}
+
+func (s *StreamSummary) String() string {
+	final := s.Final
+	if final == "" {
+		final = "(none)"
+	}
+	return fmt.Sprintf("frames=%d spans=%d (open=%d) probes=%d jobs=%d final=%s",
+		s.Frames, s.Spans, s.OpenSpans, s.Probes, s.Jobs, final)
+}
+
+// validJobState enumerates the lifecycle states a job frame may carry.
+var validJobState = map[string]bool{
+	"queued": true, "running": true, "done": true, "failed": true, "cancelled": true,
+}
+
+// ValidateStream checks a live trace stream against the schema. It
+// accepts both raw JSONL and the SSE transcript curl produces
+// ("data: {...}" frames; event/id/retry and comment lines are
+// skipped). Stream frames differ from trace-file lines in two ways:
+// span frames may be live exports (ID 0, Parent 0 — pre-order ids
+// exist only in the final file export; such frames may also be open,
+// marking span start), and job lifecycle frames (TypeJob) are legal.
+// Everything else — probe schema, run headers, pre-order rules for
+// id-bearing spans — matches Validate. An empty capture is an error.
+func ValidateStream(r io.Reader) (*StreamSummary, error) {
+	sum := &StreamSummary{}
+	seenSpans := map[int]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 || raw[0] == ':' {
+			continue // SSE keep-alive comment or frame separator
+		}
+		if before, after, ok := bytes.Cut(raw, []byte(":")); ok && !bytes.HasPrefix(raw, []byte("{")) {
+			// SSE field line: only data fields carry frames.
+			if string(before) != "data" {
+				continue
+			}
+			raw = bytes.TrimSpace(after)
+		}
+		typ, err := lineType(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		switch typ {
+		case TypeRun:
+			var h RunHeader
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if h.App == "" {
+				return nil, fmt.Errorf("line %d: run header without app", line)
+			}
+			sum.Apps = append(sum.Apps, h.App)
+		case TypeSpan:
+			var s SpanEvent
+			if err := json.Unmarshal(raw, &s); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if s.ID == 0 {
+				// Live frame: no pre-order id yet, so no parent link.
+				if s.Name == "" {
+					return nil, fmt.Errorf("line %d: span without name", line)
+				}
+				if s.Parent != 0 {
+					return nil, fmt.Errorf("line %d: live span %q carries parent %d without an id", line, s.Name, s.Parent)
+				}
+				if s.DurUS < 0 || s.StartUS < 0 {
+					return nil, fmt.Errorf("line %d: span %q: negative timing", line, s.Name)
+				}
+			} else {
+				// Replayed export: full trace-file rules apply.
+				if err := checkSpan(&s, seenSpans); err != nil {
+					return nil, fmt.Errorf("line %d: %w", line, err)
+				}
+				seenSpans[s.ID] = true
+			}
+			if s.Open {
+				sum.OpenSpans++
+			}
+			sum.Spans++
+		case TypeProbe:
+			var p ProbeEvent
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if err := checkProbe(&p); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			sum.Probes++
+		case TypeJob:
+			var j JobEvent
+			if err := json.Unmarshal(raw, &j); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if !validJobState[j.State] {
+				return nil, fmt.Errorf("line %d: job frame with unknown state %q", line, j.State)
+			}
+			sum.Jobs++
+			sum.Final = j.State
+		default:
+			return nil, fmt.Errorf("line %d: unknown event type %q", line, typ)
+		}
+		sum.Frames++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if sum.Frames == 0 {
+		return nil, fmt.Errorf("empty stream capture")
+	}
+	return sum, nil
 }
 
 // isHex accepts an empty string or an even-length lower-case hex

@@ -1,21 +1,31 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
+
+	"unmasque/internal/obs/telemetry"
 )
 
 // Server is the HTTP/JSON face of the Manager.
 //
 //	GET  /healthz          liveness + drain state + jobs-by-state tally
-//	GET  /metrics          service metrics snapshot (queue depth, latency quantiles)
+//	GET  /metrics          service metrics: JSON snapshot by default;
+//	                       Prometheus text exposition (0.0.4) with
+//	                       ?format=prom or an Accept header naming
+//	                       text/plain. Latency quantiles are computed
+//	                       from the job_latency_ms histogram at read
+//	                       time.
 //	GET  /jobs             all jobs, submission order
 //	POST /jobs             submit a JobSpec, 202 {"id": n, ...}
 //	GET  /jobs/{id}        status snapshot
 //	GET  /jobs/{id}/result terminal outcome (409 until terminal)
 //	GET  /jobs/{id}/trace  JSONL trace download (run header, spans, ledger)
+//	GET  /jobs/{id}/trace/stream  live SSE telemetry (replay + follow)
 //	POST /jobs/{id}/cancel request cancellation
 //
 // Admission errors map onto status codes: ErrQueueFull → 429,
@@ -36,6 +46,7 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /jobs/{id}/trace/stream", s.handleTraceStream)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	return s
 }
@@ -60,7 +71,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.metrics.Snapshot())
+	if wantsProm(r) {
+		// Render to a buffer first so an encoding error (conflicting
+		// family types) can still answer with a clean 500.
+		var buf bytes.Buffer
+		if err := telemetry.WritePrometheus(&buf, s.mgr.metrics); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.Bytes())
+		return
+	}
+	snap := s.mgr.metrics.Snapshot()
+	if snap != nil {
+		// Latency quantiles derive from the histogram at read time
+		// rather than being materialized into gauges on every job end.
+		if h := s.mgr.metrics.Histogram("job_latency_ms"); h.Count() > 0 {
+			snap["job_latency_p50_ms"] = h.Quantile(0.50)
+			snap["job_latency_p99_ms"] = h.Quantile(0.99)
+		}
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// wantsProm reports whether the request asked for Prometheus text
+// exposition: ?format=prom, or an Accept header naming text/plain
+// (the Prometheus scraper's preference) rather than JSON.
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -125,6 +169,19 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		// not-finished / unknown cases nothing has been written yet.
 		writeError(w, statusFor(err), err)
 	}
+}
+
+func (s *Server) handleTraceStream(w http.ResponseWriter, r *http.Request) {
+	id, ok := jobID(w, r)
+	if !ok {
+		return
+	}
+	st, err := s.mgr.TraceStream(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	telemetry.ServeSSE(w, r, st)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

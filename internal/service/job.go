@@ -6,6 +6,7 @@ import (
 
 	"unmasque/internal/core"
 	"unmasque/internal/obs"
+	"unmasque/internal/obs/telemetry"
 )
 
 // State is the lifecycle position of a job. Transitions are strictly
@@ -59,6 +60,12 @@ type Job struct {
 	tracer *obs.Tracer
 	ledger *obs.Ledger
 	trace  []obs.SpanEvent
+
+	// stream fans the job's live telemetry (run header, span frames,
+	// probe events, lifecycle transitions) out to SSE subscribers. It
+	// is created at admission, closed on the terminal transition, and
+	// nil only for jobs replayed from a previous daemon instance.
+	stream *telemetry.Stream
 }
 
 // View is the JSON snapshot of a job served by the status and list
@@ -95,6 +102,15 @@ type Result struct {
 	BoundedBound  int `json:"bounded_bound,omitempty"`
 	MutantsKilled int `json:"mutants_killed,omitempty"`
 	MutantsProven int `json:"mutants_proven,omitempty"`
+
+	// Execution-engine accounting (core.Stats deltas for this job's
+	// extraction): which sqldb engine probes ran on and, under the
+	// vectorized engine, its index/join-reuse/batch counters.
+	ExecMode         string `json:"exec_mode,omitempty"`
+	IndexBuilds      int64  `json:"index_builds,omitempty"`
+	IndexHits        int64  `json:"index_hits,omitempty"`
+	JoinBuildsReused int64  `json:"join_builds_reused,omitempty"`
+	VectorBatches    int64  `json:"vector_batches,omitempty"`
 }
 
 // view renders the job snapshot; the caller holds the Manager lock.
@@ -129,6 +145,12 @@ func (j *Job) result() Result {
 		BoundedBound:   j.stats.BoundedBound,
 		MutantsKilled:  j.stats.MutantsKilledStatic + j.stats.MutantsKilledWitness,
 		MutantsProven:  j.stats.MutantsProvenEquivalent,
+
+		ExecMode:         j.stats.ExecMode,
+		IndexBuilds:      j.stats.IndexBuilds,
+		IndexHits:        j.stats.IndexHits,
+		JoinBuildsReused: j.stats.JoinBuildsReused,
+		VectorBatches:    j.stats.VectorBatches,
 	}
 }
 

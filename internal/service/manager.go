@@ -10,6 +10,7 @@ import (
 
 	"unmasque/internal/core"
 	"unmasque/internal/obs"
+	"unmasque/internal/obs/telemetry"
 )
 
 // Config tunes the Manager.
@@ -28,6 +29,11 @@ type Config struct {
 	// state, job latency quantiles — plus the per-probe counters of
 	// every extraction. Nil disables metrics.
 	Metrics *obs.Metrics
+	// Logger receives structured job-lifecycle records (submitted,
+	// started, terminal transitions) with job_id correlation attrs,
+	// and is threaded into every extraction for phase records. Nil
+	// disables logging.
+	Logger *obs.Logger
 }
 
 func (c *Config) normalize() {
@@ -46,6 +52,7 @@ type Manager struct {
 	cfg     Config
 	store   *Store
 	metrics *obs.Metrics
+	logger  *obs.Logger
 
 	mu       sync.Mutex
 	jobs     map[int64]*Job
@@ -66,6 +73,7 @@ func Start(ctx context.Context, cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:     cfg,
 		metrics: cfg.Metrics,
+		logger:  cfg.Logger,
 		jobs:    map[int64]*Job{},
 		nextID:  1,
 	}
@@ -92,6 +100,8 @@ func Start(ctx context.Context, cfg Config) (*Manager, error) {
 			if !rj.State.Terminal() {
 				// Interrupted by the crash: back to the queue.
 				j.state = StateQueued
+				j.stream = telemetry.NewStream(0)
+				j.stream.Publish(obs.JobEvent{Type: obs.TypeJob, ID: j.id, State: string(StateQueued)})
 				requeue = append(requeue, j)
 			}
 		}
@@ -146,6 +156,7 @@ func (m *Manager) Submit(ctx context.Context, spec JobSpec) (View, error) {
 		spec:      spec,
 		state:     StateQueued,
 		submitted: time.Now(),
+		stream:    telemetry.NewStream(0),
 	}
 	if err := m.append(ctx, Record{ID: j.id, State: StateQueued, Spec: &spec}); err != nil {
 		return View{}, err
@@ -153,9 +164,11 @@ func (m *Manager) Submit(ctx context.Context, spec JobSpec) (View, error) {
 	m.nextID++
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	j.stream.Publish(obs.JobEvent{Type: obs.TypeJob, ID: j.id, State: string(StateQueued)})
 	m.queue <- j // cannot block: capacity checked under the same lock
 	m.metrics.Counter("jobs_submitted").Add(1)
 	m.setGaugesLocked()
+	m.logger.WithJob(j.id).Info("job submitted", "name", spec.DisplayName())
 	return j.view(), nil
 }
 
@@ -174,10 +187,19 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 	j.cancel = cancel
 	j.tracer = obs.NewTracer("extract")
 	j.ledger = obs.NewLedger()
+	// Live telemetry: every span open/close and probe record fans out
+	// to the job's SSE stream as it happens. stream is write-once at
+	// admission, so reading it outside the lock is safe.
+	stream := j.stream
+	j.tracer.SetSink(func(e obs.SpanEvent) { stream.Publish(e) })
+	j.ledger.SetSink(func(e obs.ProbeEvent) { stream.Publish(e) })
 	spec := j.spec
 	m.setGaugesLocked()
 	m.mu.Unlock()
 	m.append(ctx, Record{ID: j.id, State: StateRunning})
+	stream.Publish(obs.RunHeader{Type: obs.TypeRun, App: spec.DisplayName(), Workers: spec.Workers, Seed: spec.Seed})
+	stream.Publish(obs.JobEvent{Type: obs.TypeJob, ID: j.id, State: string(StateRunning)})
+	m.logger.WithJob(j.id).Info("job started", "name", spec.DisplayName())
 
 	exe, db, err := spec.Materialize()
 	var ext *core.Extraction
@@ -186,6 +208,7 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		cfg.Tracer = j.tracer
 		cfg.Ledger = j.ledger
 		cfg.Metrics = m.metrics
+		cfg.Logger = m.logger.WithJob(j.id)
 		ext, err = core.ExtractContext(jctx, exe, db, cfg)
 	}
 	cancel()
@@ -217,14 +240,25 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		rec.State, rec.Err = StateFailed, j.errMsg
 		m.metrics.Counter("jobs_failed").Add(1)
 	}
+	state, errMsg := j.state, j.errMsg
 	m.setGaugesLocked()
 	m.mu.Unlock()
 	m.append(ctx, rec)
 
-	h := m.metrics.Histogram("job_latency_ms")
-	h.Observe(float64(latency.Microseconds()) / 1e3)
-	m.metrics.Gauge("job_latency_p50_ms").Set(int64(h.Quantile(0.50)))
-	m.metrics.Gauge("job_latency_p99_ms").Set(int64(h.Quantile(0.99)))
+	// Terminal frame, then close: late subscribers get the full replay
+	// (header, spans, probes, lifecycle) and an immediate end-of-stream.
+	stream.Publish(obs.JobEvent{Type: obs.TypeJob, ID: j.id, State: string(state), Err: errMsg})
+	stream.Close()
+	log := m.logger.WithJob(j.id).With("latency_ms", float64(latency.Microseconds())/1e3)
+	if state == StateDone {
+		log.Info("job done")
+	} else {
+		log.Warn("job "+string(state), "err", errMsg)
+	}
+
+	// Latency quantiles are derived from this histogram at scrape time
+	// (/metrics), not materialized into gauges here.
+	m.metrics.Histogram("job_latency_ms").Observe(float64(latency.Microseconds()) / 1e3)
 }
 
 // jobConfig maps the spec's knobs onto the pipeline configuration.
@@ -267,9 +301,13 @@ func (m *Manager) Cancel(ctx context.Context, id int64) (View, error) {
 		j.errMsg = "cancelled before start"
 		j.cancelRequested = true
 		v := j.view()
+		stream := j.stream
 		m.metrics.Counter("jobs_cancelled").Add(1)
 		m.setGaugesLocked()
 		m.mu.Unlock()
+		stream.Publish(obs.JobEvent{Type: obs.TypeJob, ID: id, State: string(StateCancelled), Err: "cancelled before start"})
+		stream.Close()
+		m.logger.WithJob(id).Warn("job cancelled", "err", "cancelled before start")
 		m.append(ctx, Record{ID: id, State: StateCancelled, Err: j.errMsg})
 		return v, nil
 	default: // running
@@ -351,6 +389,23 @@ func (m *Manager) WriteTrace(id int64, w io.Writer) error {
 	return obs.WriteTrace(w, header, spans, ledger)
 }
 
+// TraceStream returns the job's live telemetry stream for SSE
+// subscription. A terminal job's stream is closed: subscribers get
+// the full replay and an immediate end-of-stream. Jobs replayed from
+// a previous daemon instance carry no stream.
+func (m *Manager) TraceStream(id int64) (*telemetry.Stream, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if j.stream == nil {
+		return nil, fmt.Errorf("%w: job predates this daemon instance", ErrUnknownJob)
+	}
+	return j.stream, nil
+}
+
 // Counts tallies jobs by state (for /healthz and tests).
 func (m *Manager) Counts() map[State]int {
 	m.mu.Lock()
@@ -421,6 +476,8 @@ func (m *Manager) cancelRemaining() {
 			j.state = StateCancelled
 			j.finished = time.Now()
 			j.errMsg = "cancelled by drain"
+			j.stream.Publish(obs.JobEvent{Type: obs.TypeJob, ID: j.id, State: string(StateCancelled), Err: j.errMsg})
+			j.stream.Close()
 		}
 	}
 }

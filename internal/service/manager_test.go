@@ -135,8 +135,9 @@ func TestManagerConcurrentJobs(t *testing.T) {
 	if got := met.Histogram("job_latency_ms").Count(); got != n {
 		t.Errorf("latency histogram has %d observations, want %d", got, n)
 	}
-	if p50, p99 := met.Gauge("job_latency_p50_ms").Value(), met.Gauge("job_latency_p99_ms").Value(); p50 > p99 {
-		t.Errorf("latency quantiles inverted: p50 %d > p99 %d", p50, p99)
+	h := met.Histogram("job_latency_ms")
+	if p50, p99 := h.Quantile(0.50), h.Quantile(0.99); p50 > p99 {
+		t.Errorf("latency quantiles inverted: p50 %v > p99 %v", p50, p99)
 	}
 }
 
