@@ -5,8 +5,10 @@
 # linter (internal/analysis via cmd/unmasquelint), the full test suite
 # under the race detector, every fuzz target in smoke mode, an
 # end-to-end traced extraction whose JSONL output is schema-validated,
-# and a coverage gate on the load-bearing packages. Any failure stops
-# the gate.
+# the storage-tier end-to-ends (crash-recovery self-check, disk-store
+# differential, warm-daemon restart on a durable probe cache), and a
+# coverage gate on the load-bearing packages. Any failure stops the
+# gate.
 set -eu
 
 cd "$(dirname "$0")"
@@ -120,7 +122,7 @@ if [ "$service_sql" != "$cli_sql" ]; then
     printf 'service: %s\ncli:     %s\n' "$service_sql" "$cli_sql" >&2
     exit 1
 fi
-jq -e '.ledger_events > 0 and .ledger_events == .app_invocations + .cache_hits' \
+jq -e '.ledger_events > 0 and .ledger_events == .app_invocations + .cache_hits + .disk_cache_hits' \
     "$e2e_dir/result.json" >/dev/null || {
     echo "daemon e2e: ledger invariant broken in result" >&2
     cat "$e2e_dir/result.json" >&2
@@ -156,6 +158,72 @@ grep -q "drained cleanly" "$e2e_dir/daemon.log" || {
     exit 1
 }
 
+# Storage tier end-to-end: (a) the crash-recovery self-check walks a
+# real store through every injected crash stage, (b) an extraction
+# over the disk-backed store must produce byte-identical SQL to the
+# in-memory default.
+echo "== storage tier end-to-end (crash selfcheck + disk differential)"
+go run ./cmd/unmasque -store-selfcheck "$e2e_dir/selfcheck"
+disk_sql=$(go run ./cmd/unmasque -app enki/posts_by_tag -store disk | grep -v '^--')
+if [ "$disk_sql" != "$cli_sql" ]; then
+    echo "storage e2e: -store disk extracts different SQL" >&2
+    printf 'disk: %s\nmem:  %s\n' "$disk_sql" "$cli_sql" >&2
+    exit 1
+fi
+
+# Warm-daemon end-to-end: boot the daemon with a durable probe cache,
+# run a job cold, SIGTERM-drain it, boot a fresh daemon on the same
+# cache directory, and resubmit the identical job. The warm run must
+# complete with ZERO application invocations — every probe served from
+# the disk tier — and extract the same SQL.
+echo "== warm daemon end-to-end (durable probe cache across restart)"
+run_cached_job() {
+    portfile=$1
+    "$e2e_dir/unmasqued" -addr 127.0.0.1:0 -port-file "$portfile" \
+        -store "$e2e_dir/jobs-cache.jsonl" -cache-dir "$e2e_dir/cache" \
+        -workers 2 2>>"$e2e_dir/daemon-cache.log" &
+    daemon_pid=$!
+    for _ in $(seq 1 50); do
+        if [ -s "$portfile" ]; then break; fi
+        sleep 0.1
+    done
+    caddr=$(cat "$portfile")
+    cjob=$(curl -sf -X POST "http://$caddr/jobs" -d '{"app":"enki/posts_by_tag"}' | jq -r .id)
+    cstate=queued
+    for _ in $(seq 1 300); do
+        cstate=$(curl -sf "http://$caddr/jobs/$cjob" | jq -r .state)
+        case "$cstate" in done|failed|cancelled) break ;; esac
+        sleep 0.2
+    done
+    if [ "$cstate" != done ]; then
+        echo "warm daemon e2e: job finished in state $cstate" >&2
+        cat "$e2e_dir/daemon-cache.log" >&2
+        exit 1
+    fi
+    curl -sf "http://$caddr/jobs/$cjob/result"
+    kill -TERM "$daemon_pid"
+    wait "$daemon_pid"
+    daemon_pid=
+}
+run_cached_job "$e2e_dir/port-cold" > "$e2e_dir/result-cold.json"
+run_cached_job "$e2e_dir/port-warm" > "$e2e_dir/result-warm.json"
+jq -e '.app_invocations > 0' "$e2e_dir/result-cold.json" >/dev/null || {
+    echo "warm daemon e2e: cold run reports zero app invocations" >&2
+    cat "$e2e_dir/result-cold.json" >&2
+    exit 1
+}
+jq -e '.app_invocations == 0 and .disk_cache_hits > 0 and
+       .ledger_events == .cache_hits + .disk_cache_hits' \
+    "$e2e_dir/result-warm.json" >/dev/null || {
+    echo "warm daemon e2e: restarted daemon did not serve the job from the durable cache" >&2
+    cat "$e2e_dir/result-warm.json" >&2
+    exit 1
+}
+if [ "$(jq -r .sql "$e2e_dir/result-cold.json")" != "$(jq -r .sql "$e2e_dir/result-warm.json")" ]; then
+    echo "warm daemon e2e: warm SQL differs from cold SQL" >&2
+    exit 1
+fi
+
 # Coverage gate: internal/core, internal/sqldb and internal/obs must
 # stay at or above the recorded baselines (measured at their
 # introduction, minus a small buffer for counting noise).
@@ -182,6 +250,7 @@ check_cover ./internal/obs 80.0
 check_cover ./internal/obs/telemetry 80.0
 check_cover ./internal/service 78.0
 check_cover ./internal/analysis/eqcequiv 80.0
+check_cover ./internal/storage 80.0
 
 # Per-file floor on the vectorized engine: the differential harness
 # must actually exercise the new batch/index/scan/join code, not just

@@ -10,7 +10,7 @@
 //
 // Experiments: fig8, fig9, fig10, fig11, schemascale, enki, wilos,
 // rubis, tpcds, ablation, having, parallel, equiv, sqldb, trace,
-// service, obs, all.
+// service, obs, storage, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig8|fig9|fig10|fig11|schemascale|enki|wilos|rubis|tpcds|ablation|having|parallel|equiv|sqldb|trace|service|obs|all)")
+		exp      = flag.String("exp", "all", "experiment to run (fig8|fig9|fig10|fig11|schemascale|enki|wilos|rubis|tpcds|ablation|having|parallel|equiv|sqldb|trace|service|obs|storage|all)")
 		quick    = flag.Bool("quick", false, "reduced scales and budgets (~1 minute total)")
 		seed     = flag.Int64("seed", 1, "generation and extraction seed")
 		snapshot = flag.String("snapshot", "", "directory to write BENCH_<exp>.json row snapshots into")
@@ -56,8 +56,21 @@ func main() {
 		"trace":       func() (any, error) { return bench.TraceProfile(os.Stdout, opt) },
 		"service":     func() (any, error) { return bench.Service(os.Stdout, opt) },
 		"obs":         func() (any, error) { return bench.Obs(os.Stdout, opt) },
+		"storage": func() (any, error) {
+			// The disk-tier experiment needs a scratch directory for
+			// heap files and the probe-cache log; bench itself does no
+			// file I/O (GL010), so the temp dir is owned here.
+			scratch, err := os.MkdirTemp("", "unmasque-bench-storage-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(scratch)
+			sopt := opt
+			sopt.ScratchDir = scratch
+			return bench.Storage(os.Stdout, sopt)
+		},
 	}
-	order := []string{"fig8", "fig9", "fig10", "fig11", "schemascale", "enki", "wilos", "rubis", "tpcds", "ablation", "having", "parallel", "equiv", "sqldb", "trace", "service", "obs"}
+	order := []string{"fig8", "fig9", "fig10", "fig11", "schemascale", "enki", "wilos", "rubis", "tpcds", "ablation", "having", "parallel", "equiv", "sqldb", "trace", "service", "obs", "storage"}
 
 	var selected []string
 	if *exp == "all" {
@@ -72,15 +85,37 @@ func main() {
 			selected = append(selected, name)
 		}
 	}
+	run(selected, runners, opt, *snapshot)
+}
+
+// writeSnapshot places one experiment's EncodeSnapshot output at path.
+func writeSnapshot(path, experiment string, opt bench.Options, rows any) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.EncodeSnapshot(f, experiment, opt, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(selected []string, runners map[string]func() (any, error), opt bench.Options, snapshot string) {
 	for _, name := range selected {
 		rows, err := runners[name]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
 			os.Exit(1)
 		}
-		if *snapshot != "" && rows != nil {
-			path := filepath.Join(*snapshot, "BENCH_"+name+".json")
-			if err := bench.WriteSnapshot(path, name, opt, rows); err != nil {
+		if snapshot != "" && rows != nil {
+			path := filepath.Join(snapshot, "BENCH_"+name+".json")
+			if err := writeSnapshot(path, name, opt, rows); err != nil {
 				fmt.Fprintf(os.Stderr, "experiment %s: snapshot: %v\n", name, err)
 				os.Exit(1)
 			}

@@ -18,6 +18,9 @@
 //	unmasque -validate-trace out.jsonl      # schema-check a trace file
 //	unmasque -validate-prom scrape.prom     # check a /metrics scrape
 //	unmasque -validate-stream capture.sse   # check an SSE stream capture
+//	unmasque -app tpch/Q3 -store disk       # probe from paged heap files
+//	unmasque -app tpch/Q3 -cache-dir d      # durable cross-run probe cache
+//	unmasque -store-selfcheck /tmp/sc       # storage crash-recovery check
 //
 // The -chrome / -to-chrome outputs open directly in about://tracing
 // and https://ui.perfetto.dev.
@@ -25,12 +28,14 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr server
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -38,6 +43,8 @@ import (
 	"unmasque/internal/core"
 	"unmasque/internal/obs"
 	"unmasque/internal/obs/telemetry"
+	"unmasque/internal/sqldb"
+	"unmasque/internal/storage"
 	"unmasque/internal/workloads/registry"
 )
 
@@ -217,10 +224,118 @@ func traceToChrome(inPath, outPath string) error {
 	return nil
 }
 
+// storeFlags holds the storage-tier command-line surface.
+type storeFlags struct {
+	mode     string // -store: mem | disk
+	dir      string // -store-dir: heap-file directory for -store disk
+	cacheDir string // -cache-dir: durable cross-run probe cache
+}
+
+// apply rehouses db on the paged disk tier (-store disk) and attaches
+// the durable probe cache (-cache-dir) under the namespace ns. The
+// returned database replaces db for the extraction; cleanup must run
+// after it finishes — it closes the store that serves the database's
+// lazy page faults, closes the probe cache, and removes an implicit
+// temp store directory.
+func (sf storeFlags) apply(db *sqldb.Database, cfg *core.Config, ns string) (*sqldb.Database, func(), error) {
+	cleanup := func() {}
+	switch sf.mode {
+	case "", "mem":
+	case "disk":
+		dir := sf.dir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "unmasque-store-*")
+			if err != nil {
+				return nil, nil, err
+			}
+			dir = tmp
+			cleanup = func() { os.RemoveAll(tmp) }
+		}
+		st, err := storage.Open(dir, storage.Options{})
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("opening disk store: %w", err)
+		}
+		if err := st.BulkLoad(db); err != nil {
+			st.Close()
+			cleanup()
+			return nil, nil, fmt.Errorf("loading disk store: %w", err)
+		}
+		disk, err := st.OpenDatabase()
+		if err != nil {
+			st.Close()
+			cleanup()
+			return nil, nil, fmt.Errorf("opening disk-backed database: %w", err)
+		}
+		db = disk
+		rm := cleanup
+		cleanup = func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "disk store: %v\n", err)
+			}
+			rm()
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown -store mode %q (want mem or disk)", sf.mode)
+	}
+	if sf.cacheDir != "" {
+		pc, err := storage.OpenProbeCache(filepath.Join(sf.cacheDir, "probecache.log"))
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("opening probe cache: %w", err)
+		}
+		cfg.SharedCache = pc.Namespace(ns)
+		prev := cleanup
+		cleanup = func() {
+			if err := pc.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "probe cache: %v\n", err)
+			}
+			prev()
+		}
+	}
+	return db, cleanup, nil
+}
+
+// runApp unmasks one registered application.
+func runApp(appName string, seed int64, having, noChecker, stats bool, bounded int, execMode string, sf storeFlags, ob *obsFlags) error {
+	exe, db, err := registry.Build(appName, seed)
+	if err != nil {
+		return fmt.Errorf("setup: %w", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.ExtractHaving = having || strings.Contains(appName, "/H")
+	cfg.SkipChecker = noChecker
+	cfg.BoundedCheck = bounded
+	cfg.ExecMode = execMode
+	db, cleanup, err := sf.apply(db, &cfg, storage.AppNamespace(appName, seed))
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	ob.attach(&cfg)
+
+	ext, err := core.Extract(exe, db, cfg)
+	if ferr := ob.finish(appName, cfg, ext); ferr != nil {
+		fmt.Fprintf(os.Stderr, "observability: %v\n", ferr)
+	}
+	if err != nil {
+		return fmt.Errorf("extraction failed: %w", err)
+	}
+	fmt.Printf("-- unmasked query of %s (%s)\n%s\n", appName, ext.Summary(), ext.SQL)
+	if ext.CheckerVerified {
+		fmt.Println("-- extraction verified by randomized and targeted instance checks")
+	}
+	if stats {
+		fmt.Printf("-- profile: %s\n", ext.Stats.String())
+	}
+	return nil
+}
+
 // runAdhoc hides an arbitrary user query inside an executable over
 // the chosen workload database and unmasks it — a self-demo of the
 // full loop on any EQC query the user types.
-func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool, bounded int, execMode string, ob *obsFlags) error {
+func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool, bounded int, execMode string, sf storeFlags, ob *obsFlags) error {
 	db, plant, err := registry.AdhocDatabase(workload, seed)
 	if err != nil {
 		return err
@@ -238,6 +353,16 @@ func runAdhoc(workload, sql string, seed int64, having, noChecker, stats bool, b
 	cfg.SkipChecker = noChecker
 	cfg.BoundedCheck = bounded
 	cfg.ExecMode = execMode
+	// The cache namespace must identify the executable; ad-hoc SQL is
+	// the executable, so its digest (plus the workload whose generated
+	// instance it runs over) is the identity.
+	sum := sha256.Sum256([]byte(sql))
+	ns := storage.AppNamespace(fmt.Sprintf("adhoc/%s/%x", workload, sum[:12]), seed)
+	db, cleanup, err := sf.apply(db, &cfg, ns)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	ob.attach(&cfg)
 	ext, err := core.Extract(exe, db, cfg)
 	if ferr := ob.finish(exe.Name(), cfg, ext); ferr != nil {
@@ -265,6 +390,10 @@ func main() {
 		noChecker  = flag.Bool("no-checker", false, "skip the final verification module")
 		bounded    = flag.Int("bounded-check", 0, "mutant-prune the checker with a bounded equivalence proof at k rows/table (0 = classical suite)")
 		execMode   = flag.String("exec", "", "sqldb execution engine for probes: vector (default) or tree (the differential-testing oracle)")
+		storeMode  = flag.String("store", "mem", "table storage backend: mem (resident rows) or disk (paged heap files behind a buffer pool)")
+		storeDir   = flag.String("store-dir", "", "heap-file directory for -store disk (default: a temp dir removed on exit)")
+		cacheDir   = flag.String("cache-dir", "", "durable probe-cache directory; repeat extractions of the same app+seed reuse recorded application outcomes")
+		selfCheck  = flag.String("store-selfcheck", "", "run the storage crash-recovery self-check in this directory and exit")
 		tracePath  = flag.String("trace", "", "write the probe trace (run header, spans, ledger) as JSONL to this file")
 		chromePath = flag.String("chrome", "", "write the Chrome trace-event export to this file (with -app/-sql, or as -to-chrome output)")
 		metrics    = flag.Bool("metrics", false, "print the metrics registry after extraction")
@@ -303,14 +432,23 @@ func main() {
 		}
 		return
 	}
+	if *selfCheck != "" {
+		if err := storage.SelfCheck(*selfCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "storage self-check: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("storage self-check: ok (torn-WAL, pre-commit and mid-apply crashes all recover)")
+		return
+	}
 	if *debugAddr != "" {
 		stop := startDebugServer(*debugAddr)
 		defer stop()
 	}
 	ob := &obsFlags{tracePath: *tracePath, chromePath: *chromePath, metrics: *metrics}
+	sf := storeFlags{mode: *storeMode, dir: *storeDir, cacheDir: *cacheDir}
 
 	if *adhocSQL != "" {
-		if err := runAdhoc(*workload, *adhocSQL, *seed, *having, *noChecker, *stats, *bounded, *execMode, ob); err != nil {
+		if err := runAdhoc(*workload, *adhocSQL, *seed, *having, *noChecker, *stats, *bounded, *execMode, sf, ob); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
@@ -332,32 +470,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown application %q (try -list)\n", *appName)
 		os.Exit(2)
 	}
-	exe, db, err := registry.Build(*appName, *seed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "setup: %v\n", err)
+	if err := runApp(*appName, *seed, *having, *noChecker, *stats, *bounded, *execMode, sf, ob); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
-	}
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.ExtractHaving = *having || strings.Contains(*appName, "/H")
-	cfg.SkipChecker = *noChecker
-	cfg.BoundedCheck = *bounded
-	cfg.ExecMode = *execMode
-	ob.attach(&cfg)
-
-	ext, err := core.Extract(exe, db, cfg)
-	if ferr := ob.finish(*appName, cfg, ext); ferr != nil {
-		fmt.Fprintf(os.Stderr, "observability: %v\n", ferr)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "extraction failed: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("-- unmasked query of %s (%s)\n%s\n", *appName, ext.Summary(), ext.SQL)
-	if ext.CheckerVerified {
-		fmt.Println("-- extraction verified by randomized and targeted instance checks")
-	}
-	if *stats {
-		fmt.Printf("-- profile: %s\n", ext.Stats.String())
 	}
 }

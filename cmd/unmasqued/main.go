@@ -36,6 +36,7 @@ type options struct {
 	workers      int
 	queueDepth   int
 	storePath    string
+	cacheDir     string
 	portFile     string
 	drainTimeout time.Duration
 	pprof        bool
@@ -48,6 +49,7 @@ func main() {
 	flag.IntVar(&opt.workers, "workers", 2, "extraction worker pool size")
 	flag.IntVar(&opt.queueDepth, "queue-depth", 64, "admission queue depth (full queue rejects with 429)")
 	flag.StringVar(&opt.storePath, "store", "unmasqued.jobs.jsonl", "durable job log path (empty disables persistence)")
+	flag.StringVar(&opt.cacheDir, "cache-dir", "", "durable cross-job probe cache directory (empty disables the durable cache tier)")
 	flag.StringVar(&opt.portFile, "port-file", "", "write the bound address to this file once listening")
 	flag.DurationVar(&opt.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
 	flag.BoolVar(&opt.pprof, "pprof", false, "serve net/http/pprof handlers under /debug/pprof/")
@@ -78,6 +80,7 @@ func run(opt options) error {
 		Workers:    opt.workers,
 		QueueDepth: opt.queueDepth,
 		StorePath:  opt.storePath,
+		CacheDir:   opt.cacheDir,
 		Metrics:    metrics,
 		Logger:     logger,
 	})
@@ -96,8 +99,8 @@ func run(opt options) error {
 			return fmt.Errorf("writing port file: %w", err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "unmasqued: listening on %s (workers=%d queue=%d store=%q pprof=%v)\n",
-		bound, opt.workers, opt.queueDepth, opt.storePath, opt.pprof)
+	fmt.Fprintf(os.Stderr, "unmasqued: listening on %s (workers=%d queue=%d store=%q cache-dir=%q pprof=%v)\n",
+		bound, opt.workers, opt.queueDepth, opt.storePath, opt.cacheDir, opt.pprof)
 
 	var handler http.Handler = service.NewServer(mgr)
 	if opt.pprof {

@@ -2,7 +2,7 @@
 // modes, mirroring the tiers of internal/analysis:
 //
 // Lint mode (default): typecheck the module and run the custom Go
-// analyzers (GL001–GL007) over every non-test package.
+// analyzers (GL001–GL010) over every non-test package.
 //
 //	unmasquelint            # lint the module rooted at the cwd
 //	unmasquelint ./...      # same (spelled like go vet)

@@ -61,6 +61,14 @@
 //	        bypasses all of that. Exempt: internal/obs itself (and
 //	        subpackages) and the opaque application simulations
 //	        (internal/workloads, examples/).
+//	GL010 — file I/O lives in the storage tiers: no library package
+//	        imports "os" except internal/storage (heap pages, WAL,
+//	        probe cache — durability is its charter) and
+//	        internal/service (the durable job log). Everything else
+//	        takes io.Reader/io.Writer or goes through those tiers, so
+//	        fsync discipline and crash recovery stay in one audited
+//	        place. Exempt: package main (flags and exit codes live
+//	        there) and the linter itself (it reads source trees).
 //
 // The entry point is LintDir, which loads and typechecks every
 // non-test package under a module root using a minimal module-aware
@@ -92,6 +100,7 @@ const (
 	RuleDeterminism  = "GL007"
 	RuleBatchAlloc   = "GL008"
 	RuleObsConstruct = "GL009"
+	RuleFileIO       = "GL010"
 )
 
 // Finding is one lint violation.
@@ -142,6 +151,7 @@ func LintDir(root string) ([]Finding, error) {
 		findings = append(findings, checkDeterminism(fset, p)...)
 		findings = append(findings, checkBatchAlloc(fset, p)...)
 		findings = append(findings, checkObsConstruct(fset, p)...)
+		findings = append(findings, checkFileIO(fset, p)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos

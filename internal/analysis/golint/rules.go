@@ -602,6 +602,50 @@ func checkObsConstruct(fset *token.FileSet, p *pkg) []Finding {
 	return out
 }
 
+// --- GL010: file I/O lives in the storage tiers ---------------------
+
+// isStoragePkg reports whether the package is the disk-backed storage
+// tier — heap pages, WAL, durable probe cache — where file I/O is the
+// charter.
+func isStoragePkg(importPath string) bool {
+	return strings.Contains(importPath, "internal/storage")
+}
+
+// isLinterPkg reports whether the package is the linter itself, which
+// reads source trees off disk by nature.
+func isLinterPkg(importPath string) bool {
+	return strings.Contains(importPath, "internal/analysis/golint")
+}
+
+// checkFileIO enforces GL010: outside package main, internal/storage,
+// internal/service and the linter itself, no package imports "os".
+// Durability has sharp edges — fsync ordering, torn-tail truncation,
+// crash recovery — and keeping every file handle inside two audited
+// tiers is what lets the rest of the tree stay deterministic and
+// testable against io.Reader/io.Writer. As with GL009 the import is
+// flagged, not individual calls: any use requires it.
+func checkFileIO(fset *token.FileSet, p *pkg) []Finding {
+	if p.tpkg.Name() == "main" || isStoragePkg(p.importPath) ||
+		isServicePkg(p.importPath) || isLinterPkg(p.importPath) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.files {
+		for _, spec := range f.Imports {
+			if strings.Trim(spec.Path.Value, `"`) != "os" {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(spec.Pos()),
+				Rule: RuleFileIO,
+				Msg: fmt.Sprintf("package %s imports \"os\"; file I/O is confined to internal/storage and "+
+					"internal/service — take an io.Reader/io.Writer or go through those tiers (GL010)", p.importPath),
+			})
+		}
+	}
+	return out
+}
+
 // isValueMap matches map[K]sqldb.Value after stripping named types.
 func isValueMap(t types.Type) bool {
 	if t == nil {

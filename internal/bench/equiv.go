@@ -4,8 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"time"
 
 	"unmasque/internal/app"
@@ -110,8 +108,10 @@ type Snapshot struct {
 	Rows       any    `json:"rows"`
 }
 
-// WriteSnapshot marshals one experiment's rows to path.
-func WriteSnapshot(path, experiment string, opt Options, rows any) error {
+// EncodeSnapshot marshals one experiment's rows onto w. File placement
+// is the caller's business (cmd/benchrunner): this package stays free
+// of file I/O, like every non-storage library package (lint GL010).
+func EncodeSnapshot(w io.Writer, experiment string, opt Options, rows any) error {
 	snap := Snapshot{
 		Experiment: experiment,
 		Quick:      opt.Quick,
@@ -123,10 +123,6 @@ func WriteSnapshot(path, experiment string, opt Options, rows any) error {
 	if err != nil {
 		return err
 	}
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	_, err = w.Write(append(data, '\n'))
+	return err
 }

@@ -26,6 +26,12 @@ type Options struct {
 	Quick bool
 	// Seed drives data generation and extraction randomness.
 	Seed int64
+	// ScratchDir is a writable directory for experiments that exercise
+	// the disk tier (storage). The caller owns its lifecycle; this
+	// package only passes it to storage.Open / OpenProbeCache (which
+	// create subdirectories as needed) and never touches the
+	// filesystem directly. Empty skips disk-backed measurements.
+	ScratchDir string
 }
 
 // DefaultOptions mirrors the paper-shaped run.

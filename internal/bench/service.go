@@ -103,7 +103,7 @@ func Service(w io.Writer, opt Options) ([]ServiceRow, error) {
 			if res.State != service.StateDone {
 				row.AllDone = false
 			}
-			if res.LedgerEvents == 0 || res.LedgerEvents != res.AppInvocations+res.CacheHits {
+			if res.LedgerEvents == 0 || res.LedgerEvents != res.AppInvocations+res.CacheHits+res.DiskCacheHits {
 				row.Invariant = false
 			}
 		}

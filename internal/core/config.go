@@ -148,6 +148,26 @@ type Config struct {
 	// probe databases, far below any realistic D_I).
 	CacheMaxRows int
 
+	// SharedCache, when set, attaches a durable cross-job probe cache
+	// (typically storage.ProbeCache.Namespace) as a second memoization
+	// tier: completed executions are persisted and consulted before any
+	// application invocation, including the from-clause rename probes,
+	// so a repeat extraction of the same (executable, instance) pair
+	// can finish with zero invocations. The shared tier requires the
+	// in-session run cache for its single-flight discipline; with
+	// DisableRunCache set it is ignored. The namespace must uniquely
+	// identify the executable — fingerprints cover only database
+	// content, and two applications probed on identical instances
+	// produce different results.
+	SharedCache ProbeCache
+
+	// DiskCacheMaxRows bounds the instances eligible for the shared
+	// persistent tier. It is deliberately far above CacheMaxRows: disk
+	// entries cost no RAM and survive the job, so even the full initial
+	// instance's probe results are worth keeping. Zero selects the
+	// default of 1,000,000 rows.
+	DiskCacheMaxRows int
+
 	// Tracer, when set, receives the extraction's span tree: one span
 	// per pipeline phase and one per scheduled probe. The finished
 	// tree is also flattened onto Extraction.Trace. Nil disables
@@ -242,6 +262,12 @@ func (c *Config) validate() error {
 	if c.CacheMaxRows == 0 {
 		c.CacheMaxRows = 256
 	}
+	if c.DiskCacheMaxRows < 0 {
+		return fmt.Errorf("DiskCacheMaxRows must be non-negative")
+	}
+	if c.DiskCacheMaxRows == 0 {
+		c.DiskCacheMaxRows = 1_000_000
+	}
 	if c.BoundedCheck < 0 {
 		return fmt.Errorf("BoundedCheck must be non-negative")
 	}
@@ -302,6 +328,13 @@ type Stats struct {
 	CacheHits   int64
 	CacheMisses int64
 
+	// DiskCacheHits counts probes served from the durable cross-job
+	// tier (Config.SharedCache): the fingerprint matched an execution
+	// persisted by an earlier job (or an earlier probe of this one),
+	// and E was not run. Reported distinctly from CacheHits so a warm
+	// daemon's zero-invocation extractions are visible as such.
+	DiskCacheHits int64
+
 	// MinimizerRows traces the database size before and after
 	// minimization.
 	RowsInitial       int
@@ -345,13 +378,16 @@ type Stats struct {
 }
 
 // CacheHitRate is the fraction of cache-eligible probes served from
-// the memoization cache.
+// either memoization tier (in-session or persistent): with both tiers
+// active, hits from each count towards the numerator and the
+// denominator is every cache-eligible probe.
 func (s *Stats) CacheHitRate() float64 {
-	total := s.CacheHits + s.CacheMisses
+	served := s.CacheHits + s.DiskCacheHits
+	total := served + s.CacheMisses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.CacheHits) / float64(total)
+	return float64(served) / float64(total)
 }
 
 // Minimizer is the total database-minimization time (sampling plus
@@ -377,6 +413,9 @@ func (s *Stats) String() string {
 		s.Workers, s.ParallelProbes)
 	if s.CacheEnabled {
 		line += fmt.Sprintf(" cache %d/%d", s.CacheHits, s.CacheHits+s.CacheMisses)
+		if s.DiskCacheHits > 0 {
+			line += fmt.Sprintf(" disk=%d", s.DiskCacheHits)
+		}
 	}
 	if s.BoundedBound > 0 {
 		line += fmt.Sprintf(" bounded-check k=%d mutants %d (static=%d witness=%d equivalent=%d unresolved=%d)",

@@ -36,14 +36,16 @@ func (s *Session) extractFromClause() error {
 		// Short probe deadline: a missing-table fault is immediate,
 		// while an unaffected application would otherwise run to
 		// completion on the full instance for every negative probe.
-		// Rename probes never consult the run cache (fingerprinting
-		// the full instance would dwarf the probe itself), so they
-		// record their ledger event here; a missing-table fault or
-		// timeout IS the observation, not an incident.
-		start := s.cfg.Clock()
-		res, err := app.RunCtx(s.ctx, s.exe, probe, s.cfg.ProbeTimeout)
-		s.observe(pc, obs.ProbeEvent{Kind: obs.KindRename, Table: names[i], Cache: obs.CacheNone},
-			res, err, s.cfg.Clock().Sub(start))
+		// Rename probes never consult the in-session run cache
+		// (fingerprints never repeat within the fan-out — each probe
+		// renames a different table), so they record their ledger
+		// event here; a missing-table fault or timeout IS the
+		// observation, not an incident. The durable cross-job tier is
+		// a different story: a warm daemon has already paid for these
+		// exact probes, so when a shared cache is attached (and the
+		// instance is within the disk-tier bound) the fingerprint is
+		// consulted and a repeat extraction invokes E zero times.
+		_, err := s.runRenameProbe(pc, probe, names[i])
 		switch {
 		case errors.Is(err, sqldb.ErrNoSuchTable):
 			inQuery[i] = true
@@ -86,4 +88,36 @@ func (s *Session) extractFromClause() error {
 		}
 		return nil
 	})
+}
+
+// runRenameProbe executes one from-clause rename probe, serving it
+// from the durable cross-job cache when one is attached. Timeouts are
+// never persisted (they describe the environment, not (E, D)); a
+// deterministic outcome — the missing-table fault of a positive
+// probe, or the negative probe's completed result — is.
+func (s *Session) runRenameProbe(pc *probeCtx, probe *sqldb.Database, table string) (*sqldb.Result, error) {
+	diskOK := s.cache != nil && s.shared != nil && probe.TotalRows() <= s.cfg.DiskCacheMaxRows
+	if !diskOK {
+		start := s.cfg.Clock()
+		res, err := app.RunCtx(s.ctx, s.exe, probe, s.cfg.ProbeTimeout)
+		s.observe(pc, obs.ProbeEvent{Kind: obs.KindRename, Table: table, Cache: obs.CacheNone},
+			res, err, s.cfg.Clock().Sub(start))
+		return res, err
+	}
+	fp := probe.Fingerprint()
+	start := s.cfg.Clock()
+	if res, err, ok := s.shared.Get(fp); ok {
+		s.cache.diskHits.Add(1)
+		s.observe(pc, obs.ProbeEvent{Kind: obs.KindRename, Table: table, FP: fp.Hex(), Cache: obs.CacheDisk},
+			res, err, s.cfg.Clock().Sub(start))
+		return res, err
+	}
+	s.cache.misses.Add(1)
+	res, err := app.RunCtx(s.ctx, s.exe, probe, s.cfg.ProbeTimeout)
+	s.observe(pc, obs.ProbeEvent{Kind: obs.KindRename, Table: table, FP: fp.Hex(), Cache: obs.CacheMiss},
+		res, err, s.cfg.Clock().Sub(start))
+	if !errors.Is(err, app.ErrTimeout) && !isCtxErr(err) {
+		s.shared.Put(fp, res, err)
+	}
+	return res, err
 }

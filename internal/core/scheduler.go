@@ -145,10 +145,11 @@ func (s *Session) probeStep(worker, i int, fn func(pc *probeCtx, i int) error) e
 // fingerprint. It is shared by all workers of one Session and safe
 // for concurrent use.
 type runCache struct {
-	mu      sync.Mutex
-	entries map[sqldb.Fingerprint]*cacheEntry
-	hits    atomic.Int64
-	misses  atomic.Int64
+	mu       sync.Mutex
+	entries  map[sqldb.Fingerprint]*cacheEntry
+	hits     atomic.Int64
+	misses   atomic.Int64
+	diskHits atomic.Int64
 }
 
 // cacheEntry is one execution flight. The reserving leader runs E and
@@ -184,8 +185,18 @@ func (c *runCache) reserve(fp sqldb.Fingerprint) (*cacheEntry, bool) {
 }
 
 // complete records the leader's outcome and releases the waiters.
-func (c *runCache) complete(e *cacheEntry, res *sqldb.Result, err error) {
+// With retain=false the flight is withdrawn after completion: waiters
+// already holding the entry still read its outcome, but the result is
+// not kept resident — instances above CacheMaxRows are only memoized
+// in the persistent tier (disk, not RAM), and a later probe on the
+// same fingerprint re-reserves and reads the disk tier instead.
+func (c *runCache) complete(fp sqldb.Fingerprint, e *cacheEntry, res *sqldb.Result, err error, retain bool) {
 	e.res, e.err, e.ok = res, err, true
+	if !retain {
+		c.mu.Lock()
+		delete(c.entries, fp)
+		c.mu.Unlock()
+	}
 	close(e.done)
 }
 
@@ -199,18 +210,31 @@ func (c *runCache) abort(fp sqldb.Fingerprint, e *cacheEntry) {
 }
 
 // runMemoized executes E against db with the general execution
-// deadline, serving content-identical probes from the cache. Large
-// databases (above Config.CacheMaxRows) bypass the cache: hashing
-// them would rival execution cost, and the minimizer's shrinking
-// instances rarely repeat anyway. Every path records exactly one
-// ledger event: one per completed E invocation, one per cache hit —
-// which is what makes the ledger's event count equal
-// Stats.AppInvocations + Stats.CacheHits.
+// deadline, serving content-identical probes from the two-tier cache:
+// the in-session single-flight map first, then (when a shared
+// persistent cache is attached) the durable cross-job tier. Large
+// databases bypass each tier independently — above Config.CacheMaxRows
+// results are not retained in RAM, above Config.DiskCacheMaxRows the
+// persistent tier is not consulted either (hashing would rival
+// execution cost). Every path records exactly one ledger event: one
+// per completed E invocation, one per in-memory hit, one per
+// persistent-tier hit — which is what makes the ledger's event count
+// equal Stats.AppInvocations + Stats.CacheHits + Stats.DiskCacheHits.
+//
+// Determinism note: for instances within CacheMaxRows the flight is
+// retained, so the outcome multiset per fingerprint (one miss-or-disk
+// plus k hits) is identical for every worker count, exactly as
+// before. For larger instances served only by the persistent tier the
+// split between "hit" (waited on a flight) and "disk" (re-read the
+// persistent tier) is timing-dependent; the executed count is not.
 func (s *Session) runMemoized(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, error) {
 	if s.cache == nil {
 		return s.runObserved(pc, db, obs.CacheOff, "")
 	}
-	if db.TotalRows() > s.cfg.CacheMaxRows {
+	rows := db.TotalRows()
+	memOK := rows <= s.cfg.CacheMaxRows
+	diskOK := s.shared != nil && rows <= s.cfg.DiskCacheMaxRows
+	if !memOK && !diskOK {
 		return s.runObserved(pc, db, obs.CacheBypass, "")
 	}
 	fp := db.Fingerprint()
@@ -227,6 +251,16 @@ func (s *Session) runMemoized(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, 
 				e.res, e.err, s.cfg.Clock().Sub(start))
 			return e.res.Clone(), e.err
 		}
+		if diskOK {
+			start := s.cfg.Clock()
+			if res, err, ok := s.shared.Get(fp); ok {
+				s.cache.diskHits.Add(1)
+				s.observe(pc, obs.ProbeEvent{Kind: obs.KindExec, FP: fp.Hex(), Cache: obs.CacheDisk},
+					res, err, s.cfg.Clock().Sub(start))
+				s.cache.complete(fp, e, res.Clone(), err, memOK)
+				return res, err
+			}
+		}
 		s.cache.misses.Add(1)
 		res, err := s.runObserved(pc, db, obs.CacheMiss, fp.Hex())
 		if errors.Is(err, app.ErrTimeout) || isCtxErr(err) {
@@ -236,7 +270,10 @@ func (s *Session) runMemoized(pc *probeCtx, db *sqldb.Database) (*sqldb.Result, 
 			s.cache.abort(fp, e)
 			return res, err
 		}
-		s.cache.complete(e, res.Clone(), err)
+		if diskOK {
+			s.shared.Put(fp, res, err)
+		}
+		s.cache.complete(fp, e, res.Clone(), err, memOK)
 		return res, err
 	}
 }
@@ -282,7 +319,7 @@ func (s *Session) observe(pc *probeCtx, ev obs.ProbeEvent, res *sqldb.Result, er
 	s.metrics.Counter("probes_total").Add(1)
 	s.metrics.Counter("cache_" + ev.Cache).Add(1)
 	s.metrics.Counter("phase_probes." + ev.Phase).Add(1)
-	if ev.Cache != obs.CacheHit {
+	if ev.Cache != obs.CacheHit && ev.Cache != obs.CacheDisk {
 		s.metrics.Counter("app_invocations").Add(1)
 		s.metrics.Histogram("probe_latency_ms").Observe(float64(dur.Microseconds()) / 1e3)
 	}

@@ -92,7 +92,7 @@ func TestRunCacheSingleFlight(t *testing.T) {
 	}
 
 	res := &sqldb.Result{Columns: []string{"x"}, Rows: []sqldb.Row{{sqldb.NewInt(7)}}}
-	c.complete(e, res, nil)
+	c.complete(fp, e, res, nil, true)
 	<-e2.done // released
 	if !e2.ok {
 		t.Fatal("completed flight not marked ok")

@@ -36,6 +36,10 @@ type Session struct {
 	// cache memoizes completed executions of E by database
 	// fingerprint; nil when Config.DisableRunCache is set.
 	cache *runCache
+	// shared is the durable cross-job tier (Config.SharedCache); nil
+	// when absent or when the in-session cache is disabled (the shared
+	// tier depends on its single-flight discipline).
+	shared ProbeCache
 	// parallelProbes counts probes dispatched through the worker pool.
 	parallelProbes atomic.Int64
 
@@ -151,6 +155,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 	}
 	if !cfg.DisableRunCache {
 		s.cache = newRunCache()
+		s.shared = cfg.SharedCache
 	}
 	// Select the probe execution engine. The silo and every probe
 	// clone inherit the mode (and share di's engine counters), so one
@@ -270,6 +275,7 @@ func ExtractContext(ctx context.Context, exe app.Executable, di *sqldb.Database,
 	if s.cache != nil {
 		s.stats.CacheHits = s.cache.hits.Load()
 		s.stats.CacheMisses = s.cache.misses.Load()
+		s.stats.DiskCacheHits = s.cache.diskHits.Load()
 	}
 	// Engine counters are deltas over this extraction: di (and its
 	// shared counters) may serve many sequential extractions.

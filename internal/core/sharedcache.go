@@ -1,0 +1,27 @@
+package core
+
+import "unmasque/internal/sqldb"
+
+// ProbeCache is the persistent, cross-job tier of the run-memoization
+// cache (Config.SharedCache). The concrete implementation lives in
+// internal/storage (a durable append-only log shared by every job of
+// a daemon, scoped per executable namespace); core depends only on
+// this interface so the pipeline packages stay free of file I/O.
+//
+// Contract:
+//
+//   - Get returns the recorded outcome of executing E on a database
+//     with fingerprint fp, or ok=false. A returned result is private
+//     to the caller (implementations clone).
+//   - Put records an outcome. It must be idempotent — outcomes are
+//     deterministic functions of (E, database content), so concurrent
+//     or repeated puts of one fingerprint carry equal payloads.
+//   - The scheduler never passes timeouts or context cancellations to
+//     Put; deterministic application-level errors ARE stored, exactly
+//     as the in-memory tier caches them.
+//   - Implementations must be safe for concurrent use by all workers
+//     of all concurrently running jobs.
+type ProbeCache interface {
+	Get(fp sqldb.Fingerprint) (res *sqldb.Result, err error, ok bool)
+	Put(fp sqldb.Fingerprint, res *sqldb.Result, err error)
+}

@@ -76,8 +76,11 @@ const (
 	// CacheOff: the run cache is disabled for the session.
 	CacheOff = "off"
 	// CacheNone: the probe path never consults the cache (from-clause
-	// rename probes on the full instance).
+	// rename probes on the full instance without a shared cache).
 	CacheNone = "none"
+	// CacheDisk: the fingerprint matched an execution persisted in the
+	// durable cross-job probe cache (internal/storage); E was not run.
+	CacheDisk = "disk"
 )
 
 // RunHeader is the first line of a trace file: which application was
@@ -136,10 +139,10 @@ type ProbeEvent struct {
 	Table string `json:"table,omitempty"`
 	// FP is the hex sqldb.Fingerprint of the input database; empty
 	// when the probe bypassed fingerprinting (large instance, cache
-	// off, rename probes).
+	// off, rename probes without a shared cache).
 	FP string `json:"fp,omitempty"`
-	// Cache is the memoization outcome (CacheHit, CacheMiss,
-	// CacheBypass, CacheOff, CacheNone).
+	// Cache is the memoization outcome (CacheHit, CacheDisk,
+	// CacheMiss, CacheBypass, CacheOff, CacheNone).
 	Cache string `json:"cache"`
 	// Digest is the hex sqldb result digest and Rows the result row
 	// count; both absent when the invocation returned an error.

@@ -13,10 +13,11 @@ type TraceSummary struct {
 	// Spans and Probes count the validated lines of each type.
 	Spans  int
 	Probes int
-	// Hits/Misses/Bypass/Off/None break the probe events down by
-	// cache outcome. Hits + every executed class (Misses, Bypass,
-	// Off, None) equals Probes.
+	// Hits/Disk/Misses/Bypass/Off/None break the probe events down by
+	// cache outcome. Hits + Disk + every executed class (Misses,
+	// Bypass, Off, None) equals Probes.
 	Hits   int
+	Disk   int
 	Misses int
 	Bypass int
 	Off    int
@@ -28,20 +29,21 @@ type TraceSummary struct {
 }
 
 // Executed reports the number of probe events that actually invoked
-// the executable (everything except cache hits). For a complete trace
-// this equals the extraction's Stats.AppInvocations.
+// the executable (everything except in-memory and disk cache hits).
+// For a complete trace this equals the extraction's
+// Stats.AppInvocations.
 func (s *TraceSummary) Executed() int {
 	return s.Misses + s.Bypass + s.Off + s.None
 }
 
 func (s *TraceSummary) String() string {
-	return fmt.Sprintf("spans=%d probes=%d (executed=%d hits=%d misses=%d bypass=%d off=%d none=%d) phases=%d",
-		s.Spans, s.Probes, s.Executed(), s.Hits, s.Misses, s.Bypass, s.Off, s.None, len(s.ByPhase))
+	return fmt.Sprintf("spans=%d probes=%d (executed=%d hits=%d disk=%d misses=%d bypass=%d off=%d none=%d) phases=%d",
+		s.Spans, s.Probes, s.Executed(), s.Hits, s.Disk, s.Misses, s.Bypass, s.Off, s.None, len(s.ByPhase))
 }
 
 // validCache enumerates the legal cache outcomes.
 var validCache = map[string]bool{
-	CacheHit: true, CacheMiss: true, CacheBypass: true, CacheOff: true, CacheNone: true,
+	CacheHit: true, CacheDisk: true, CacheMiss: true, CacheBypass: true, CacheOff: true, CacheNone: true,
 }
 
 // validKind enumerates the legal probe kinds.
@@ -103,6 +105,8 @@ func Validate(r io.Reader) (*TraceSummary, error) {
 			switch p.Cache {
 			case CacheHit:
 				sum.Hits++
+			case CacheDisk:
+				sum.Disk++
 			case CacheMiss:
 				sum.Misses++
 			case CacheBypass:
@@ -155,7 +159,7 @@ func checkProbe(p *ProbeEvent) error {
 	if p.Kind == KindRename && p.Table == "" {
 		return fmt.Errorf("rename probe without table")
 	}
-	if p.Cache == CacheHit && p.FP == "" {
+	if (p.Cache == CacheHit || p.Cache == CacheDisk) && p.FP == "" {
 		return fmt.Errorf("cache hit without fingerprint")
 	}
 	if !isHex(p.FP) {

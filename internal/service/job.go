@@ -82,7 +82,11 @@ type View struct {
 
 // Result is the JSON outcome of a terminal job served by the result
 // endpoint. The probe accounting fields restate the per-job ledger
-// invariant: LedgerEvents == AppInvocations + CacheHits.
+// invariant: LedgerEvents == AppInvocations + CacheHits +
+// DiskCacheHits. DiskCacheHits counts probes served by the daemon's
+// durable cross-job cache (never omitted so clients can assert on it:
+// a warm repeat of an identical job reports app_invocations == 0 and
+// disk_cache_hits > 0).
 type Result struct {
 	ID      int64  `json:"id"`
 	Name    string `json:"name"`
@@ -94,6 +98,7 @@ type Result struct {
 	TotalMS        int64 `json:"total_ms"`
 	AppInvocations int64 `json:"app_invocations"`
 	CacheHits      int64 `json:"cache_hits"`
+	DiskCacheHits  int64 `json:"disk_cache_hits"`
 	LedgerEvents   int64 `json:"ledger_events"`
 	Workers        int   `json:"workers,omitempty"`
 	// BoundedBound is the k of the bounded equivalence proof when the
@@ -140,6 +145,7 @@ func (j *Job) result() Result {
 		TotalMS:        j.stats.Total.Milliseconds(),
 		AppInvocations: j.stats.AppInvocations,
 		CacheHits:      j.stats.CacheHits,
+		DiskCacheHits:  j.stats.DiskCacheHits,
 		LedgerEvents:   int64(j.ledger.Len()),
 		Workers:        j.stats.Workers,
 		BoundedBound:   j.stats.BoundedBound,

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"unmasque/internal/core"
 	"unmasque/internal/obs"
 	"unmasque/internal/obs/telemetry"
+	"unmasque/internal/storage"
 )
 
 // Config tunes the Manager.
@@ -25,6 +27,13 @@ type Config struct {
 	// StorePath is the durable JSONL job log; empty runs ephemeral
 	// (no recovery across restarts).
 	StorePath string
+	// CacheDir holds the daemon's durable probe cache
+	// (<CacheDir>/probecache.log): application-run outcomes keyed by
+	// database fingerprint, shared across every job and surviving
+	// restarts. A repeat of an identical job on a warm cache invokes
+	// the application zero times. Empty disables the durable tier (the
+	// per-job in-memory cache still runs).
+	CacheDir string
 	// Metrics receives service-level metrics — queue depth, jobs by
 	// state, job latency quantiles — plus the per-probe counters of
 	// every extraction. Nil disables metrics.
@@ -49,10 +58,11 @@ func (c *Config) normalize() {
 // admission control: a fixed-depth queue, reject-on-full, per-job
 // cancellation, durable state transitions and graceful drain.
 type Manager struct {
-	cfg     Config
-	store   *Store
-	metrics *obs.Metrics
-	logger  *obs.Logger
+	cfg        Config
+	store      *Store
+	probeCache *storage.ProbeCache // nil without Config.CacheDir
+	metrics    *obs.Metrics
+	logger     *obs.Logger
 
 	mu       sync.Mutex
 	jobs     map[int64]*Job
@@ -77,10 +87,18 @@ func Start(ctx context.Context, cfg Config) (*Manager, error) {
 		jobs:    map[int64]*Job{},
 		nextID:  1,
 	}
+	if cfg.CacheDir != "" {
+		pc, err := storage.OpenProbeCache(filepath.Join(cfg.CacheDir, "probecache.log"))
+		if err != nil {
+			return nil, fmt.Errorf("service: opening probe cache: %w", err)
+		}
+		m.probeCache = pc
+	}
 	var requeue []*Job
 	if cfg.StorePath != "" {
 		store, rec, err := OpenStore(ctx, cfg.StorePath)
 		if err != nil {
+			m.probeCache.Close()
 			return nil, err
 		}
 		m.store = store
@@ -116,6 +134,7 @@ func Start(ctx context.Context, cfg Config) (*Manager, error) {
 	for _, j := range requeue {
 		if err := m.append(ctx, Record{ID: j.id, State: StateQueued, Spec: &j.spec}); err != nil {
 			m.store.Close()
+			m.probeCache.Close()
 			return nil, err
 		}
 		m.queue <- j
@@ -209,6 +228,12 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		cfg.Ledger = j.ledger
 		cfg.Metrics = m.metrics
 		cfg.Logger = m.logger.WithJob(j.id)
+		if m.probeCache != nil {
+			// The daemon-wide durable tier, scoped to this job's
+			// executable identity: an identical job on a warm cache
+			// re-invokes the application zero times.
+			cfg.SharedCache = m.probeCache.Namespace(spec.CacheKey())
+		}
 		ext, err = core.ExtractContext(jctx, exe, db, cfg)
 	}
 	cancel()
@@ -431,7 +456,8 @@ func (m *Manager) QueueDepth() int {
 
 // Drain gracefully shuts the manager down: admission stops
 // (submissions fail with ErrDraining), already-accepted jobs — queued
-// and running — are completed, then the store is closed. If ctx
+// and running — are completed, then the job store and the durable
+// probe cache are closed. If ctx
 // expires first, every remaining job's extraction is cancelled and
 // Drain waits for the workers to unwind before returning ctx's error.
 func (m *Manager) Drain(ctx context.Context) error {
@@ -456,6 +482,9 @@ func (m *Manager) Drain(ctx context.Context) error {
 		<-done
 	}
 	if cerr := m.store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if cerr := m.probeCache.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
 	return err

@@ -1,11 +1,14 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"unmasque/internal/app"
 	"unmasque/internal/sqldb"
+	"unmasque/internal/storage"
 	"unmasque/internal/workloads/registry"
 )
 
@@ -87,6 +90,34 @@ func (sp JobSpec) DisplayName() string {
 		return sp.Name
 	}
 	return "inline"
+}
+
+// CacheKey is the durable probe-cache namespace of the job: two specs
+// share a namespace exactly when they run the same executable against
+// the same generated-data seed, so a fingerprint hit is guaranteed to
+// describe the same (E, database) pair. Workload jobs key on the
+// registered application name plus seed; inline jobs on a digest of
+// their table payload and hidden SQL plus seed. Knobs that change how
+// the extraction is driven but not what E computes — Name, Workers,
+// Having, Bounded — deliberately do not contribute: jobs differing
+// only in those reuse each other's probe outcomes.
+func (sp JobSpec) CacheKey() string {
+	seed := sp.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if sp.App != "" {
+		return storage.AppNamespace(sp.App, seed)
+	}
+	// Specs are built from decoded JSON, so re-encoding cannot fail;
+	// appending the SQL separately keeps the executable's identity in
+	// the key even if it somehow did.
+	enc, _ := json.Marshal(struct {
+		Tables []TableSpec `json:"tables"`
+		SQL    string      `json:"sql"`
+	}{sp.Tables, sp.SQL})
+	sum := sha256.Sum256(append(enc, sp.SQL...))
+	return fmt.Sprintf("inline/%x#seed=%d", sum[:12], seed)
 }
 
 // Validate checks the spec for structural errors without building

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"unmasque/internal/core"
+	"unmasque/internal/storage"
 )
 
 // Store is the append-only durable job log: one JSONL record per
@@ -64,7 +65,12 @@ type Recovery struct {
 
 // OpenStore opens (creating if absent) the job log at path, replays
 // its records, truncates any torn tail, and returns the store
-// positioned for appends.
+// positioned for appends. Torn-tail handling is the shared
+// storage.RecoverTail discipline (also behind the storage WAL and the
+// probe cache): a record is intact when its line is newline-terminated
+// and parses as a job record; the first broken line ends the replay
+// and everything after it is truncated away — a crash mid-append can
+// only damage the end of an append-only file.
 func OpenStore(ctx context.Context, path string) (*Store, *Recovery, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -73,58 +79,25 @@ func OpenStore(ctx context.Context, path string) (*Store, *Recovery, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("service: opening job store: %w", err)
 	}
-	rec, goodBytes, err := replay(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	size, err := f.Seek(0, io.SeekEnd)
-	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("service: job store seek: %w", err)
-	}
-	if goodBytes < size {
-		rec.TornBytes = size - goodBytes
-		if err := f.Truncate(goodBytes); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("service: truncating torn job-store tail: %w", err)
-		}
-		if _, err := f.Seek(goodBytes, io.SeekStart); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("service: job store seek: %w", err)
-		}
-	}
-	return &Store{f: f, path: path}, rec, nil
-}
-
-// replay folds the log into per-job snapshots and reports how many
-// leading bytes form intact records. A record is intact when its line
-// is newline-terminated and parses as a job record; the first broken
-// line ends the replay — everything after it is the torn tail (a
-// crash mid-append can only damage the end of an append-only file).
-func replay(f *os.File) (*Recovery, int64, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, fmt.Errorf("service: job store seek: %w", err)
-	}
 	byID := map[int64]*RecoveredJob{}
 	var order []int64
-	var good int64
-	r := bufio.NewReader(f)
-	for {
+	_, torn, err := storage.RecoverTail(f, func(r *bufio.Reader) (int64, error) {
 		line, err := r.ReadString('\n')
 		if err == io.EOF {
-			// A final line without its newline is by definition torn,
-			// whether or not it happens to parse.
-			break
+			if len(line) > 0 {
+				// A final line without its newline is by definition
+				// torn, whether or not it happens to parse.
+				return 0, storage.ErrTornRecord
+			}
+			return 0, io.EOF
 		}
 		if err != nil {
-			return nil, 0, fmt.Errorf("service: reading job store: %w", err)
+			return 0, fmt.Errorf("service: reading job store: %w", err)
 		}
 		var rec Record
 		if uerr := json.Unmarshal([]byte(line), &rec); uerr != nil || rec.Type != "job" || rec.ID <= 0 {
-			break // damaged record: discard it and everything after
+			return 0, storage.ErrTornRecord // damaged record: discard it and everything after
 		}
-		good += int64(len(line))
 		j, ok := byID[rec.ID]
 		if !ok {
 			j = &RecoveredJob{ID: rec.ID}
@@ -144,15 +117,20 @@ func replay(f *os.File) (*Recovery, int64, error) {
 		if rec.Stats != nil {
 			j.Stats = *rec.Stats
 		}
+		return int64(len(line)), nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, nil, err
 	}
-	out := &Recovery{}
+	out := &Recovery{TornBytes: torn}
 	for _, id := range order {
 		if id > out.MaxID {
 			out.MaxID = id
 		}
 		out.Jobs = append(out.Jobs, *byID[id])
 	}
-	return out, good, nil
+	return &Store{f: f, path: path}, out, nil
 }
 
 // Append writes one record and syncs it to stable storage.

@@ -57,6 +57,21 @@ func (r *Result) Populated() bool {
 	return !r.aggEmptyInput
 }
 
+// AggEmptyInput exposes the ungrouped-aggregate-over-empty-input flag
+// for serialization layers (the durable probe cache must round-trip
+// it, or Populated would misclassify a restored result).
+func (r *Result) AggEmptyInput() bool {
+	return r != nil && r.aggEmptyInput
+}
+
+// RestoreResult reassembles a Result from persisted parts. It is the
+// inverse of reading Columns/Rows/AggEmptyInput and exists solely for
+// the storage tier; the engine itself never constructs results this
+// way.
+func RestoreResult(columns []string, rows []Row, aggEmptyInput bool) *Result {
+	return &Result{Columns: columns, Rows: rows, aggEmptyInput: aggEmptyInput}
+}
+
 // ColumnIndex returns the index of the named output column, or -1.
 func (r *Result) ColumnIndex(name string) int {
 	for i, c := range r.Columns {

@@ -1,0 +1,123 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TableStore is a pluggable row backend: a Database whose tables were
+// registered with AttachStore faults each table's rows in on first
+// access instead of holding them in memory from the start. The
+// concrete implementation lives in internal/storage (paged heap files
+// behind a buffer pool); this interface keeps sqldb itself free of
+// any file I/O (lint rule GL010).
+//
+// LoadRows must return rows in exactly the order they were saved —
+// fingerprints and result digests are computed over loaded rows and
+// must match the in-memory engine byte for byte.
+type TableStore interface {
+	LoadRows(table string) ([]Row, error)
+}
+
+// AttachStore registers ts as the lazy row source for the named
+// tables (which must already exist, typically created empty from the
+// store's catalog). It must be called before the database is shared
+// across goroutines; after that, fault-in itself is goroutine-safe.
+//
+// Clones produced by Clone/CloneShared/CloneTables materialize every
+// pending table first and do not carry the store — probe mutation
+// runs entirely in memory, exactly as without a store.
+func (db *Database) AttachStore(ts TableStore, tables []string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.store = ts
+	if db.pending == nil {
+		db.pending = make(map[string]bool, len(tables))
+	}
+	for _, name := range tables {
+		name = strings.ToLower(name)
+		if _, ok := db.tables[name]; ok {
+			db.pending[name] = true
+		}
+	}
+}
+
+// StoreBacked reports whether any table still faults in from a store.
+func (db *Database) StoreBacked() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store != nil && len(db.pending) > 0
+}
+
+// ensure faults in the named table if it is still pending. Must be
+// called before taking db.mu (the mutex is not reentrant).
+func (db *Database) ensure(name string) error {
+	if db.store == nil {
+		return nil
+	}
+	name = strings.ToLower(name)
+	db.mu.RLock()
+	err := db.storeErr
+	pending := db.pending[name]
+	db.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if !pending {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.faultLocked(name)
+}
+
+// ensureAll faults in every pending table. Must be called before
+// taking db.mu.
+func (db *Database) ensureAll() error {
+	if db.store == nil {
+		return nil
+	}
+	db.mu.RLock()
+	err := db.storeErr
+	n := len(db.pending)
+	db.mu.RUnlock()
+	if err != nil || n == 0 {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.pending))
+	for name := range db.pending {
+		names = append(names, name)
+	}
+	for _, name := range names {
+		if err := db.faultLocked(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// faultLocked loads one pending table's rows. Caller holds db.mu.
+// Load failures are sticky: the database stays usable for what is
+// already resident, and every later fault-in reports the same error
+// (bulk read-only paths like Clone proceed degraded; the next
+// Table call surfaces it).
+func (db *Database) faultLocked(name string) error {
+	if db.storeErr != nil {
+		return db.storeErr
+	}
+	if !db.pending[name] {
+		return nil
+	}
+	rows, err := db.store.LoadRows(name)
+	if err != nil {
+		db.storeErr = fmt.Errorf("sqldb: fault in table %s: %w", name, err)
+		return db.storeErr
+	}
+	if t, ok := db.tables[name]; ok {
+		t.SetRows(rows)
+	}
+	delete(db.pending, name)
+	return nil
+}

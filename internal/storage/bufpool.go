@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Pool is a fixed-capacity buffer pool of heap pages. Pages are
+// faulted in on Get (pinning them), released with Unpin, and evicted
+// least-recently-used once unpinned. Dirty frames are written back to
+// their heap file on eviction and on FlushAll.
+//
+// Capacity is a target, not a hard wall: when every resident frame is
+// pinned the pool over-allocates rather than deadlock, and shrinks
+// back as pins are released (the excess frames are the first LRU
+// victims).
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[frameKey]*frame
+	lru      *list.List // unpinned frames; front = most recently used
+	stats    PoolStats
+}
+
+// PoolStats counts pool traffic; read via Stats.
+type PoolStats struct {
+	Hits      int64 // Get served from a resident frame
+	Misses    int64 // Get that read the page from disk
+	Evictions int64 // frames dropped to make room
+	Writeback int64 // dirty frames flushed on eviction
+}
+
+type frameKey struct {
+	file *heapFile
+	page int
+}
+
+// frame is one resident page. Callers may read (and, for frames
+// later unpinned dirty, write) Data only between Get and Unpin.
+type frame struct {
+	key   frameKey
+	Data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // non-nil iff on the LRU (pins == 0)
+}
+
+// NewPool builds a pool holding up to capacity pages.
+func NewPool(capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Pool{
+		capacity: capacity,
+		frames:   make(map[frameKey]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Get returns a pinned frame for (h, page), reading it from disk on
+// a miss. The caller must Unpin it exactly once.
+func (p *Pool) Get(h *heapFile, page int) (*frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := frameKey{file: h, page: page}
+	if fr, ok := p.frames[key]; ok {
+		p.stats.Hits++
+		if fr.elem != nil {
+			p.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		fr.pins++
+		return fr, nil
+	}
+	p.stats.Misses++
+	if err := p.evictLocked(len(p.frames) + 1 - p.capacity); err != nil {
+		return nil, err
+	}
+	fr := &frame{key: key, Data: make([]byte, PageSize), pins: 1}
+	if err := h.readPage(page, fr.Data); err != nil {
+		return nil, err
+	}
+	p.frames[key] = fr
+	return fr, nil
+}
+
+// Unpin releases one pin; dirty marks the frame as modified so its
+// bytes are written back before the frame leaves the pool.
+func (p *Pool) Unpin(fr *frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr.dirty = fr.dirty || dirty
+	if fr.pins > 0 {
+		fr.pins--
+	}
+	if fr.pins == 0 && fr.elem == nil {
+		fr.elem = p.lru.PushFront(fr)
+	}
+}
+
+// evictLocked drops up to want unpinned LRU frames, flushing dirty
+// ones. Running out of victims is not an error (the pool
+// over-allocates instead).
+func (p *Pool) evictLocked(want int) error {
+	for want > 0 {
+		back := p.lru.Back()
+		if back == nil {
+			return nil
+		}
+		fr := back.Value.(*frame)
+		if fr.dirty {
+			if err := fr.key.file.writePage(fr.key.page, fr.Data); err != nil {
+				return err
+			}
+			p.stats.Writeback++
+		}
+		p.lru.Remove(back)
+		delete(p.frames, fr.key)
+		p.stats.Evictions++
+		want--
+	}
+	return nil
+}
+
+// FlushAll writes every dirty resident frame back to its heap file.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fr := range p.frames {
+		if !fr.dirty {
+			continue
+		}
+		if err := fr.key.file.writePage(fr.key.page, fr.Data); err != nil {
+			return err
+		}
+		p.stats.Writeback++
+		fr.dirty = false
+	}
+	return nil
+}
+
+// InvalidateFile drops every resident frame of h. The caller must
+// guarantee no frame of h is pinned (the Store serializes writers and
+// readers, so this holds there). Dirty frames are discarded — the
+// caller has just rewritten the file through the WAL.
+func (p *Pool) InvalidateFile(h *heapFile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, fr := range p.frames {
+		if key.file != h {
+			continue
+		}
+		if fr.elem != nil {
+			p.lru.Remove(fr.elem)
+		}
+		delete(p.frames, key)
+	}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Resident returns the number of frames currently held.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// testHeap builds a heap file of npages finalized pages, each holding
+// one "page-N" record.
+func testHeap(t *testing.T, npages int) *heapFile {
+	t.Helper()
+	h, err := openHeap(filepath.Join(t.TempDir(), "t.heap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.close() })
+	for p := 0; p < npages; p++ {
+		img := make([]byte, PageSize)
+		initPage(img, uint32(p))
+		if !pageInsert(img, []byte(fmt.Sprintf("page-%d", p))) {
+			t.Fatal("insert failed")
+		}
+		finalizePage(img)
+		if err := h.writePage(p, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func getUnpin(t *testing.T, p *Pool, h *heapFile, page int) {
+	t.Helper()
+	fr, err := p.Get(h, page)
+	if err != nil {
+		t.Fatalf("Get(%d): %v", page, err)
+	}
+	p.Unpin(fr, false)
+}
+
+func TestPoolHitMiss(t *testing.T) {
+	h := testHeap(t, 2)
+	p := NewPool(4)
+	getUnpin(t, p, h, 0)
+	getUnpin(t, p, h, 0)
+	getUnpin(t, p, h, 1)
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses / 0 evictions", s)
+	}
+	if p.Resident() != 2 {
+		t.Fatalf("resident = %d, want 2", p.Resident())
+	}
+}
+
+func TestPoolLRUEvictionOrder(t *testing.T) {
+	h := testHeap(t, 3)
+	p := NewPool(2)
+	getUnpin(t, p, h, 0)
+	getUnpin(t, p, h, 1)
+	getUnpin(t, p, h, 2) // evicts 0, the least recently used
+	if s := p.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	getUnpin(t, p, h, 1) // still resident
+	getUnpin(t, p, h, 0) // was evicted → miss
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 4 {
+		t.Fatalf("stats = %+v, want 1 hit / 4 misses", s)
+	}
+}
+
+func TestPoolPinnedFramesSurviveAndOverAllocate(t *testing.T) {
+	h := testHeap(t, 3)
+	p := NewPool(1)
+	fr0, err := p.Get(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the only slot pinned the pool must over-allocate, not fail.
+	fr1, err := p.Get(h, 1)
+	if err != nil {
+		t.Fatalf("Get with all frames pinned: %v", err)
+	}
+	if p.Resident() != 2 {
+		t.Fatalf("resident = %d, want over-allocated 2", p.Resident())
+	}
+	p.Unpin(fr0, false)
+	p.Unpin(fr1, false)
+	// The excess shrinks back as soon as a new fault needs room.
+	getUnpin(t, p, h, 2)
+	if p.Resident() > 1 {
+		t.Fatalf("resident = %d after release, want 1", p.Resident())
+	}
+	// Re-pinning a resident frame removes it from the LRU (hit path).
+	fr2, err := p.Get(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(fr2, false)
+}
+
+func TestPoolDirtyWritebackOnEviction(t *testing.T) {
+	h := testHeap(t, 2)
+	p := NewPool(1)
+	fr, err := p.Get(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pageInsert(fr.Data, []byte("added-in-pool")) {
+		t.Fatal("insert failed")
+	}
+	finalizePage(fr.Data)
+	p.Unpin(fr, true)
+	getUnpin(t, p, h, 1) // evicts dirty page 0 → writeback
+	if s := p.Stats(); s.Writeback != 1 {
+		t.Fatalf("writeback = %d, want 1", s.Writeback)
+	}
+	// The mutation must be on disk now.
+	buf := make([]byte, PageSize)
+	if err := h.readPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if pageCount(buf) != 2 || string(pageRecord(buf, 1)) != "added-in-pool" {
+		t.Fatal("dirty frame not written back on eviction")
+	}
+}
+
+func TestPoolFlushAll(t *testing.T) {
+	h := testHeap(t, 1)
+	p := NewPool(4)
+	fr, err := p.Get(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageInsert(fr.Data, []byte("flushed"))
+	finalizePage(fr.Data)
+	p.Unpin(fr, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := h.readPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(pageRecord(buf, 1)) != "flushed" {
+		t.Fatal("FlushAll did not persist the dirty frame")
+	}
+	// A second flush has nothing to do.
+	before := p.Stats().Writeback
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Writeback != before {
+		t.Fatal("clean frame flushed twice")
+	}
+}
+
+func TestPoolInvalidateFile(t *testing.T) {
+	ha := testHeap(t, 2)
+	hb := testHeap(t, 1)
+	p := NewPool(8)
+	getUnpin(t, p, ha, 0)
+	getUnpin(t, p, ha, 1)
+	getUnpin(t, p, hb, 0)
+	p.InvalidateFile(ha)
+	if p.Resident() != 1 {
+		t.Fatalf("resident = %d after invalidate, want 1 (hb only)", p.Resident())
+	}
+	// hb's frame is still served from memory.
+	fr, err := p.Get(hb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(fr, false)
+	if s := p.Stats(); s.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", s.Hits)
+	}
+}

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"unmasque/internal/sqldb"
+)
+
+// heapFile is one table's page file: a flat sequence of PageSize
+// slotted pages. It is a dumb byte store — all crash-consistency
+// comes from the WAL above it (pages are only written after their
+// images are durably logged), so a torn page write is always
+// repairable by redo.
+type heapFile struct {
+	f      *os.File
+	path   string
+	npages int
+}
+
+func openHeap(path string) (*heapFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open heap: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: open heap: %w", err)
+	}
+	// A trailing partial page can only exist when a crash interrupted a
+	// page write; the WAL still holds the committed image, so redo (or
+	// the pre-transaction truncate) repairs it. Round down here.
+	return &heapFile{f: f, path: path, npages: int(size / PageSize)}, nil
+}
+
+// readPage reads page n into buf (len PageSize) and verifies it.
+func (h *heapFile) readPage(n int, buf []byte) error {
+	if n < 0 || n >= h.npages {
+		return fmt.Errorf("%w: %s: page %d of %d", ErrCorruptPage, h.path, n, h.npages)
+	}
+	if _, err := h.f.ReadAt(buf[:PageSize], int64(n)*PageSize); err != nil {
+		return fmt.Errorf("storage: read %s page %d: %w", h.path, n, err)
+	}
+	if err := verifyPage(buf[:PageSize], uint32(n)); err != nil {
+		return fmt.Errorf("%s: %w", h.path, err)
+	}
+	return nil
+}
+
+// writePage writes the image of page n, extending the file as needed.
+func (h *heapFile) writePage(n int, img []byte) error {
+	if _, err := h.f.WriteAt(img, int64(n)*PageSize); err != nil {
+		return fmt.Errorf("storage: write %s page %d: %w", h.path, n, err)
+	}
+	if n >= h.npages {
+		h.npages = n + 1
+	}
+	return nil
+}
+
+// truncate shrinks (or confirms) the heap to exactly npages.
+func (h *heapFile) truncate(npages int) error {
+	if err := h.f.Truncate(int64(npages) * PageSize); err != nil {
+		return fmt.Errorf("storage: truncate %s: %w", h.path, err)
+	}
+	h.npages = npages
+	return nil
+}
+
+func (h *heapFile) sync() error {
+	if err := h.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync %s: %w", h.path, err)
+	}
+	return nil
+}
+
+func (h *heapFile) close() error {
+	if err := h.f.Close(); err != nil {
+		return fmt.Errorf("storage: close %s: %w", h.path, err)
+	}
+	return nil
+}
+
+// packRows encodes rows into finalized page images, preserving order:
+// pages in sequence, slots within a page in insertion order.
+func packRows(rows []sqldb.Row) ([][]byte, error) {
+	var pages [][]byte
+	cur := make([]byte, PageSize)
+	initPage(cur, 0)
+	dirty := false
+	var scratch []byte
+	for i, row := range rows {
+		scratch = appendRow(scratch[:0], row)
+		if pageInsert(cur, scratch) {
+			dirty = true
+			continue
+		}
+		if !dirty {
+			return nil, fmt.Errorf("%w: row %d is %d bytes", ErrRowTooLarge, i, len(scratch))
+		}
+		finalizePage(cur)
+		pages = append(pages, cur)
+		cur = make([]byte, PageSize)
+		initPage(cur, uint32(len(pages)))
+		if !pageInsert(cur, scratch) {
+			return nil, fmt.Errorf("%w: row %d is %d bytes", ErrRowTooLarge, i, len(scratch))
+		}
+		dirty = true
+	}
+	if dirty {
+		finalizePage(cur)
+		pages = append(pages, cur)
+	}
+	return pages, nil
+}
+
+// unpackPage decodes every record on a verified page image into rows,
+// checking column arity against the table schema.
+func unpackPage(img []byte, ncols int, into []sqldb.Row) ([]sqldb.Row, error) {
+	n := pageCount(img)
+	for i := 0; i < n; i++ {
+		row, err := decodeRow(pageRecord(img, i))
+		if err != nil {
+			return into, err
+		}
+		if len(row) != ncols {
+			return into, fmt.Errorf("%w: record has %d columns, schema has %d", ErrCorruptPage, len(row), ncols)
+		}
+		into = append(into, row)
+	}
+	return into, nil
+}

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Slotted heap page layout (little-endian, PageSize bytes):
+//
+//	[0:4)   magic "UMPG"
+//	[4:8)   page number within the heap file
+//	[8:10)  slot count
+//	[10:12) free-space offset (records grow DOWN from PageSize)
+//	[12:16) CRC32 (IEEE) over the page with this field zeroed
+//	[16:..) slot directory, 4 bytes per slot: u16 offset, u16 length
+//	        (grows UP towards the free-space offset)
+//	[..:PageSize) record bytes
+//
+// Slots are append-only and never reordered, so iterating the slot
+// directory in index order yields records in exactly their insertion
+// order — the property the fingerprint/digest contract in codec.go
+// depends on.
+
+const (
+	pageMagic  = 0x47504d55 // "UMPG" little-endian
+	pageHdrLen = 16
+	slotLen    = 4
+)
+
+// initPage formats buf (len PageSize) as an empty page.
+func initPage(buf []byte, pageNo uint32) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], pageMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], pageNo)
+	binary.LittleEndian.PutUint16(buf[8:10], 0)
+	binary.LittleEndian.PutUint16(buf[10:12], PageSize)
+}
+
+// pageFree reports the bytes available for one more record (its slot
+// included).
+func pageFree(buf []byte) int {
+	nslots := int(binary.LittleEndian.Uint16(buf[8:10]))
+	freeOff := int(binary.LittleEndian.Uint16(buf[10:12]))
+	return freeOff - (pageHdrLen + nslots*slotLen) - slotLen
+}
+
+// pageInsert appends rec to the page, returning false when it does
+// not fit. Records larger than an empty page's capacity can never be
+// inserted (ErrRowTooLarge at a higher layer).
+func pageInsert(buf []byte, rec []byte) bool {
+	if len(rec) > pageFree(buf) {
+		return false
+	}
+	nslots := int(binary.LittleEndian.Uint16(buf[8:10]))
+	freeOff := int(binary.LittleEndian.Uint16(buf[10:12]))
+	off := freeOff - len(rec)
+	copy(buf[off:freeOff], rec)
+	slot := pageHdrLen + nslots*slotLen
+	binary.LittleEndian.PutUint16(buf[slot:slot+2], uint16(off))
+	binary.LittleEndian.PutUint16(buf[slot+2:slot+4], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(buf[8:10], uint16(nslots+1))
+	binary.LittleEndian.PutUint16(buf[10:12], uint16(off))
+	return true
+}
+
+// pageCount returns the number of records on the page.
+func pageCount(buf []byte) int {
+	return int(binary.LittleEndian.Uint16(buf[8:10]))
+}
+
+// pageRecord returns the i-th record's bytes (aliasing buf).
+func pageRecord(buf []byte, i int) []byte {
+	slot := pageHdrLen + i*slotLen
+	off := int(binary.LittleEndian.Uint16(buf[slot : slot+2]))
+	n := int(binary.LittleEndian.Uint16(buf[slot+2 : slot+4]))
+	return buf[off : off+n]
+}
+
+// pageChecksum computes the page CRC with the checksum field zeroed.
+func pageChecksum(buf []byte) uint32 {
+	crc := crc32.NewIEEE()
+	crc.Write(buf[0:12])
+	var zero [4]byte
+	crc.Write(zero[:])
+	crc.Write(buf[pageHdrLen:])
+	return crc.Sum32()
+}
+
+// finalizePage stamps the checksum; call after the last insert and
+// before the page image leaves memory (WAL append or heap write).
+func finalizePage(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[12:16], pageChecksum(buf))
+}
+
+// verifyPage validates magic, page number, slot-directory bounds and
+// checksum of a page image read from disk.
+func verifyPage(buf []byte, wantPage uint32) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("%w: page %d: %d bytes", ErrCorruptPage, wantPage, len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != pageMagic {
+		return fmt.Errorf("%w: page %d: bad magic", ErrCorruptPage, wantPage)
+	}
+	if got := binary.LittleEndian.Uint32(buf[4:8]); got != wantPage {
+		return fmt.Errorf("%w: page %d: header says page %d", ErrCorruptPage, wantPage, got)
+	}
+	if got := binary.LittleEndian.Uint32(buf[12:16]); got != pageChecksum(buf) {
+		return fmt.Errorf("%w: page %d: checksum mismatch", ErrCorruptPage, wantPage)
+	}
+	nslots := int(binary.LittleEndian.Uint16(buf[8:10]))
+	freeOff := int(binary.LittleEndian.Uint16(buf[10:12]))
+	if pageHdrLen+nslots*slotLen > freeOff || freeOff > PageSize {
+		return fmt.Errorf("%w: page %d: slot directory overlaps data", ErrCorruptPage, wantPage)
+	}
+	for i := 0; i < nslots; i++ {
+		slot := pageHdrLen + i*slotLen
+		off := int(binary.LittleEndian.Uint16(buf[slot : slot+2]))
+		n := int(binary.LittleEndian.Uint16(buf[slot+2 : slot+4]))
+		if off < freeOff || off+n > PageSize {
+			return fmt.Errorf("%w: page %d: slot %d out of bounds", ErrCorruptPage, wantPage, i)
+		}
+	}
+	return nil
+}

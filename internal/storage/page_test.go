@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newTestPage(pageNo uint32) []byte {
+	buf := make([]byte, PageSize)
+	initPage(buf, pageNo)
+	return buf
+}
+
+func TestPageInsertOrder(t *testing.T) {
+	buf := newTestPage(3)
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		rec := []byte(fmt.Sprintf("record-%02d", i))
+		if !pageInsert(buf, rec) {
+			t.Fatalf("insert %d failed with %d bytes free", i, pageFree(buf))
+		}
+		want = append(want, rec)
+	}
+	if got := pageCount(buf); got != len(want) {
+		t.Fatalf("pageCount = %d, want %d", got, len(want))
+	}
+	for i, rec := range want {
+		if !bytes.Equal(pageRecord(buf, i), rec) {
+			t.Errorf("record %d = %q, want %q", i, pageRecord(buf, i), rec)
+		}
+	}
+	finalizePage(buf)
+	if err := verifyPage(buf, 3); err != nil {
+		t.Fatalf("verifyPage: %v", err)
+	}
+}
+
+func TestPageFillToFull(t *testing.T) {
+	buf := newTestPage(0)
+	rec := bytes.Repeat([]byte{0xAB}, 100)
+	n := 0
+	for pageInsert(buf, rec) {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no record fit on an empty page")
+	}
+	// The refusal must be a capacity fact, not corruption.
+	if free := pageFree(buf); free >= len(rec) {
+		t.Fatalf("insert refused with %d bytes free for a %d-byte record", free, len(rec))
+	}
+	finalizePage(buf)
+	if err := verifyPage(buf, 0); err != nil {
+		t.Fatalf("full page does not verify: %v", err)
+	}
+	if pageCount(buf) != n {
+		t.Fatalf("pageCount = %d, want %d", pageCount(buf), n)
+	}
+}
+
+func TestPageFreeAccounting(t *testing.T) {
+	buf := newTestPage(0)
+	before := pageFree(buf)
+	if want := PageSize - pageHdrLen - slotLen; before != want {
+		t.Fatalf("empty pageFree = %d, want %d", before, want)
+	}
+	rec := []byte("0123456789")
+	pageInsert(buf, rec)
+	if got := pageFree(buf); got != before-len(rec)-slotLen {
+		t.Fatalf("pageFree after insert = %d, want %d", got, before-len(rec)-slotLen)
+	}
+}
+
+func TestVerifyPageCorruption(t *testing.T) {
+	mk := func() []byte {
+		buf := newTestPage(5)
+		pageInsert(buf, []byte("payload"))
+		finalizePage(buf)
+		return buf
+	}
+	cases := []struct {
+		name    string
+		corrupt func(buf []byte)
+	}{
+		{"bad-magic", func(buf []byte) { buf[0] ^= 0xFF }},
+		{"wrong-page-no", func(buf []byte) {
+			binary.LittleEndian.PutUint32(buf[4:8], 99)
+			finalizePage(buf) // checksum valid, page number still wrong
+		}},
+		{"flipped-data-bit", func(buf []byte) { buf[PageSize-1] ^= 0x01 }},
+		{"slot-overlaps-header", func(buf []byte) {
+			binary.LittleEndian.PutUint16(buf[8:10], PageSize) // absurd slot count
+			finalizePage(buf)
+		}},
+		{"slot-out-of-bounds", func(buf []byte) {
+			binary.LittleEndian.PutUint16(buf[pageHdrLen:pageHdrLen+2], PageSize-2)
+			binary.LittleEndian.PutUint16(buf[pageHdrLen+2:pageHdrLen+4], 100)
+			finalizePage(buf)
+		}},
+		{"short-image", func(buf []byte) {}}, // handled below
+	}
+	for _, tc := range cases {
+		buf := mk()
+		tc.corrupt(buf)
+		if tc.name == "short-image" {
+			buf = buf[:PageSize-1]
+		}
+		if err := verifyPage(buf, 5); !errors.Is(err, ErrCorruptPage) {
+			t.Errorf("%s: err = %v, want ErrCorruptPage", tc.name, err)
+		}
+	}
+}
+
+func TestChecksumCoversWholePage(t *testing.T) {
+	buf := newTestPage(0)
+	pageInsert(buf, []byte("x"))
+	finalizePage(buf)
+	sum := pageChecksum(buf)
+	// Flipping any non-checksum region must change the checksum.
+	for _, off := range []int{0, 5, 9, pageHdrLen, PageSize / 2, PageSize - 1} {
+		buf[off] ^= 0x40
+		if pageChecksum(buf) == sum {
+			t.Errorf("flip at %d not covered by checksum", off)
+		}
+		buf[off] ^= 0x40
+	}
+	// Flipping the checksum field itself must NOT change the computed value.
+	buf[13] ^= 0x40
+	if pageChecksum(buf) != sum {
+		t.Error("checksum field bytes leaked into the checksum")
+	}
+}

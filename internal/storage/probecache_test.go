@@ -1,0 +1,233 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"unmasque/internal/sqldb"
+)
+
+func cachePath(t *testing.T) string {
+	return filepath.Join(t.TempDir(), "probecache.log")
+}
+
+func openCache(t *testing.T, path string) *ProbeCache {
+	t.Helper()
+	pc, err := OpenProbeCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc
+}
+
+func sampleResult() *sqldb.Result {
+	return sqldb.RestoreResult(
+		[]string{"o_orderkey", "revenue"},
+		[]sqldb.Row{
+			{sqldb.NewInt(7), sqldb.NewFloat(1234.5)},
+			{sqldb.NewInt(9), sqldb.NewNull(sqldb.TFloat)},
+		},
+		false,
+	)
+}
+
+func resultsEqual(t *testing.T, ctx string, got, want *sqldb.Result) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("%s: got %v, want %v", ctx, got, want)
+	}
+	if got == nil {
+		return
+	}
+	if got.AggEmptyInput() != want.AggEmptyInput() {
+		t.Fatalf("%s: aggEmptyInput %v != %v", ctx, got.AggEmptyInput(), want.AggEmptyInput())
+	}
+	if len(got.Columns) != len(want.Columns) {
+		t.Fatalf("%s: %d columns, want %d", ctx, len(got.Columns), len(want.Columns))
+	}
+	for i := range want.Columns {
+		if got.Columns[i] != want.Columns[i] {
+			t.Fatalf("%s: column %d = %q, want %q", ctx, i, got.Columns[i], want.Columns[i])
+		}
+	}
+	rowsEqual(t, ctx, got.Rows, want.Rows)
+}
+
+func TestProbeCacheResultRoundTrip(t *testing.T) {
+	path := cachePath(t)
+	pc := openCache(t, path)
+	ns := pc.Namespace(AppNamespace("tpch/Q3", 1))
+	fp := sqldb.Fingerprint{1, 2, 3}
+	want := sampleResult()
+
+	if _, _, ok := ns.Get(fp); ok {
+		t.Fatal("hit on empty cache")
+	}
+	ns.Put(fp, want, nil)
+	res, err, ok := ns.Get(fp)
+	if !ok || err != nil {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	resultsEqual(t, "same-handle", res, want)
+	// Mutating the returned clone must not poison the cache.
+	res.Rows[0][0] = sqldb.NewInt(999)
+	res2, _, _ := ns.Get(fp)
+	resultsEqual(t, "after-mutation", res2, want)
+	if err := pc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The outcome survives a restart.
+	pc2 := openCache(t, path)
+	defer pc2.Close()
+	if pc2.Len() != 1 {
+		t.Fatalf("reloaded Len = %d, want 1", pc2.Len())
+	}
+	res, err, ok = pc2.Namespace(AppNamespace("tpch/Q3", 1)).Get(fp)
+	if !ok || err != nil {
+		t.Fatalf("reloaded get: ok=%v err=%v", ok, err)
+	}
+	resultsEqual(t, "reloaded", res, want)
+}
+
+func TestProbeCacheErrorRoundTrip(t *testing.T) {
+	path := cachePath(t)
+	pc := openCache(t, path)
+	ns := pc.Namespace("app/x#seed=1")
+	fpNoTable := sqldb.Fingerprint{1}
+	fpApp := sqldb.Fingerprint{2}
+
+	ns.Put(fpNoTable, nil, fmt.Errorf("exec: %w: part", sqldb.ErrNoSuchTable))
+	ns.Put(fpApp, nil, errors.New("application rejected the instance"))
+	pc.Close()
+
+	pc2 := openCache(t, path)
+	defer pc2.Close()
+	ns2 := pc2.Namespace("app/x#seed=1")
+	res, err, ok := ns2.Get(fpNoTable)
+	if !ok || res != nil {
+		t.Fatalf("ok=%v res=%v", ok, res)
+	}
+	if !errors.Is(err, sqldb.ErrNoSuchTable) {
+		t.Fatalf("classification lost across restart: %v", err)
+	}
+	if want := fmt.Sprintf("exec: %v: part", sqldb.ErrNoSuchTable); err.Error() != want {
+		t.Fatalf("message = %q, want %q", err.Error(), want)
+	}
+	_, err, ok = ns2.Get(fpApp)
+	if !ok || err == nil || errors.Is(err, sqldb.ErrNoSuchTable) {
+		t.Fatalf("app error mangled: ok=%v err=%v", ok, err)
+	}
+	if err.Error() != "application rejected the instance" {
+		t.Fatalf("message = %q", err.Error())
+	}
+}
+
+func TestProbeCacheNamespacesAreDisjoint(t *testing.T) {
+	pc := openCache(t, cachePath(t))
+	defer pc.Close()
+	fp := sqldb.Fingerprint{42}
+	a := pc.Namespace(AppNamespace("enki/posts_by_tag", 1))
+	b := pc.Namespace(AppNamespace("enki/posts_by_tag", 2)) // different seed
+	a.Put(fp, sampleResult(), nil)
+	if _, _, ok := b.Get(fp); ok {
+		t.Fatal("namespaces leak: same fingerprint visible across seeds")
+	}
+	if _, _, ok := a.Get(fp); !ok {
+		t.Fatal("own namespace missed")
+	}
+}
+
+func TestProbeCachePutIsIdempotent(t *testing.T) {
+	path := cachePath(t)
+	pc := openCache(t, path)
+	ns := pc.Namespace("n")
+	fp := sqldb.Fingerprint{5}
+	want := sampleResult()
+	ns.Put(fp, want, nil)
+	ns.Put(fp, nil, errors.New("second writer must lose"))
+	if pc.writes != 1 {
+		t.Fatalf("writes = %d, want 1", pc.writes)
+	}
+	res, err, ok := ns.Get(fp)
+	if !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	resultsEqual(t, "first-write-wins", res, want)
+	pc.Close()
+
+	pc2 := openCache(t, path)
+	defer pc2.Close()
+	if pc2.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate puts, want 1", pc2.Len())
+	}
+}
+
+func TestProbeCacheTornTailTruncated(t *testing.T) {
+	path := cachePath(t)
+	pc := openCache(t, path)
+	pc.Namespace("n").Put(sqldb.Fingerprint{1}, sampleResult(), nil)
+	pc.Close()
+	intact, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: garbage partial frame at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xFF, 0xFF, 0x01})
+	f.Close()
+
+	pc2 := openCache(t, path)
+	defer pc2.Close()
+	if pc2.Len() != 1 {
+		t.Fatalf("Len = %d after torn tail, want 1", pc2.Len())
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != intact.Size() {
+		t.Fatalf("torn bytes survive: %d != %d", after.Size(), intact.Size())
+	}
+	if _, _, ok := pc2.Namespace("n").Get(sqldb.Fingerprint{1}); !ok {
+		t.Fatal("intact record lost during tail recovery")
+	}
+}
+
+func TestProbeCacheDegradesToReadOnly(t *testing.T) {
+	pc := openCache(t, cachePath(t))
+	ns := pc.Namespace("n")
+	ns.Put(sqldb.Fingerprint{1}, sampleResult(), nil)
+	// Yank the log handle: the next append must fail, the cache must
+	// keep serving memory hits, and Close must surface the failure.
+	pc.f.Close()
+	ns.Put(sqldb.Fingerprint{2}, nil, nil)
+	if pc.err == nil {
+		t.Fatal("append failure not recorded")
+	}
+	if _, _, ok := ns.Get(sqldb.Fingerprint{1}); !ok {
+		t.Fatal("memory hit lost after degrade")
+	}
+	if err := pc.Close(); err == nil {
+		t.Fatal("Close swallowed the sticky append error")
+	}
+}
+
+func TestProbeCacheNilReceiverClose(t *testing.T) {
+	var pc *ProbeCache
+	if err := pc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppNamespaceFormat(t *testing.T) {
+	if got := AppNamespace("tpch/Q3", 7); got != "app/tpch/Q3#seed=7" {
+		t.Fatalf("AppNamespace = %q", got)
+	}
+}

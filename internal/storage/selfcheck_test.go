@@ -1,0 +1,9 @@
+package storage
+
+import "testing"
+
+func TestSelfCheck(t *testing.T) {
+	if err := SelfCheck(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,443 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"unmasque/internal/sqldb"
+)
+
+// Store is a disk-backed table store: one catalog (catalog.json), one
+// heap file per table (<table>.heap) and one shared WAL (wal.log),
+// all inside a single directory. It implements sqldb.TableStore, so a
+// Database opened via OpenDatabase faults rows in lazily through the
+// buffer pool on first access.
+//
+// Concurrency: one Store per directory, all operations serialized by
+// an internal mutex. The extraction pipeline only reads after bulk
+// load, so this is not a bottleneck; the mutex is about correctness
+// of the WAL protocol, not throughput.
+type Store struct {
+	dir     string
+	opt     Options
+	schemas map[string]sqldb.TableSchema // keyed by lower-case name
+	order   []string                     // catalog order (creation order)
+	heaps   map[string]*heapFile
+	wal     *wal
+	pool    *Pool
+	closed  bool
+
+	// crash is the injected failure point for the recovery test suite
+	// and SelfCheck; it fires once and leaves the store poisoned, as a
+	// real crash would.
+	crash crashStage
+
+	mu sync.Mutex
+}
+
+type crashStage int
+
+const (
+	crashNone crashStage = iota
+	// crashWALTorn: die mid-append, leaving a torn commit frame.
+	crashWALTorn
+	// crashBeforeApply: die after the commit fsync, before any heap
+	// byte changes — recovery must redo the whole transaction.
+	crashBeforeApply
+	// crashMidApply: die after writing half of the first heap page —
+	// recovery must overwrite the torn page from the logged image.
+	crashMidApply
+	// crashBeforeCheckpoint: die with the heaps fully applied and
+	// synced but the WAL not yet truncated — redo must be idempotent.
+	crashBeforeCheckpoint
+)
+
+const (
+	catalogName = "catalog.json"
+	walName     = "wal.log"
+)
+
+func (st *Store) lock()   { st.mu.Lock() }
+func (st *Store) unlock() { st.mu.Unlock() }
+
+// Open opens (creating if absent) the store in dir, recovering any
+// committed-but-unapplied WAL transactions and truncating torn tails.
+func Open(dir string, opt Options) (*Store, error) {
+	opt.normalize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open store: %w", err)
+	}
+	st := &Store{
+		dir:     dir,
+		opt:     opt,
+		schemas: make(map[string]sqldb.TableSchema),
+		heaps:   make(map[string]*heapFile),
+		pool:    NewPool(opt.PoolPages),
+	}
+	if err := st.loadCatalog(); err != nil {
+		return nil, err
+	}
+	w, recs, err := openWAL(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	st.wal = w
+	if err := st.redo(recs); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *Store) loadCatalog() error {
+	raw, err := os.ReadFile(filepath.Join(st.dir, catalogName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: read catalog: %w", err)
+	}
+	var cat struct {
+		Tables []sqldb.TableSchema `json:"tables"`
+	}
+	if err := json.Unmarshal(raw, &cat); err != nil {
+		return fmt.Errorf("storage: decode catalog: %w", err)
+	}
+	for _, sch := range cat.Tables {
+		name := strings.ToLower(sch.Name)
+		st.schemas[name] = sch
+		st.order = append(st.order, name)
+	}
+	return nil
+}
+
+// writeCatalog persists the catalog atomically (temp file + rename).
+func (st *Store) writeCatalog() error {
+	cat := struct {
+		Tables []sqldb.TableSchema `json:"tables"`
+	}{}
+	for _, name := range st.order {
+		cat.Tables = append(cat.Tables, st.schemas[name])
+	}
+	raw, err := json.MarshalIndent(cat, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: encode catalog: %w", err)
+	}
+	tmp := filepath.Join(st.dir, catalogName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: write catalog: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: write catalog: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: sync catalog: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: close catalog: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, catalogName)); err != nil {
+		return fmt.Errorf("storage: install catalog: %w", err)
+	}
+	return nil
+}
+
+// redo replays committed WAL transactions onto the heaps and
+// checkpoints. Trailing records without a commit are discarded.
+func (st *Store) redo(recs []walRecord) error {
+	applied := false
+	var txn []walRecord
+	for _, rec := range recs {
+		if rec.typ != walCommit {
+			txn = append(txn, rec)
+			continue
+		}
+		for _, r := range txn {
+			h, err := st.heap(r.table)
+			if err != nil {
+				return err
+			}
+			switch r.typ {
+			case walPage:
+				if err := h.writePage(int(r.page), r.image); err != nil {
+					return err
+				}
+			case walSize:
+				if err := h.truncate(int(r.page)); err != nil {
+					return err
+				}
+			}
+			applied = true
+		}
+		txn = txn[:0]
+	}
+	if applied {
+		for _, h := range st.heaps {
+			if err := h.sync(); err != nil {
+				return err
+			}
+		}
+	}
+	// Checkpoint even when nothing was applied: a torn or uncommitted
+	// tail may remain in the log and must not survive.
+	return st.wal.reset()
+}
+
+// heap returns (opening or creating if needed) the heap file for a
+// catalogued table. Redo may open heaps for tables the catalog lost —
+// that cannot happen with the atomic catalog write, so require the
+// catalog entry.
+func (st *Store) heap(name string) (*heapFile, error) {
+	name = strings.ToLower(name)
+	if h, ok := st.heaps[name]; ok {
+		return h, nil
+	}
+	if _, ok := st.schemas[name]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	h, err := openHeap(filepath.Join(st.dir, name+".heap"))
+	if err != nil {
+		return nil, err
+	}
+	st.heaps[name] = h
+	return h, nil
+}
+
+// Tables returns the catalogued table names in creation order.
+func (st *Store) Tables() []string {
+	st.lock()
+	defer st.unlock()
+	return append([]string(nil), st.order...)
+}
+
+// Schema returns the schema of a catalogued table.
+func (st *Store) Schema(name string) (sqldb.TableSchema, bool) {
+	st.lock()
+	defer st.unlock()
+	sch, ok := st.schemas[strings.ToLower(name)]
+	return sch, ok
+}
+
+// CreateTable adds a table to the catalog. Creating an existing
+// table is an error; the store is a load-once corpus, not a DDL
+// engine.
+func (st *Store) CreateTable(sch sqldb.TableSchema) error {
+	st.lock()
+	defer st.unlock()
+	name := strings.ToLower(sch.Name)
+	if _, ok := st.schemas[name]; ok {
+		return fmt.Errorf("storage: table %s already exists", name)
+	}
+	sch = sch.Clone()
+	sch.Name = name
+	st.schemas[name] = sch
+	st.order = append(st.order, name)
+	if err := st.writeCatalog(); err != nil {
+		delete(st.schemas, name)
+		st.order = st.order[:len(st.order)-1]
+		return err
+	}
+	return nil
+}
+
+// SaveRows replaces a table's contents with rows, atomically with
+// respect to crashes: the new page images and final page count are
+// committed to the WAL (fsync) before any heap byte changes, the
+// heap is rewritten and fsynced, then the WAL is checkpointed.
+func (st *Store) SaveRows(table string, rows []sqldb.Row) error {
+	st.lock()
+	defer st.unlock()
+	name := strings.ToLower(table)
+	if _, ok := st.schemas[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	pages, err := packRows(rows)
+	if err != nil {
+		return err
+	}
+	for i, img := range pages {
+		if err := st.wal.append(walRecord{typ: walPage, table: name, page: uint32(i), image: img}); err != nil {
+			return err
+		}
+	}
+	if err := st.wal.append(walRecord{typ: walSize, table: name, page: uint32(len(pages))}); err != nil {
+		return err
+	}
+	if st.crash == crashWALTorn {
+		// Simulate dying mid-append of the commit frame: write a
+		// partial header and stop. Recovery must drop the whole
+		// uncommitted transaction.
+		var torn = []byte{7, 0, 0}
+		if _, err := st.wal.f.Write(torn); err != nil {
+			return err
+		}
+		if err := st.wal.sync(); err != nil {
+			return err
+		}
+		st.closed = true
+		return errCrashed
+	}
+	if err := st.wal.append(walRecord{typ: walCommit}); err != nil {
+		return err
+	}
+	if err := st.wal.sync(); err != nil {
+		return err
+	}
+	// --- commit point ---
+	if st.crash == crashBeforeApply {
+		st.closed = true
+		return errCrashed
+	}
+	h, err := st.heap(name)
+	if err != nil {
+		return err
+	}
+	for i, img := range pages {
+		if st.crash == crashMidApply && i == 0 {
+			if _, werr := h.f.WriteAt(img[:PageSize/2], 0); werr != nil {
+				return werr
+			}
+			st.closed = true
+			return errCrashed
+		}
+		if err := h.writePage(i, img); err != nil {
+			return err
+		}
+	}
+	if err := h.truncate(len(pages)); err != nil {
+		return err
+	}
+	if err := h.sync(); err != nil {
+		return err
+	}
+	if st.crash == crashBeforeCheckpoint {
+		st.closed = true
+		return errCrashed
+	}
+	if err := st.wal.reset(); err != nil {
+		return err
+	}
+	st.pool.InvalidateFile(h)
+	return nil
+}
+
+// LoadRows returns the table's rows in exactly the order they were
+// saved (pages in sequence, slots in insertion order) — the property
+// the sqldb fingerprint/digest contract depends on. It implements
+// sqldb.TableStore. Pages are faulted through the buffer pool.
+func (st *Store) LoadRows(table string) ([]sqldb.Row, error) {
+	st.lock()
+	defer st.unlock()
+	name := strings.ToLower(table)
+	sch, ok := st.schemas[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	h, err := st.heap(name)
+	if err != nil {
+		return nil, err
+	}
+	var rows []sqldb.Row
+	for p := 0; p < h.npages; p++ {
+		fr, err := st.pool.Get(h, p)
+		if err != nil {
+			return nil, err
+		}
+		rows, err = unpackPage(fr.Data, len(sch.Columns), rows)
+		st.pool.Unpin(fr, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// BulkLoad creates (if needed) and fills one store table per table of
+// db, preserving db's creation order for new tables.
+func (st *Store) BulkLoad(db *sqldb.Database) error {
+	for _, name := range db.TableNames() {
+		t, err := db.Table(name)
+		if err != nil {
+			return fmt.Errorf("storage: bulk load: %w", err)
+		}
+		if _, ok := st.Schema(name); !ok {
+			if err := st.CreateTable(t.Schema); err != nil {
+				return err
+			}
+		}
+		if err := st.SaveRows(name, t.SnapshotRows()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenDatabase builds a Database whose tables carry the store's
+// schemas but no rows; rows fault in lazily through LoadRows on
+// first access (see sqldb.AttachStore).
+func (st *Store) OpenDatabase() (*sqldb.Database, error) {
+	st.lock()
+	order := append([]string(nil), st.order...)
+	schemas := make([]sqldb.TableSchema, 0, len(order))
+	for _, name := range order {
+		schemas = append(schemas, st.schemas[name])
+	}
+	st.unlock()
+	db := sqldb.NewDatabase()
+	for _, sch := range schemas {
+		if err := db.CreateTable(sch); err != nil {
+			return nil, fmt.Errorf("storage: open database: %w", err)
+		}
+	}
+	db.AttachStore(st, order)
+	return db, nil
+}
+
+// PoolStats exposes the buffer pool counters.
+func (st *Store) PoolStats() PoolStats { return st.pool.Stats() }
+
+// Close flushes nothing (the WAL protocol leaves no deferred work)
+// and releases the file handles.
+func (st *Store) Close() error {
+	st.lock()
+	defer st.unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	var first error
+	for _, h := range st.heaps {
+		if err := h.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if st.wal != nil {
+		if err := st.wal.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// abandon drops the handles without the usual Close bookkeeping —
+// the test-suite analogue of the process dying. The on-disk state is
+// whatever the crash stage left.
+func (st *Store) abandon() {
+	st.lock()
+	defer st.unlock()
+	st.closed = true
+	for _, h := range st.heaps {
+		h.f.Close()
+	}
+	if st.wal != nil {
+		st.wal.f.Close()
+	}
+}

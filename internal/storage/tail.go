@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RecoverTail scans an append-only file from the start and truncates
+// any torn final record left behind by a crash mid-append.
+//
+// next consumes exactly one record from the reader and returns the
+// number of encoded bytes it occupied. It reports io.EOF for a clean
+// end of file and ErrTornRecord (or io.ErrUnexpectedEOF) when the
+// bytes at the current position are a partial or corrupt record — the
+// residue of an interrupted write. Any other error aborts recovery
+// and is returned wrapped.
+//
+// On return the file is positioned at the end of the last intact
+// record, the torn suffix (if any) has been truncated away, and torn
+// reports how many bytes were dropped. The helper is shared by the
+// service tier's JSONL job store and this package's binary WAL and
+// probe-cache logs; both formats guarantee that records are appended
+// atomically *in the log's framing* (length/CRC or newline), so a
+// prefix of intact records is always a consistent state.
+func RecoverTail(f *os.File, next func(r *bufio.Reader) (int64, error)) (good, torn int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("storage: recover tail: %w", err)
+	}
+	r := bufio.NewReader(f)
+	tornTail := false
+	for {
+		n, err := next(r)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, ErrTornRecord) || errors.Is(err, io.ErrUnexpectedEOF) {
+			tornTail = true
+			break
+		}
+		if err != nil {
+			return good, 0, fmt.Errorf("storage: recover tail: %w", err)
+		}
+		good += n
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return good, 0, fmt.Errorf("storage: recover tail: %w", err)
+	}
+	torn = size - good
+	if torn < 0 {
+		// next over-reported record sizes; refuse to truncate valid data.
+		return good, 0, fmt.Errorf("storage: recover tail: record sizes exceed file size (%d > %d)", good, size)
+	}
+	if torn > 0 {
+		if err := f.Truncate(good); err != nil {
+			return good, torn, fmt.Errorf("storage: recover tail: truncate: %w", err)
+		}
+	} else if !tornTail {
+		torn = 0
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		return good, torn, fmt.Errorf("storage: recover tail: %w", err)
+	}
+	return good, torn, nil
+}

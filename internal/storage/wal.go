@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Redo-only write-ahead log. A transaction is a run of walPage
+// records (full page images) plus one walSize record (final page
+// count of each touched table), terminated by walCommit. The commit
+// protocol is:
+//
+//  1. append all page/size records,
+//  2. append walCommit and fsync the log  — the commit point,
+//  3. apply the images to the heap files and fsync them,
+//  4. checkpoint: truncate the log to zero and fsync it.
+//
+// On Open the log is scanned with RecoverTail (dropping any torn
+// tail), committed transactions are replayed in order onto the heaps
+// (redo is idempotent: full images + absolute truncation), the heaps
+// are fsynced, and the log is checkpointed. A crash before (2) loses
+// the transaction entirely; after (2) the transaction survives via
+// redo; after (4) redo is a no-op. Uncommitted trailing records —
+// intact but never followed by walCommit — are discarded along with
+// the tail.
+//
+// Record framing: [u32 payload length][u32 CRC32(payload)][payload].
+// Payload: [type byte] then, for walPage: [u16 table-name length]
+// [name][u32 page number][PageSize image]; for walSize: [u16 name
+// length][name][u32 page count]; for walCommit: nothing.
+
+type walRecType byte
+
+const (
+	walPage   walRecType = 1
+	walSize   walRecType = 2
+	walCommit walRecType = 3
+)
+
+// maxWALPayload bounds a frame so corrupt length fields cannot force
+// a giant allocation: the largest legal payload is a page image plus
+// its header.
+const maxWALPayload = PageSize + 1 + 2 + 255 + 4
+
+type walRecord struct {
+	typ   walRecType
+	table string
+	page  uint32 // walPage: page number; walSize: page count
+	image []byte // walPage only
+}
+
+type wal struct {
+	f    *os.File
+	path string
+	buf  []byte
+}
+
+// openWAL opens (creating if needed) the log, truncates any torn
+// tail, and returns the intact records for replay. The file is left
+// positioned at its recovered end.
+func openWAL(path string) (*wal, []walRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	var recs []walRecord
+	if _, _, err := RecoverTail(f, func(r *bufio.Reader) (int64, error) {
+		payload, n, err := readFrame(r, maxWALPayload)
+		if err != nil {
+			return 0, err
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return 0, err
+		}
+		recs = append(recs, rec)
+		return n, nil
+	}); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &wal{f: f, path: path}, recs, nil
+}
+
+// append frames and writes one record without syncing.
+func (w *wal) append(rec walRecord) error {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, byte(rec.typ))
+	if rec.typ != walCommit {
+		w.buf = binary.LittleEndian.AppendUint16(w.buf, uint16(len(rec.table)))
+		w.buf = append(w.buf, rec.table...)
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, rec.page)
+		if rec.typ == walPage {
+			w.buf = append(w.buf, rec.image...)
+		}
+	}
+	return writeFrame(w.f, w.buf)
+}
+
+func (w *wal) sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync wal: %w", err)
+	}
+	return nil
+}
+
+// reset checkpoints the log: everything in it has been durably
+// applied to the heaps, so it can be emptied.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: checkpoint wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: checkpoint wal: %w", err)
+	}
+	return w.sync()
+}
+
+func (w *wal) close() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("storage: close wal: %w", err)
+	}
+	return nil
+}
+
+func decodeWALRecord(payload []byte) (walRecord, error) {
+	if len(payload) == 0 {
+		return walRecord{}, fmt.Errorf("storage: empty wal payload: %w", ErrTornRecord)
+	}
+	rec := walRecord{typ: walRecType(payload[0])}
+	body := payload[1:]
+	switch rec.typ {
+	case walCommit:
+		if len(body) != 0 {
+			return walRecord{}, fmt.Errorf("storage: commit record with body: %w", ErrTornRecord)
+		}
+		return rec, nil
+	case walPage, walSize:
+		if len(body) < 2 {
+			return walRecord{}, fmt.Errorf("storage: short wal record: %w", ErrTornRecord)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(body))
+		body = body[2:]
+		if len(body) < nameLen+4 {
+			return walRecord{}, fmt.Errorf("storage: short wal record: %w", ErrTornRecord)
+		}
+		rec.table = string(body[:nameLen])
+		rec.page = binary.LittleEndian.Uint32(body[nameLen:])
+		body = body[nameLen+4:]
+		if rec.typ == walPage {
+			if len(body) != PageSize {
+				return walRecord{}, fmt.Errorf("storage: wal page image is %d bytes: %w", len(body), ErrTornRecord)
+			}
+			rec.image = append([]byte(nil), body...)
+		} else if len(body) != 0 {
+			return walRecord{}, fmt.Errorf("storage: wal size record with %d trailing bytes: %w", len(body), ErrTornRecord)
+		}
+		return rec, nil
+	default:
+		return walRecord{}, fmt.Errorf("storage: unknown wal record type %d: %w", rec.typ, ErrTornRecord)
+	}
+}
+
+// writeFrame appends one [len][crc][payload] frame to f.
+func writeFrame(f *os.File, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: append frame: %w", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		return fmt.Errorf("storage: append frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame consumes one frame, validating length bound and CRC.
+// io.EOF at a frame boundary is a clean end; anything else partial or
+// invalid is ErrTornRecord.
+func readFrame(r *bufio.Reader, maxLen uint32) ([]byte, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("storage: frame header: %w", ErrTornRecord)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxLen {
+		return nil, 0, fmt.Errorf("storage: frame claims %d bytes: %w", n, ErrTornRecord)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, fmt.Errorf("storage: frame payload: %w", ErrTornRecord)
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, fmt.Errorf("storage: frame checksum: %w", ErrTornRecord)
+	}
+	return payload, int64(8 + len(payload)), nil
+}

@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walImage(pageNo uint32) []byte {
+	img := make([]byte, PageSize)
+	initPage(img, pageNo)
+	pageInsert(img, []byte("wal-payload"))
+	finalizePage(img)
+	return img
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, recs, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh wal has %d records", len(recs))
+	}
+	img := walImage(0)
+	for _, rec := range []walRecord{
+		{typ: walPage, table: "orders", page: 0, image: img},
+		{typ: walSize, table: "orders", page: 1},
+		{typ: walCommit},
+	} {
+		if err := w.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs))
+	}
+	if recs[0].typ != walPage || recs[0].table != "orders" || recs[0].page != 0 || !bytes.Equal(recs[0].image, img) {
+		t.Fatalf("page record mangled: %+v", recs[0])
+	}
+	if recs[1].typ != walSize || recs[1].table != "orders" || recs[1].page != 1 {
+		t.Fatalf("size record mangled: %+v", recs[1])
+	}
+	if recs[2].typ != walCommit {
+		t.Fatalf("commit record mangled: %+v", recs[2])
+	}
+}
+
+func TestWALTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, _, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(walRecord{typ: walSize, table: "t", page: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate dying mid-append: a partial frame header.
+	if _, err := w.f.Write([]byte{0xFF, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	w2, recs, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if len(recs) != 1 || recs[0].typ != walSize {
+		t.Fatalf("recovered %+v, want the single intact size record", recs)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(8 + 1 + 2 + 1 + 4); fi.Size() != want {
+		t.Fatalf("wal size %d after recovery, want %d (torn bytes gone)", fi.Size(), want)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, _, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if err := w.append(walRecord{typ: walCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.reset(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("wal not empty after checkpoint: %d bytes", fi.Size())
+	}
+	// Appends after a checkpoint start from offset zero.
+	if err := w.append(walRecord{typ: walSize, table: "t", page: 0}); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.close()
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records after post-checkpoint append, want 1", len(recs))
+	}
+}
+
+func TestDecodeWALRecordRejectsMalformed(t *testing.T) {
+	size := func(table string, n uint32, extra []byte) []byte {
+		p := []byte{byte(walSize)}
+		p = binary.LittleEndian.AppendUint16(p, uint16(len(table)))
+		p = append(p, table...)
+		p = binary.LittleEndian.AppendUint32(p, n)
+		return append(p, extra...)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"commit-with-body":  {byte(walCommit), 1},
+		"short-header":      {byte(walPage), 5},
+		"short-name":        {byte(walPage), 200, 0, 'a', 'b'},
+		"short-page-image":  append([]byte{byte(walPage), 1, 0, 't'}, 0, 0, 0, 0, 1, 2, 3),
+		"size-with-trailer": size("t", 1, []byte{9}),
+		"unknown-type":      {42},
+	}
+	for name, payload := range cases {
+		if _, err := decodeWALRecord(payload); !errors.Is(err, ErrTornRecord) {
+			t.Errorf("%s: err = %v, want ErrTornRecord", name, err)
+		}
+	}
+}
