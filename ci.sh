@@ -258,7 +258,7 @@ check_cover ./internal/storage 80.0
 echo "== per-file coverage floor (vectorized engine, 80%)"
 prof=$(mktemp /tmp/unmasque-cover.XXXXXX)
 go test -coverprofile="$prof" ./internal/sqldb >/dev/null
-for f in batch.go vector.go index.go exec_vector.go; do
+for f in batch.go vector.go index.go exec_vector.go agg_vector.go sort_vector.go; do
     pct=$(awk -v f="internal/sqldb/$f:" \
         'index($1, f) { total += $2; if ($3 > 0) covered += $2 }
          END { if (total == 0) print "0.0"; else printf "%.1f", 100 * covered / total }' "$prof")

@@ -48,10 +48,12 @@
 //	        a seeded generator (rand.New, rand.NewSource) is allowed,
 //	        as is referencing time.Now as a value (the default Clock).
 //	GL008 — internal/sqldb never allocates a map with sqldb.Value
-//	        elements inside a loop. Per-row map[string]Value was the
-//	        dominant allocation cost of the pre-vectorized executor;
-//	        the columnar engine's hot paths must hoist and reuse such
-//	        maps or use positional slices keyed by resolved slots.
+//	        payloads inside a loop — elements of type Value, []Value
+//	        or Row alike. Per-row map[string]Value was the dominant
+//	        allocation cost of the pre-vectorized executor, and the
+//	        vectorized aggregation/sort paths tempt the slice-valued
+//	        variants; hot paths must hoist and reuse such maps or use
+//	        positional slices keyed by resolved slots.
 //	GL009 — telemetry primitives are bound once, in internal/obs: no
 //	        other package imports log, log/slog or expvar directly.
 //	        Loggers obtained from internal/obs carry job_id/phase

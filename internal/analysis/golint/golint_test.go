@@ -84,6 +84,18 @@ func goodNonValueMap(rows []Row) int {
 	}
 	return n
 }
+
+// badPerRowSliceMap allocates maps of Value-slice and Row payloads per
+// row: the aggregation-path shapes GL008 also covers.
+func badPerRowSliceMap(rows []Row) int {
+	n := 0
+	for range rows {
+		m := make(map[string][]Value) // want:GL008
+		r := map[int]Row{}            // want:GL008
+		n += len(m) + len(r)
+	}
+	return n
+}
 `,
 		"internal/core/session.go": `package core
 

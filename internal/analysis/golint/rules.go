@@ -646,13 +646,27 @@ func checkFileIO(fset *token.FileSet, p *pkg) []Finding {
 	return out
 }
 
-// isValueMap matches map[K]sqldb.Value after stripping named types.
+// isValueMap matches maps carrying sqldb.Value payloads after
+// stripping named types: map[K]Value, and — equally hot in the
+// aggregation/sort paths — map[K][]Value and map[K]Row, whose per-row
+// allocation costs a slice header plus the map insert on every group
+// probe.
 func isValueMap(t types.Type) bool {
 	if t == nil {
 		return false
 	}
 	m, ok := t.Underlying().(*types.Map)
-	return ok && isSqldbNamed(m.Elem(), "Value")
+	if !ok {
+		return false
+	}
+	elem := m.Elem()
+	if isSqldbNamed(elem, "Value") || isSqldbNamed(elem, "Row") {
+		return true
+	}
+	if s, ok := elem.Underlying().(*types.Slice); ok {
+		return isSqldbNamed(s.Elem(), "Value")
+	}
+	return false
 }
 
 // isOSFile matches *os.File (possibly through pointers).

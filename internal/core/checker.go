@@ -93,6 +93,10 @@ func (s *Session) compareOn(ext *Extraction, db *sqldb.Database, label string) e
 // result so callers can reuse the instance as a mutant-killing
 // witness without rerunning E.
 func (s *Session) compareOnResult(ext *Extraction, db *sqldb.Database, label string) (*sqldb.Result, error) {
+	// No index advice here: this instance serves exactly two
+	// executions (the application and Q_E), which cannot amortize an
+	// index build. Instances that go on to replay the mutant
+	// catalogue are advised by checkBounded instead.
 	appRes, appErr := s.run(nil, db)
 	qRes, qErr := s.executeStmt(ext.Query, db)
 	if appErr != nil {

@@ -75,9 +75,24 @@ func (s *Session) checkBounded(ext *Extraction, schemas []sqldb.TableSchema, wit
 	mutants := xdata.Mutants(ext.Query, schemas)
 	s.stats.MutantsTotal = len(mutants)
 
+	// The mutant walk replays the whole catalogue against each witness;
+	// advising the extracted WHERE columns lets those replays push
+	// predicates into indexes. Advice is withdrawn when the walk ends
+	// (the initial witness is the caller's database handle).
+	var releases []func()
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
 	seen := map[sqldb.Fingerprint]bool{}
 	for _, w := range witnesses {
 		seen[w.db.Fingerprint()] = true
+		release, err := adviseQueryColumns(w.db, ext.Query)
+		if err != nil {
+			return err
+		}
+		releases = append(releases, release)
 	}
 
 	var planted []plantedCE
@@ -116,6 +131,11 @@ func (s *Session) checkBounded(ext *Extraction, schemas []sqldb.TableSchema, wit
 					return err
 				}
 				planted = append(planted, plantedCE{db: ce.DB, appRes: appRes})
+				release, err := adviseQueryColumns(ce.DB, ext.Query)
+				if err != nil {
+					return err
+				}
+				releases = append(releases, release)
 			}
 			s.stats.MutantsKilledStatic++
 		default: // Exhausted

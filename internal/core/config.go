@@ -373,6 +373,8 @@ type Stats struct {
 	// vectorized scan. All zero under ExecMode "tree".
 	IndexBuilds      int64
 	IndexHits        int64
+	RangeBuilds      int64
+	RangeHits        int64
 	JoinBuildsReused int64
 	VectorBatches    int64
 }
@@ -425,8 +427,9 @@ func (s *Stats) String() string {
 	if s.ExecMode != "" {
 		line += fmt.Sprintf(" exec=%s", s.ExecMode)
 		if s.ExecMode == "vector" {
-			line += fmt.Sprintf(" (index builds=%d hits=%d join-reuse=%d batches=%d)",
-				s.IndexBuilds, s.IndexHits, s.JoinBuildsReused, s.VectorBatches)
+			line += fmt.Sprintf(" (index builds=%d hits=%d range builds=%d hits=%d join-reuse=%d batches=%d)",
+				s.IndexBuilds, s.IndexHits, s.RangeBuilds, s.RangeHits,
+				s.JoinBuildsReused, s.VectorBatches)
 		}
 	}
 	return line

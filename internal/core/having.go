@@ -34,10 +34,21 @@ import (
 // satisfying the aggregate constraints exists before this module
 // runs.
 func (s *Session) extractFiltersAndHaving() error {
+	var cols []sqldb.ColRef
 	for _, col := range s.allColumns() {
 		if s.isKeyColumn(col) || s.inJoinGraph(col) {
 			continue
 		}
+		cols = append(cols, col)
+	}
+	// Same probe shape as extractFilters: every probe clones D_1 and
+	// re-executes E, so clones inherit indexes on the candidate columns.
+	release, err := s.adviseProbeColumns(cols)
+	if err != nil {
+		return err
+	}
+	defer release()
+	for _, col := range cols {
 		def, err := s.column(col)
 		if err != nil {
 			return err

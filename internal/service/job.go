@@ -114,6 +114,8 @@ type Result struct {
 	ExecMode         string `json:"exec_mode,omitempty"`
 	IndexBuilds      int64  `json:"index_builds,omitempty"`
 	IndexHits        int64  `json:"index_hits,omitempty"`
+	RangeBuilds      int64  `json:"range_builds,omitempty"`
+	RangeHits        int64  `json:"range_hits,omitempty"`
 	JoinBuildsReused int64  `json:"join_builds_reused,omitempty"`
 	VectorBatches    int64  `json:"vector_batches,omitempty"`
 }
@@ -155,6 +157,8 @@ func (j *Job) result() Result {
 		ExecMode:         j.stats.ExecMode,
 		IndexBuilds:      j.stats.IndexBuilds,
 		IndexHits:        j.stats.IndexHits,
+		RangeBuilds:      j.stats.RangeBuilds,
+		RangeHits:        j.stats.RangeHits,
 		JoinBuildsReused: j.stats.JoinBuildsReused,
 		VectorBatches:    j.stats.VectorBatches,
 	}

@@ -1,0 +1,136 @@
+package sqldb
+
+import (
+	"context"
+	"strings"
+)
+
+// agg_vector.go — vectorized hash aggregation.
+//
+// aggregateVector replaces the tree engine's row-at-a-time aggregate()
+// for the vector path: grouping keys and aggregate arguments are each
+// evaluated as one vector over the joined batch, then folded into the
+// same aggAcc accumulators the tree engine uses, with typed fast
+// paths for the hot adds (COUNT/SUM over unboxed columns). Group key
+// strings, first-seen group order, accumulator semantics and the
+// empty-input corner are byte-identical to the tree engine — both
+// paths then share finalizeGroups for HAVING and item evaluation, so
+// per-group semantics cannot drift.
+//
+// Error parity: the same (row, expression) pairs are evaluated as in
+// the tree engine, just operand-major instead of row-major — the
+// engines may surface a different error first, but whether an error
+// occurs is identical (the differential harness's contract).
+
+func (ex *execution) aggregateVector(ctx context.Context, rows []Row, types []Type, ticks *int) (*Result, error) {
+	if err := chargeTicks(ctx, ticks, len(rows)); err != nil {
+		return nil, err
+	}
+	groups := map[string]*group{}
+	var order []string
+	if len(rows) > 0 {
+		b := newWideBatch(rows, types, identitySel(len(rows)), ex.db.estats)
+		keyVecs := make([]*vec, len(ex.stmt.GroupBy))
+		for i, g := range ex.stmt.GroupBy {
+			v, err := ex.evalVec(g, b)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = v
+		}
+		argVecs := make([]*vec, len(ex.aggs))
+		for i, ag := range ex.aggs {
+			if ag.Star {
+				continue
+			}
+			v, err := ex.evalVec(ag.Arg, b)
+			if err != nil {
+				return nil, err
+			}
+			argVecs[i] = v
+		}
+		var kb strings.Builder
+		for k := range rows {
+			kb.Reset()
+			for _, v := range keyVecs {
+				kb.WriteString(v.valueAt(k).GroupKey())
+				kb.WriteByte('|')
+			}
+			key := kb.String()
+			grp, ok := groups[key]
+			if !ok {
+				grp = &group{rep: rows[k], accs: make([]aggAcc, len(ex.aggs))}
+				groups[key] = grp
+				order = append(order, key)
+			}
+			for i, ag := range ex.aggs {
+				if ag.Star {
+					grp.accs[i].count++
+					continue
+				}
+				grp.accs[i].addVec(argVecs[i], k, ag.Distinct)
+			}
+		}
+	}
+	return ex.finalizeGroups(groups, order, len(rows))
+}
+
+// addVec folds element k of v into the accumulator. Unboxed typed
+// storage takes allocation-free fast paths whose payload comparisons
+// coincide exactly with Compare for a uniformly typed column (I for
+// TInt/TDate/TBool, F for TFloat, S for TText — the same equivalence
+// the comparison fast paths in vector.go rely on). DISTINCT and boxed
+// vectors fall back to the tree engine's add().
+func (a *aggAcc) addVec(v *vec, k int, distinct bool) {
+	if v.nullAt(k) {
+		return
+	}
+	if distinct || v.vals != nil || v.isConst {
+		a.add(v.valueAt(k), distinct)
+		return
+	}
+	a.count++
+	switch v.typ {
+	case TFloat:
+		f := v.floats[k]
+		a.isFlt = true
+		a.sumF += f
+		if !a.has {
+			a.minV, a.maxV, a.has = Value{Typ: TFloat, F: f}, Value{Typ: TFloat, F: f}, true
+			return
+		}
+		if f < a.minV.F {
+			a.minV = Value{Typ: TFloat, F: f}
+		}
+		if f > a.maxV.F {
+			a.maxV = Value{Typ: TFloat, F: f}
+		}
+	case TText:
+		s := v.strs[k]
+		if !a.has {
+			a.minV, a.maxV, a.has = Value{Typ: TText, S: s}, Value{Typ: TText, S: s}, true
+			return
+		}
+		if s < a.minV.S {
+			a.minV = Value{Typ: TText, S: s}
+		}
+		if s > a.maxV.S {
+			a.maxV = Value{Typ: TText, S: s}
+		}
+	default: // TInt, TDate, TBool
+		i := v.ints[k]
+		if v.typ == TInt {
+			a.sumI += i
+		}
+		if !a.has {
+			a.minV, a.maxV, a.has = Value{Typ: v.typ, I: i}, Value{Typ: v.typ, I: i}, true
+			return
+		}
+		if i < a.minV.I {
+			a.minV = Value{Typ: v.typ, I: i}
+		}
+		if i > a.maxV.I {
+			a.maxV = Value{Typ: v.typ, I: i}
+		}
+	}
+}

@@ -2,12 +2,18 @@ package sqldb
 
 // batch.go — typed column batches for the vectorized engine.
 //
-// A batch exposes one table's rows, restricted to a selection of row
-// ids, as typed column vectors: per-column value slices plus a
-// validity (null) bitmap, gathered lazily on first reference. The
-// vectorized predicate evaluator (vector.go) computes over these
-// instead of per-row []Value wide rows, which removes the tree
-// engine's dominant allocation (one width-sized Row per scanned row).
+// A batch exposes a row source, restricted to a selection of row ids,
+// as typed column vectors: per-column value slices plus a validity
+// (null) bitmap, gathered lazily on first reference. The vectorized
+// predicate evaluator (vector.go) computes over these instead of
+// per-row []Value wide rows, which removes the tree engine's dominant
+// allocation (one width-sized Row per scanned row).
+//
+// Two sources exist: a table (scan-side batches, addressing the
+// table's own columns) and a slice of joined wide rows (post-join
+// batches, addressing every wide-row slot). Both store values coerced
+// to their column's schema type, so the typed fast paths apply to
+// either.
 
 // vec is one column vector: len(sel) logical elements of a single
 // type. Storage is typed — ints carries TInt/TDate/TBool payloads,
@@ -105,11 +111,16 @@ func constVec(val Value, n int) *vec {
 	return &vec{typ: val.Typ, n: n, isConst: true, vals: []Value{val}}
 }
 
-// batch is one table's rows restricted to a selection, with lazily
-// gathered column vectors aligned to that selection.
+// batch is a row source restricted to a selection, with lazily
+// gathered column vectors aligned to that selection. Exactly one of
+// tbl/rows is set.
 type batch struct {
-	tbl *Table
-	off int     // the table's first slot in the wide row
+	tbl   *Table // table source (scan-side batches)
+	rows  []Row  // wide-row source (post-join batches)
+	types []Type // wide-row source: schema type of every slot
+	name  string // source name for resolution error messages
+
+	off int     // first wide-row slot addressed by this batch
 	sel []int32 // selected row ids, ascending scan order
 	es  *EngineStats
 
@@ -117,7 +128,31 @@ type batch struct {
 }
 
 func newBatch(tbl *Table, off int, sel []int32, es *EngineStats) *batch {
-	return &batch{tbl: tbl, off: off, sel: sel, es: es, cols: map[int]*vec{}}
+	return &batch{tbl: tbl, name: tbl.Schema.Name, off: off, sel: sel, es: es, cols: map[int]*vec{}}
+}
+
+// newWideBatch exposes joined wide rows as a batch: every slot is
+// addressable (off 0), typed by the owning column's schema type. The
+// post-join stages (residual, aggregation, projection, ordering)
+// evaluate over these.
+func newWideBatch(rows []Row, types []Type, sel []int32, es *EngineStats) *batch {
+	return &batch{rows: rows, types: types, name: "the join result", sel: sel, es: es, cols: map[int]*vec{}}
+}
+
+// ncol reports the number of addressable local columns.
+func (b *batch) ncol() int {
+	if b.tbl != nil {
+		return len(b.tbl.Schema.Columns)
+	}
+	return len(b.types)
+}
+
+// sub derives a batch over the same source restricted to subSel.
+func (b *batch) sub(subSel []int32) *batch {
+	nb := *b
+	nb.sel = subSel
+	nb.cols = map[int]*vec{}
+	return &nb
 }
 
 // col gathers (once) and returns the vector for a local column.
@@ -126,7 +161,14 @@ func (b *batch) col(ci int) *vec {
 		return v
 	}
 	n := len(b.sel)
-	typ := b.tbl.Schema.Columns[ci].Type
+	src := b.rows
+	typ := TUnknown
+	if b.tbl != nil {
+		src = b.tbl.Rows
+		typ = b.tbl.Schema.Columns[ci].Type
+	} else {
+		typ = b.types[ci]
+	}
 	v := &vec{typ: typ, n: n}
 	switch typ {
 	case TFloat:
@@ -137,7 +179,7 @@ func (b *batch) col(ci int) *vec {
 		v.ints = make([]int64, n)
 	}
 	for k, ri := range b.sel {
-		val := b.tbl.Rows[ri][ci]
+		val := src[ri][ci]
 		if val.Null {
 			if v.null == nil {
 				v.null = make([]bool, n)

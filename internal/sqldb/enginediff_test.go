@@ -209,6 +209,29 @@ func TestEngineDiffEdgeCases(t *testing.T) {
 		{"arith-pushdown", "select id from t where v * 2.0 - 1.0 > 3.0"},
 		{"neg-pushdown", "select id from t where -id < -35"},
 		{"limit-after-order", "select id from t order by id desc limit 7"},
+		{"between-int-pushdown", "select id from t where id between 8 and 22"},
+		{"between-text-pushdown", "select id from t where s between 'alpha' and 'delta'"},
+		{"between-float-not-indexable", "select id from t where v between 1.0 and 5.5"},
+		{"between-mixed-class", "select id from t where id between 1.5 and 20"},
+		{"between-empty-span", "select id from t where id between 50 and 60"},
+		{"between-then-residual", "select t.id, u.w from t, u where t.id = u.fk and t.id between 2 and 8 and t.v + u.w > 3.0"},
+		{"inequality-pushdown-ge", "select id from t where id >= 33"},
+		{"inequality-pushdown-lt", "select id from t where id < 4"},
+		{"inequality-literal-left", "select id from t where 33 <= id"},
+		{"inequality-text", "select id from t where s > 'beta'"},
+		{"null-heavy-residual", "select t.id from t, u where t.id = u.fk and t.v > 2.0 and t.s like '%a%'"},
+		{"null-heavy-residual-or", "select t.id from t, u where t.id = u.fk and (t.v > 8.0 or t.s = 'beta')"},
+		{"group-by-nullable-key", "select s, count(id) from t group by s"},
+		{"group-all-null-key", "select k, count(z) from nk group by k"},
+		{"group-all-null-agg-arg", "select z, sum(k) from nk group by z"},
+		{"order-limit-ties", "select grp, id from t order by grp limit 5"},
+		{"order-limit-exceeds-rows", "select id from t order by id limit 100"},
+		{"order-desc-nulls-limit", "select v, id from t order by v desc limit 6"},
+		{"order-multi-key-limit", "select grp, s, id from t order by grp, s desc limit 9"},
+		{"order-hidden-float-text", "select id from t order by v desc, s"},
+		{"order-hidden-int", "select id, s from t order by grp desc, id"},
+		{"order-hidden-expr", "select id from t order by grp - id / 3, id desc"},
+		{"order-hidden-limit", "select id from t order by s, v desc limit 5"},
 		{"type-mismatch-error", "select id from t where s > 5"},
 		{"div-by-zero-error", "select id from t where v / 0.0 > 1.0 and id >= 0"},
 		{"div-by-zero-unreached", "select id from t where id < 0 and v / 0.0 > 1.0"},
@@ -260,6 +283,17 @@ func fuzzDB(rng *rand.Rand) (*sqldb.Database, error) {
 			return nil, err
 		}
 	}
+	// Advise the integer columns so fuzzing also exercises the advised
+	// paths (below-gate index use, non-leading pushdown behind total
+	// prefixes, clone-shared builds). The tree oracle ignores advice,
+	// so the differential contract is unchanged.
+	if err := db.AdviseIndexes(
+		sqldb.IndexHint{Table: "t", Column: "a"},
+		sqldb.IndexHint{Table: "t", Column: "b"},
+		sqldb.IndexHint{Table: "u", Column: "k"},
+	); err != nil {
+		return nil, err
+	}
 	return db, nil
 }
 
@@ -294,7 +328,7 @@ func genPred(rng *rand.Rand, depth int) sqldb.Expr {
 		}
 		return sqldb.Bin(op, genPred(rng, depth-1), genPred(rng, depth-1))
 	}
-	switch rng.Intn(7) {
+	switch rng.Intn(9) {
 	case 0:
 		return &sqldb.LikeExpr{X: sqldb.Col("t", "s"), Pattern: []string{"x%", "%y%", "a_c", "%"}[rng.Intn(4)], Not: rng.Intn(4) == 0}
 	case 1:
@@ -307,6 +341,23 @@ func genPred(rng *rand.Rand, depth int) sqldb.Expr {
 		// Occasionally compare text against a number: both engines
 		// must raise (or not raise) the class error together.
 		return sqldb.Bin(sqldb.OpGt, sqldb.Col("t", "s"), sqldb.Lit(sqldb.NewInt(1)))
+	case 5:
+		// Index-eligible BETWEEN: col between int literals (the range
+		// pushdown shape, advised so the gate does not matter).
+		col := []string{"a", "b"}[rng.Intn(2)]
+		return &sqldb.BetweenExpr{X: sqldb.Col("t", col),
+			Lo: sqldb.Lit(sqldb.NewInt(rng.Int63n(5))),
+			Hi: sqldb.Lit(sqldb.NewInt(2 + rng.Int63n(6)))}
+	case 6:
+		// Index-eligible inequality, literal on either side.
+		cmps := []sqldb.BinOp{sqldb.OpLt, sqldb.OpLe, sqldb.OpGt, sqldb.OpGe}
+		op := cmps[rng.Intn(len(cmps))]
+		col := sqldb.Col("t", []string{"a", "b"}[rng.Intn(2)])
+		lit := sqldb.Lit(sqldb.NewInt(rng.Int63n(8)))
+		if rng.Intn(2) == 0 {
+			return sqldb.Bin(op, col, lit)
+		}
+		return sqldb.Bin(op, lit, col)
 	default:
 		cmps := []sqldb.BinOp{sqldb.OpEq, sqldb.OpNe, sqldb.OpLt, sqldb.OpLe, sqldb.OpGt, sqldb.OpGe}
 		return sqldb.Bin(cmps[rng.Intn(len(cmps))], genOperand(rng), genOperand(rng))

@@ -30,12 +30,21 @@ func (db *Database) Execute(ctx context.Context, stmt *SelectStmt) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	// Both engines charge cancellation ticks from the same cost model
+	// (one tick per logical row touched per stage), so probe timeout
+	// behaviour is mode-independent; the totals are recorded for the
+	// tick-parity regression tests.
+	var ticks int
+	var res *Result
 	if db.mode == ExecTree {
 		db.estats.TreeQueries.Add(1)
-		return ex.runTree(ctx)
+		res, err = ex.runTree(ctx, &ticks)
+	} else {
+		db.estats.VectorQueries.Add(1)
+		res, err = ex.runVector(ctx, &ticks)
 	}
-	db.estats.VectorQueries.Add(1)
-	return ex.runVector(ctx)
+	db.estats.CtxTicks.Add(int64(ticks))
+	return res, err
 }
 
 // colSlot is one resolved column reference: the owning table and the
@@ -371,12 +380,31 @@ func checkCtx(ctx context.Context, n *int) error {
 	return nil
 }
 
+// chargeTicks adds n ticks in one step — the vectorized stages charge
+// a whole batch's cost at once instead of calling checkCtx per row —
+// and polls ctx whenever the charge crosses a cancelCheckEvery
+// boundary, preserving checkCtx's polling cadence.
+func chargeTicks(ctx context.Context, ticks *int, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	before := *ticks
+	*ticks = before + n
+	if before/cancelCheckEvery != (before+n)/cancelCheckEvery {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
 // runTree executes the compiled plan with the original tree-walking
 // engine: per-row predicate evaluation over wide rows, then the
 // shared post-join pipeline. It is the oracle the vectorized engine
 // is differentially tested against.
-func (ex *execution) runTree(ctx context.Context) (*Result, error) {
-	var ticks int
+func (ex *execution) runTree(ctx context.Context, ticks *int) (*Result, error) {
 	// 1. Scan + filter each table into wide-row fragments.
 	filtered := map[string][]Row{}
 	for _, t := range ex.tables {
@@ -385,7 +413,7 @@ func (ex *execution) runTree(ctx context.Context) (*Result, error) {
 		rows := make([]Row, 0, len(tbl.Rows))
 		off := ex.offsets[t]
 		for _, r := range tbl.Rows {
-			if err := checkCtx(ctx, &ticks); err != nil {
+			if err := checkCtx(ctx, ticks); err != nil {
 				return nil, err
 			}
 			keep := true
@@ -411,20 +439,20 @@ func (ex *execution) runTree(ctx context.Context) (*Result, error) {
 	}
 
 	// 2. Join greedily, smallest first, following equi-join edges.
-	current, err := ex.join(ctx, filtered, &ticks)
+	current, err := ex.join(ctx, filtered, ticks)
 	if err != nil {
 		return nil, err
 	}
 
-	// 3-6. Residual, aggregation/projection, order, limit — shared
-	// with the vectorized engine so both produce identical results.
-	return ex.finish(ctx, current, &ticks)
+	// 3-6. Residual, aggregation/projection, order, limit.
+	return ex.finish(ctx, current, ticks)
 }
 
-// finish runs the engine-independent tail of the plan over the joined
-// wide rows: residual predicates, grouping/aggregation or projection,
-// order by, and limit. Both engines converge here, which guarantees
-// identical semantics for every post-join stage by construction.
+// finish runs the tree engine's tail of the plan over the joined wide
+// rows: residual predicates, grouping/aggregation or projection,
+// order by, and limit. The vector engine's finishVector replicates
+// every stage batch-at-a-time; the differential harness holds the two
+// to digest-, column-, ordering- and error-parity.
 func (ex *execution) finish(ctx context.Context, current []Row, ticks *int) (*Result, error) {
 	// 3. Residual predicates.
 	if len(ex.residual) > 0 {
@@ -679,6 +707,19 @@ func (ex *execution) outputColumns() []string {
 	return cols
 }
 
+// wideTypes returns the schema type of every wide-row slot; the
+// vector engine's post-join batches type their columns from it.
+func (ex *execution) wideTypes() []Type {
+	types := make([]Type, ex.width)
+	for _, t := range ex.tables {
+		off := ex.offsets[t]
+		for i, c := range ex.schemas[t].Columns {
+			types[off+i] = c.Type
+		}
+	}
+	return types
+}
+
 // group accumulates one hash-aggregation bucket.
 type group struct {
 	rep  Row // representative input row
@@ -801,10 +842,19 @@ func (ex *execution) aggregate(ctx context.Context, rows []Row, ticks *int) (*Re
 		}
 	}
 
+	return ex.finalizeGroups(groups, order, len(rows))
+}
+
+// finalizeGroups evaluates HAVING and the select list per group and
+// assembles the result. Both engines share it verbatim, so the
+// per-group semantics (the empty-input null-result corner, HAVING
+// filtering, item evaluation against the representative row) cannot
+// drift between them.
+func (ex *execution) finalizeGroups(groups map[string]*group, order []string, inputRows int) (*Result, error) {
 	res := &Result{Columns: ex.outputColumns()}
 	// SQL corner case: ungrouped aggregation over empty input yields
 	// one row; the paper's pipeline treats it as a null result.
-	if len(ex.stmt.GroupBy) == 0 && len(rows) == 0 {
+	if len(ex.stmt.GroupBy) == 0 && inputRows == 0 {
 		grp := &group{rep: make(Row, ex.width), accs: make([]aggAcc, len(ex.aggs))}
 		groups[""] = grp
 		order = append(order, "")

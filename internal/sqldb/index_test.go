@@ -421,10 +421,11 @@ func TestExecutionSurvivesCloneStmt(t *testing.T) {
 		// and name-based resolution must carry the run.
 		ex.stmt = CloneStmt(stmt)
 		var got *Result
+		var ticks int
 		if mode == ExecTree {
-			got, err = ex.runTree(ctx)
+			got, err = ex.runTree(ctx, &ticks)
 		} else {
-			got, err = ex.runVector(ctx)
+			got, err = ex.runVector(ctx, &ticks)
 		}
 		if err != nil {
 			t.Fatalf("%s: execution over cloned statement failed: %v", mode, err)

@@ -35,8 +35,8 @@ func (ex *execution) evalVec(e Expr, b *batch) (*vec, error) {
 			return nil, fmt.Errorf("unresolved column %s: %w", x, err)
 		}
 		ci := slot.idx - b.off
-		if ci < 0 || ci >= len(b.tbl.Schema.Columns) {
-			return nil, fmt.Errorf("column %s does not belong to table %s", x, b.tbl.Schema.Name)
+		if ci < 0 || ci >= b.ncol() {
+			return nil, fmt.Errorf("column %s does not belong to table %s", x, b.name)
 		}
 		return b.col(ci), nil
 	case *LiteralExpr:
@@ -230,8 +230,7 @@ func (ex *execution) evalVecLogic(x *BinaryExpr, b *batch) (*vec, error) {
 	}
 	var rv *vec
 	if len(subSel) > 0 {
-		sub := newBatch(b.tbl, b.off, subSel, b.es)
-		rv, err = ex.evalVec(x.R, sub)
+		rv, err = ex.evalVec(x.R, b.sub(subSel))
 		if err != nil {
 			return nil, err
 		}
